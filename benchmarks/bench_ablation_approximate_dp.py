@@ -1,0 +1,78 @@
+"""Ablation — how broken is "broken"? (ε, δ) analysis of the naive arm.
+
+The paper's negative result is qualitative: the naive fixed-point arm is
+not ε-LDP for *any* ε.  The hockey-stick analysis quantifies it: the
+smallest δ at which the arm becomes (ε, δ)-LDP equals the probability
+mass of its revealing outputs — orders of magnitude above the
+δ ≪ 1/N standard.  The guarded arm reaches δ = 0 at its calibrated ε.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.mechanisms import SensorSpec, make_mechanism
+from repro.privacy import delta_at_epsilon
+
+from conftest import record_experiment
+
+SENSOR = SensorSpec(0.0, 10.0)
+EPSILON = 0.5
+EPS_GRID = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def bench_ablation_approximate_dp(benchmark):
+    kw = dict(input_bits=14, output_bits=18, delta=10 / 64)
+    naive = make_mechanism("baseline", SENSOR, EPSILON, **kw)
+    guarded = make_mechanism("thresholding", SENSOR, EPSILON, **kw)
+    fam_naive = naive._family()
+    fam_guarded = guarded._family()
+
+    def run():
+        rows = []
+        for e in EPS_GRID:
+            rows.append(
+                [
+                    f"{e:g}",
+                    f"{delta_at_epsilon(fam_naive, e):.3e}",
+                    f"{delta_at_epsilon(fam_guarded, e):.3e}",
+                ]
+            )
+        floor = delta_at_epsilon(fam_naive, 40.0)
+        return rows, floor
+
+    rows, floor = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    guarded_zero = float(rows[-1][2]) == 0.0
+    text = "\n".join(
+        [
+            render_table(
+                ["epsilon", "naive arm: tightest δ", "thresholding arm: tightest δ"],
+                rows,
+                title=(
+                    "Ablation: (ε, δ)-LDP — the smallest δ making each arm "
+                    f"(ε, δ)-private (nominal ε = {EPSILON})"
+                ),
+            ),
+            "",
+            f"naive arm δ floor (any ε): {floor:.3e} — the exact mass of its "
+            "certainty-revealing outputs.",
+            f"At N = 10^4 users the DP standard requires δ ≪ 1e-4; the naive "
+            f"floor is {floor / 1e-4:.1f}× that bound, so the failure is not "
+            "academically small — CONFIRMED"
+            if floor > 1e-4 and guarded_zero
+            else "MISMATCH",
+        ]
+    )
+    record_experiment("ablation_approximate_dp", text)
+    assert floor > 1e-4  # the leak is macroscopic
+    assert guarded_zero  # the guard needs no delta at all
+
+
+def bench_delta_computation_speed(benchmark):
+    """Timing target: one full δ(ε) evaluation on a realistic family."""
+    mech = make_mechanism(
+        "baseline", SENSOR, EPSILON, input_bits=14, output_bits=18, delta=10 / 64
+    )
+    family = mech._family()
+    result = benchmark(delta_at_epsilon, family, 1.0)
+    assert result > 0

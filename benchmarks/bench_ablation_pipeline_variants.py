@@ -1,0 +1,50 @@
+"""Ablation — pipelined DP-Box variants (Section V).
+
+"We generated several other variants of DP-Box to better understand
+latency / area tradeoffs.  Unsurprisingly, we found that pipelined
+variants reduced critical path length at the expense of area."  This
+ablation sweeps the first-order pipelining model over 1–4 stages and
+checks the expected monotonicities.
+"""
+
+from repro.analysis import render_table
+from repro.core import DPBOX_BASELINE
+
+from conftest import record_experiment
+
+
+def bench_ablation_pipeline_variants(benchmark):
+    def sweep():
+        return [DPBOX_BASELINE.pipelined(s) for s in (1, 2, 3, 4)]
+
+    variants = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            v.name,
+            v.gates,
+            f"{v.critical_path_ns:.2f}",
+            f"{v.max_frequency_hz / 1e6:.1f}",
+            f"{v.power_uw:.1f}",
+        ]
+        for v in variants
+    ]
+    cps = [v.critical_path_ns for v in variants]
+    gates = [v.gates for v in variants]
+    ok = cps == sorted(cps, reverse=True) and gates == sorted(gates)
+    text = "\n".join(
+        [
+            render_table(
+                ["variant", "gates", "critical path (ns)", "max freq (MHz)", "power (µW)"],
+                rows,
+                title="Ablation: pipelined DP-Box variants (first-order model)",
+            ),
+            "",
+            "expected: critical path falls and area grows with stage count — "
+            + ("CONFIRMED" if ok else "MISMATCH"),
+        ]
+    )
+    record_experiment("ablation_pipeline_variants", text)
+    assert ok
+    # Even one extra stage should comfortably beat the 16 MHz requirement.
+    assert variants[1].max_frequency_hz > 2 * 16e6

@@ -1,0 +1,84 @@
+"""Ablation — the resampling timing channel and its mitigation (§IV-C).
+
+Resampling latency depends on the sensor value (edge values reject more
+often).  We quantify the leak as the success rate of the optimal
+latency-only distinguisher vs number of observed queries, then apply the
+paper's mitigation ("sample noise multiple times instead of only one and
+choose one of them") and show the channel closes.
+"""
+
+import numpy as np
+
+from repro.analysis import render_series
+from repro.attacks import run_timing_attack, timing_advantage
+from repro.mechanisms import ResamplingMechanism, SensorSpec
+
+from conftest import record_experiment
+
+SENSOR = SensorSpec(0.0, 8.0)
+QUERY_COUNTS = (10, 100, 1000, 4000)
+
+
+def bench_ablation_timing_channel(benchmark):
+    # Low URNG resolution -> tight window -> visible channel.
+    mech = ResamplingMechanism(
+        SENSOR, 0.5, loss_multiple=3.0, input_bits=9, output_bits=16, delta=8 / 64
+    )
+    x_edge, x_mid = SENSOR.m, SENSOR.midpoint
+
+    def run():
+        exact = [
+            0.5 + 0.5 * timing_advantage(mech, x_edge, x_mid, n_queries=q)
+            for q in QUERY_COUNTS
+        ]
+        empirical = [
+            run_timing_attack(
+                mech,
+                x_edge,
+                x_mid,
+                n_queries=q,
+                n_trials=200,
+                rng=np.random.default_rng(q),
+            ).success_rate
+            for q in QUERY_COUNTS
+        ]
+        mitigated = [
+            run_timing_attack(
+                mech,
+                x_edge,
+                x_mid,
+                n_queries=q,
+                n_trials=200,
+                fixed_draws=4,
+                rng=np.random.default_rng(q),
+            ).success_rate
+            for q in QUERY_COUNTS
+        ]
+        return exact, empirical, mitigated
+
+    exact, empirical, mitigated = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ok = exact[-1] > 0.75 and empirical[-1] > 0.7 and abs(mitigated[-1] - 0.5) < 0.1
+    text = "\n".join(
+        [
+            f"acceptance probabilities: edge {mech.acceptance_probability(x_edge):.4f}, "
+            f"center {mech.acceptance_probability(x_mid):.4f} "
+            f"(Bu=9, threshold {mech.threshold:.2f})",
+            render_series(
+                "queries observed",
+                list(QUERY_COUNTS),
+                [
+                    ("optimal (exact)", [f"{v:.3f}" for v in exact]),
+                    ("empirical LR attack", [f"{v:.3f}" for v in empirical]),
+                    ("with fixed-draw mitigation", [f"{v:.3f}" for v in mitigated]),
+                ],
+                title="Ablation: latency-only distinguisher success rate (0.5 = blind)",
+            ),
+            "",
+            "expected: the unmitigated channel leaks increasingly with "
+            "observations; fixed draws pin success at a coin flip — "
+            + ("CONFIRMED" if ok else "MISMATCH"),
+        ]
+    )
+    record_experiment("ablation_timing_channel", text)
+    assert ok

@@ -1,0 +1,91 @@
+"""Ablation — replenishment policy: fixed windows vs sliding windows.
+
+DP-Box replenishes its budget at fixed period boundaries (§III-C).  A
+fixed window admits the classic straddle: an adversary timing requests
+just before and just after a boundary collects up to 2B of loss inside
+one interval of window length.  The sliding-window accountant closes
+that gap at the cost of tracking outstanding charges.  This ablation
+measures the worst observed per-interval disclosure for both policies
+under a boundary-timing adversary and an honest uniform workload.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.privacy.windows import FixedWindowAccountant, SlidingWindowAccountant
+
+from conftest import record_experiment
+
+BUDGET = 1.0
+WINDOW = 1000
+PER_QUERY = 0.25
+
+
+def _max_interval_loss(events, window):
+    """Worst total loss inside any sliding interval of the window length."""
+    worst = 0.0
+    times = np.array([t for t, _ in events], dtype=float)
+    losses = np.array([l for _, l in events], dtype=float)
+    for t in times:
+        mask = (times > t - window) & (times <= t)
+        worst = max(worst, float(losses[mask].sum()))
+    return worst
+
+
+def _drive(acc, schedule):
+    events = []
+    for t in schedule:
+        acc.advance(t - acc.now)
+        if acc.try_spend(PER_QUERY):
+            events.append((t, PER_QUERY))
+    return events
+
+
+def bench_ablation_window_policies(benchmark):
+    # Boundary-timing adversary: bursts just before and after boundaries.
+    adversary = []
+    for k in range(1, 6):
+        boundary = k * WINDOW
+        adversary += [boundary - 3, boundary - 2, boundary - 1, boundary + 1,
+                      boundary + 2, boundary + 3, boundary + 4, boundary + 5]
+    # Honest workload: uniform arrivals.
+    rng = np.random.default_rng(0)
+    honest = sorted(rng.integers(1, 6 * WINDOW, size=200).tolist())
+
+    def run():
+        rows = []
+        for label, schedule in (("boundary adversary", adversary), ("honest uniform", honest)):
+            fixed = _drive(FixedWindowAccountant(BUDGET, WINDOW), list(schedule))
+            sliding = _drive(SlidingWindowAccountant(BUDGET, WINDOW), list(schedule))
+            rows.append(
+                [
+                    label,
+                    f"{_max_interval_loss(fixed, WINDOW):.2f}",
+                    f"{_max_interval_loss(sliding, WINDOW):.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    adv_fixed = float(rows[0][1])
+    adv_sliding = float(rows[0][2])
+    ok = adv_fixed > BUDGET + PER_QUERY / 2 and adv_sliding <= BUDGET + 1e-9
+    text = "\n".join(
+        [
+            render_table(
+                ["workload", "fixed window: worst interval loss", "sliding window"],
+                rows,
+                title=(
+                    f"Ablation: replenishment policies (budget {BUDGET}/window, "
+                    f"{PER_QUERY}/query) — worst loss inside any {WINDOW}-tick interval"
+                ),
+            ),
+            "",
+            "expected: the fixed-window policy (DP-Box replenishment) admits a "
+            f"boundary straddle up to 2B = {2 * BUDGET}; the sliding window "
+            "caps every interval at B — "
+            + ("CONFIRMED" if ok else "MISMATCH"),
+        ]
+    )
+    record_experiment("ablation_window_policies", text)
+    assert ok

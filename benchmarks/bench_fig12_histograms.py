@@ -1,0 +1,92 @@
+"""Fig. 12 — output histograms of two Statlog heart entries, ε = 1.
+
+Feeds two dataset entries through the naive DP-Box arm many times and
+compares the output histograms: (a) overall the two look like overlapping
+Laplace bells; (b) zoomed into the tail, bins appear that only one entry
+can produce — "two data can be totally distinguishable if the DP output
+reports a value that only one data can generate".  The guarded arm shows
+no such bins.
+"""
+
+import numpy as np
+
+from repro.analysis import GridHistogram, overlap_fraction
+from repro.attacks import run_distinguisher
+from repro.datasets import load
+from repro.mechanisms import make_mechanism
+
+from conftest import record_experiment
+
+EPSILON = 1.0
+N_PRESENTATIONS = 20000  # paper presents each entry 500x; we push further
+
+
+def bench_fig12_tail_distinguishability(benchmark):
+    heart = load("statlog-heart", seed=2018)
+    x1, x2 = float(heart.values[0]), float(heart.values[1])
+    kw = dict(input_bits=14, output_bits=18, delta=heart.sensor.d / 64)
+    naive = make_mechanism("baseline", heart.sensor, EPSILON, **kw)
+    guarded = make_mechanism("thresholding", heart.sensor, EPSILON, **kw)
+
+    def histograms():
+        y1 = naive.privatize(np.full(N_PRESENTATIONS, x1))
+        y2 = naive.privatize(np.full(N_PRESENTATIONS, x2))
+        return (
+            GridHistogram.from_samples(y1, naive.delta),
+            GridHistogram.from_samples(y2, naive.delta),
+        )
+
+    h1, h2 = benchmark.pedantic(histograms, rounds=1, iterations=1)
+
+    # Sampled view (illustration) ...
+    overall_sampled = overlap_fraction(h1, h2)
+    # ... and the exact view the assertion uses: populated-bin overlap of
+    # the true conditional PMFs.
+    k1 = int(naive.quantize_inputs(np.asarray([x1]))[0])
+    k2 = int(naive.quantize_inputs(np.asarray([x2]))[0])
+    pmf1 = naive.noise_pmf.shifted(k1)
+    pmf2 = naive.noise_pmf.shifted(k2)
+    lo = min(pmf1.min_k, pmf2.min_k)
+    hi = max(pmf1.max_k, pmf2.max_k)
+    a = pmf1.prob_array(lo, hi)
+    b = pmf2.prob_array(lo, hi)
+    populated = (a > 0) | (b > 0)
+    overall = float(((a > 0) & (b > 0)).sum() / populated.sum())
+    # Exact upper-tail window: last 1% of pmf1's mass.
+    cum = np.cumsum(a[::-1])[::-1]
+    tail_start = int(np.flatnonzero(cum <= 0.01 * a.sum())[0])
+    a_t, b_t = a[tail_start:], b[tail_start:]
+    pop_t = (a_t > 0) | (b_t > 0)
+    tail_overlap = float(((a_t > 0) & (b_t > 0)).sum() / pop_t.sum())
+
+    naive_rep = run_distinguisher(naive, x1, x2, n_samples=20000)
+    guarded_rep = run_distinguisher(guarded, x1, x2, n_samples=20000)
+
+    text = "\n".join(
+        [
+            f"two Statlog entries x1={x1:g}, x2={x2:g}, eps={EPSILON}, "
+            f"{N_PRESENTATIONS} presentations each:",
+            f"  (a) populated-bin overlap, full range : {overall:.3f} "
+            f"(sampled view: {overall_sampled:.3f})",
+            f"  (b) populated-bin overlap, upper tail : {tail_overlap:.3f}",
+            "",
+            "exact certain-identification probability per output:",
+            f"  naive DP-Box arm   : {naive_rep.certain_rate_x1:.2e} (x1) "
+            f"/ {naive_rep.certain_rate_x2:.2e} (x2)",
+            f"  thresholding arm   : {guarded_rep.certain_rate_x1:.2e} "
+            f"/ {guarded_rep.certain_rate_x2:.2e}",
+            "",
+            "paper shape check: naive tails stop overlapping (privacy broken); "
+            "guarded DP-Box keeps every output producible by both — "
+            + (
+                "REPRODUCED"
+                if tail_overlap < overall and guarded_rep.certain_rate_x1 == 0.0
+                else "MISMATCH"
+            ),
+        ]
+    )
+    record_experiment("fig12_histograms", text)
+
+    assert tail_overlap < overall
+    assert naive_rep.certain_rate_x1 > 0
+    assert guarded_rep.certain_rate_x1 == 0.0 and guarded_rep.certain_rate_x2 == 0.0

@@ -1,0 +1,73 @@
+"""Section III-D sizing claim — minimum datapath width vs privacy level.
+
+"To support sensors with resolution up to 13 bits with privacy parameter
+ε ≥ 0.1, we needed to use 20-bit fixed-point values."  We regenerate the
+sizing table with the exact design-space search: for each ε, the minimum
+URNG width at which a certified guard exists (bare feasibility) and at
+which resampling also stays cheap (≥ 95 % single-draw acceptance).
+"""
+
+from repro.analysis import render_table
+from repro.core import minimum_input_bits
+from repro.errors import CalibrationError
+
+from conftest import record_experiment
+
+EPSILONS = (1.0, 0.5, 0.25, 0.125, 0.0625)
+SENSOR_BITS = 6  # grid = range / 2**6; wider grids scale the same way
+
+
+def bench_sec3d_design_space(benchmark):
+    def sweep():
+        rows = []
+        for eps in EPSILONS:
+            try:
+                feasible = minimum_input_bits(
+                    10.0, eps, range_frac_bits=SENSOR_BITS
+                ).input_bits
+            except CalibrationError:
+                feasible = None
+            try:
+                efficient = minimum_input_bits(
+                    10.0,
+                    eps,
+                    range_frac_bits=SENSOR_BITS,
+                    mode="resample",
+                    min_acceptance=0.95,
+                ).input_bits
+            except CalibrationError:
+                efficient = None
+            rows.append(
+                [
+                    f"{eps:g}",
+                    str(feasible) if feasible else "> 26",
+                    str(efficient) if efficient else "> 26",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    feasibles = [int(r[1]) for r in rows if r[1].isdigit()]
+    ok = feasibles == sorted(feasibles) and feasibles[-1] > feasibles[0]
+    text = "\n".join(
+        [
+            render_table(
+                [
+                    "epsilon",
+                    "min Bu (guard exists)",
+                    "min Bu (and >=95% acceptance)",
+                ],
+                rows,
+                title=(
+                    f"Section III-D sizing: minimum URNG width vs ε "
+                    f"({SENSOR_BITS}-bit sensor grid, loss bound 2ε, exact search)"
+                ),
+            ),
+            "",
+            "paper shape check: smaller ε demands wider fixed-point values "
+            "(the 'ε ≥ 0.1 needs 20 bits' phenomenon) — "
+            + ("REPRODUCED" if ok else "MISMATCH"),
+        ]
+    )
+    record_experiment("sec3d_design_space", text)
+    assert ok

@@ -1,0 +1,84 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one paper table or figure.  The experiment tables
+are (a) written to ``benchmarks/results/<experiment>.txt`` and (b) echoed
+in the pytest terminal summary, so ``pytest benchmarks/ --benchmark-only``
+shows both the timing table and the reproduced paper artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def record_experiment(name: str, text: str) -> None:
+    """Register a reproduced table/figure for the summary and results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _REPORTS.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter):  # pragma: no cover - plumbing
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """The recorder, as a fixture."""
+    return record_experiment
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(20180604)
+
+
+# ---------------------------------------------------------------------------
+# Shared expensive objects
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def paper_datasets():
+    """Table-I datasets, with the largest ones subsampled for bench speed.
+
+    The subsampling is recorded in each bench's output; MAE trends depend
+    on N, which the size-sweep bench (Fig. 15) covers explicitly.
+    """
+    from repro.datasets import load, PAPER_DATASETS
+
+    out = {}
+    rng = np.random.default_rng(0)
+    for name in PAPER_DATASETS:
+        ds = load(name, seed=2018)
+        if ds.n > 20000:
+            ds = ds.subsample(20000, rng)
+        out[name] = ds
+    return out
+
+
+@pytest.fixture(scope="session")
+def bench_arms():
+    """Mechanism factories for the four evaluation arms at ε = 0.5."""
+    from repro.mechanisms import make_mechanism
+
+    def build(arm, sensor, epsilon=0.5, **kw):
+        if arm == "ideal":
+            return make_mechanism(arm, sensor, epsilon)
+        kw.setdefault("input_bits", 14)
+        return make_mechanism(arm, sensor, epsilon, **kw)
+
+    return build

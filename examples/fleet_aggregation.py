@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""End-to-end local-DP system: a device fleet and an untrusted server.
+
+The paper's Fig. 2(b), running: hundreds of devices each privatize their
+reading on-device (the only data that ever leaves them), an untrusted
+aggregation server collects the reports per epoch and answers statistical
+queries.  Shows:
+
+* per-epoch aggregate estimates tracking ground truth despite per-device
+  noise ~20× larger than the signal,
+* the debiased variance estimator beating the naive one,
+* straggler tolerance,
+* on-device budgets capping any device's lifetime disclosure, and the
+  server's conservative composition bound sitting above the device-side
+  truth.
+"""
+
+import numpy as np
+
+from repro.aggregation import run_fleet
+from repro.analysis import render_series
+from repro.mechanisms import SensorSpec
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    sensor = SensorSpec(15.0, 30.0)  # city-wide temperature sensors, °C
+    n_devices, n_epochs = 600, 8
+
+    # Ground truth: a daily temperature arc plus per-device offsets.
+    arc = 21.0 + 3.0 * np.sin(np.linspace(0, np.pi, n_epochs))
+    offsets = rng.normal(0.0, 0.8, n_devices)
+    truth = np.clip(arc[:, None] + offsets[None, :], 15.0, 30.0)
+
+    result = run_fleet(
+        truth,
+        sensor,
+        epsilon=0.5,
+        arm="thresholding",
+        device_budget=10.0,
+        dropout=0.15,
+        rng=rng,
+    )
+
+    print(
+        render_series(
+            "epoch",
+            result.server.epochs,
+            [
+                ("true mean °C", [f"{v:.2f}" for v in result.true_means]),
+                ("estimated mean °C", [f"{v:.2f}" for v in result.estimated_means]),
+            ],
+            title=f"fleet of {n_devices} devices, ε=0.5 per report, 15% stragglers",
+        )
+    )
+    print(f"\nmean absolute error of the epoch means: {result.mean_abs_error:.3f} °C")
+
+    summary = result.server.summarize(0)
+    true_var = float(truth[0].var())
+    print(
+        f"variance, epoch 0: true {true_var:.2f}, naive {summary.variance:.1f}, "
+        f"debiased {summary.variance_debiased:.2f}"
+    )
+
+    worst_dev = max(result.devices, key=lambda d: 10.0 - (d.remaining_budget or 0.0))
+    actual = 10.0 - (worst_dev.remaining_budget or 0.0)
+    bound = result.server.worst_case_disclosure(worst_dev.device_id)
+    print(
+        f"\nper-device disclosure: worst actual {actual:.2f} "
+        f"(on-device accountant) <= server bound {bound:.2f} — "
+        "no device exceeds its lifetime budget of 10.0"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fleet analytics over privatized WiFi-localization data.
+
+The UJIIndoorLoc scenario from the paper's evaluation: thousands of
+devices each report a longitude-like coordinate.  No device wants to
+reveal where it actually is, but the fleet operator wants aggregate
+statistics (mean position, spread, how many devices are in the east
+wing).  Each device privatizes locally; the operator only ever sees
+noised values.
+
+The script compares all four evaluation arms on the same data — the
+Tables II–V experiment in miniature — and prints the LDP verdict next to
+each arm's utility, reproducing the paper's punchline: the baseline is
+as accurate as the ideal *and leaks*, while the guards are as accurate
+*and private*.
+"""
+
+import numpy as np
+
+from repro import ARM_NAMES, make_mechanism
+from repro.analysis import render_table
+from repro.datasets import load
+from repro.queries import CountingQuery, MeanQuery, VarianceQuery, measure_utility
+
+
+def main() -> None:
+    fleet = load("ujiindoorloc", seed=7).subsample(4000, np.random.default_rng(0))
+    print(f"fleet: {fleet.n} devices, coordinate {fleet.stats().row()}\n")
+
+    epsilon = 0.5
+    queries = [MeanQuery(), VarianceQuery(), CountingQuery()]
+    rows = []
+    for arm in ARM_NAMES:
+        kwargs = {} if arm == "ideal" else {"input_bits": 14}
+        mech = make_mechanism(arm, fleet.sensor, epsilon, **kwargs)
+        report = mech.ldp_report()
+        utility = measure_utility(mech, fleet.values, queries, n_trials=8)
+        rows.append(
+            [
+                mech.name,
+                "Y" if report.satisfied else "N",
+                utility["mean"].cell(),
+                utility["variance"].cell(),
+                utility["counting"].cell(),
+            ]
+        )
+
+    print(
+        render_table(
+            ["arm", "LDP?", "mean MAE", "variance MAE", "counting MAE"],
+            rows,
+            title=f"fleet analytics at ε = {epsilon} (8 trials)",
+        )
+    )
+    print(
+        "\nNote the FxP baseline: utility indistinguishable from ideal, "
+        "but LDP? = N — the paper's core observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

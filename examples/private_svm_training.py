@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Training a classifier on locally-privatized sensor features.
+
+Section VI-F / Table VI: a cloud service trains an SVM, but devices only
+ever upload LDP-noised feature vectors.  The script sweeps training-set
+size × privacy level and prints the Table-VI grid: accuracy approaches
+the clean model as data grows, and the privacy tax (smaller ε) is paid
+in sample complexity, not in any individual's exposure.
+"""
+
+from repro.analysis import render_table
+from repro.datasets import make_halfspace_dataset
+from repro.ml import table6_sweep
+
+
+def main() -> None:
+    data = make_halfspace_dataset(9000, dim=2, margin=0.05, seed=3)
+    train_sizes = [1000, 2000, 4000, 8000]
+    epsilons = [0.5, 1.0, 2.0, None]  # None = no privacy
+
+    grid = table6_sweep(data, train_sizes, epsilons, arm="thresholding")
+
+    rows = []
+    for eps in epsilons:
+        label = "no DP" if eps is None else f"ε = {eps}"
+        rows.append([label] + [f"{grid[eps][n]:.1%}" for n in train_sizes])
+    print(
+        render_table(
+            ["privacy"] + [f"n={n}" for n in train_sizes],
+            rows,
+            title="SVM accuracy on a clean test set (features privatized at training time)",
+        )
+    )
+
+    for n in train_sizes:
+        assert grid[None][n] >= grid[0.5][n], "privacy can only cost accuracy"
+    print(
+        "\nAccuracy rises with training-set size for every ε, and the gap "
+        "to the clean model is the price of local privacy (Table VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""A sensitive yes/no survey via DP-Box randomized response.
+
+Section VI-E: with its threshold set to zero, DP-Box degenerates into
+Warner randomized response and can privatize *categorical* data.  Here a
+population answers a sensitive binary question; each respondent's bit
+passes through the zero-threshold DP-Box; the analyst debiases the noisy
+tally.  The script sweeps the population size to reproduce the Fig.-14
+trend (estimate error shrinks with N while each answer stays private).
+"""
+
+import numpy as np
+
+from repro import SensorSpec, make_mechanism
+from repro.analysis import render_series
+
+
+def main() -> None:
+    true_rate = 0.23  # fraction answering "yes" in truth
+    epsilon = 2.0
+
+    rr = make_mechanism(
+        "rr", SensorSpec(0.0, 1.0), epsilon, input_bits=14, delta=1 / 128
+    )
+    print(
+        f"DP-Box RR mode: flip probability {rr.flip_probability:.3f}, "
+        f"exact channel ε = {rr.exact_epsilon():.3f}"
+    )
+    print(f"per-answer plausible deniability: report=yes could be a flip "
+          f"with odds 1:{np.exp(rr.exact_epsilon()):.1f}\n")
+
+    rng = np.random.default_rng(1)
+    sizes = [100, 300, 1000, 3000, 10000, 30000]
+    maes = []
+    for n in sizes:
+        errs = []
+        for _ in range(20):
+            answers = (rng.random(n) < true_rate).astype(int)
+            noisy = rr.privatize_bits(answers)
+            est = rr.estimate_frequency(noisy)
+            errs.append(abs(est - answers.mean()))
+        maes.append(float(np.mean(errs)))
+
+    print(
+        render_series(
+            "respondents",
+            sizes,
+            [("MAE of yes-rate estimate", maes)],
+            title=f"randomized-response survey accuracy (true rate {true_rate})",
+        )
+    )
+    assert maes[-1] < maes[0], "accuracy must improve with population size"
+    print("\nEach individual answer is protected; only the aggregate converges.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+perform a classic ``setup.py develop`` install instead.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""Simulated LDP sensor device.
+
+A :class:`Device` owns a raw sensor stream and a local mechanism; the
+*only* way data leaves it is :meth:`report`, which privatizes first.  An
+optional on-device budget mirrors DP-Box semantics: after exhaustion the
+device replays its cached report (no new loss) until :meth:`replenish`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.base import LocalMechanism
+from ..privacy.accountant import BudgetAccountant
+from .protocol import Report
+
+__all__ = ["Device"]
+
+
+class Device:
+    """A sensor node that only ever emits privatized reports."""
+
+    def __init__(
+        self,
+        device_id: str,
+        mechanism: LocalMechanism,
+        budget: Optional[float] = None,
+    ):
+        if not device_id:
+            raise ConfigurationError("device_id must be nonempty")
+        self.device_id = device_id
+        self._mechanism = mechanism
+        self._accountant = BudgetAccountant(budget) if budget is not None else None
+        self._cached: Optional[float] = None
+        self.n_fresh = 0
+        self.n_cached = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def per_report_loss(self) -> float:
+        """The mechanism's certified per-report loss bound."""
+        return self._mechanism.claimed_loss_bound
+
+    @property
+    def remaining_budget(self) -> Optional[float]:
+        """On-device budget left (None when budgeting is disabled)."""
+        return self._accountant.remaining if self._accountant else None
+
+    def replenish(self) -> None:
+        """Start a new accounting period."""
+        if self._accountant:
+            self._accountant.reset()
+
+    # ------------------------------------------------------------------
+    def report(self, raw_value: float, epoch: int) -> Report:
+        """Privatize one reading and package it for the aggregator."""
+        if self._accountant is not None and not self._accountant.can_spend(
+            self.per_report_loss
+        ):
+            if self._cached is None:
+                raise ConfigurationError(
+                    f"device {self.device_id}: budget exhausted before any report"
+                )
+            self.n_cached += 1
+            return Report(
+                device_id=self.device_id,
+                epoch=epoch,
+                value=self._cached,
+                claimed_loss=self.per_report_loss,
+            )
+        noised = float(self._mechanism.privatize(np.asarray([raw_value]))[0])
+        if self._accountant is not None:
+            self._accountant.spend(self.per_report_loss)
+        self._cached = noised
+        self.n_fresh += 1
+        return Report(
+            device_id=self.device_id,
+            epoch=epoch,
+            value=noised,
+            claimed_loss=self.per_report_loss,
+        )

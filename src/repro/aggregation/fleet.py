@@ -1,0 +1,90 @@
+"""Fleet simulation: many devices, one aggregator, several epochs.
+
+Convenience harness tying the aggregation substrate together: build N
+devices sharing a mechanism configuration, stream per-epoch true values
+through them (with optional straggling), and collect the server's
+estimates next to the ground truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms import SensorSpec, make_mechanism
+from .device import Device
+from .server import AggregationServer
+
+__all__ = ["FleetResult", "run_fleet"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetResult:
+    """Outcome of a fleet simulation."""
+
+    server: AggregationServer
+    devices: List[Device]
+    #: Per-epoch true means (over the devices that reported).
+    true_means: List[float]
+    #: Per-epoch estimated means.
+    estimated_means: List[float]
+
+    @property
+    def mean_abs_error(self) -> float:
+        """MAE of the per-epoch mean estimates."""
+        t = np.asarray(self.true_means)
+        e = np.asarray(self.estimated_means)
+        return float(np.abs(t - e).mean())
+
+
+def run_fleet(
+    true_values: np.ndarray,
+    sensor: SensorSpec,
+    epsilon: float,
+    arm: str = "thresholding",
+    device_budget: Optional[float] = None,
+    dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    **mechanism_kwargs,
+) -> FleetResult:
+    """Simulate a fleet over a (n_epochs, n_devices) true-value matrix.
+
+    ``dropout`` is the per-epoch probability a device straggles (sends
+    nothing); the server aggregates whoever reported.
+    """
+    true_values = np.asarray(true_values, dtype=float)
+    if true_values.ndim != 2:
+        raise ConfigurationError("true_values must be (n_epochs, n_devices)")
+    if not 0.0 <= dropout < 1.0:
+        raise ConfigurationError("dropout must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    n_epochs, n_devices = true_values.shape
+    mechanism_kwargs.setdefault("input_bits", 14)
+    devices = [
+        Device(
+            f"dev-{i:04d}",
+            make_mechanism(arm, sensor, epsilon, **mechanism_kwargs),
+            budget=device_budget,
+        )
+        for i in range(n_devices)
+    ]
+    lam = sensor.d / epsilon if arm != "rr" else None
+    server = AggregationServer(noise_scale=lam)
+    true_means: List[float] = []
+    for epoch in range(n_epochs):
+        reporting = rng.random(n_devices) >= dropout
+        if not reporting.any():
+            reporting[int(rng.integers(n_devices))] = True  # never a silent epoch
+        for i in np.flatnonzero(reporting):
+            server.submit(devices[i].report(float(true_values[epoch, i]), epoch))
+        true_means.append(float(true_values[epoch, reporting].mean()))
+    estimated = [server.summarize(e).mean for e in server.epochs]
+    return FleetResult(
+        server=server,
+        devices=devices,
+        true_means=true_means,
+        estimated_means=estimated,
+    )

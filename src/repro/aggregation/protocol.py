@@ -1,0 +1,41 @@
+"""Wire protocol between LDP devices and the untrusted aggregator.
+
+In the local setting (paper Fig. 2(b)) there is no trusted curator: the
+only thing that ever leaves a device is a privatized report.  The types
+here make that boundary explicit — a :class:`Report` carries the noised
+value, the device's claimed per-report loss, and epoch bookkeeping, and
+*nothing else*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+__all__ = ["Report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Report:
+    """One privatized reading submitted to the aggregator."""
+
+    #: Opaque device identifier (pseudonymous; linkability is a policy
+    #: question orthogonal to LDP).
+    device_id: str
+    #: Collection round the report belongs to.
+    epoch: int
+    #: The privatized value — the only data-bearing field.
+    value: float
+    #: The per-report worst-case privacy loss the device claims (the
+    #: aggregator can use it for utility weighting, not for privacy —
+    #: privacy is enforced on-device).
+    claimed_loss: float
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise ConfigurationError("device_id must be nonempty")
+        if self.epoch < 0:
+            raise ConfigurationError("epoch must be nonnegative")
+        if self.claimed_loss <= 0:
+            raise ConfigurationError("claimed_loss must be positive")

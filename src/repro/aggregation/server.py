@@ -1,0 +1,123 @@
+"""The untrusted aggregation server (paper Fig. 2(b), right side).
+
+Collects privatized reports per epoch and answers aggregate queries over
+them.  The server never holds raw data — by construction it only ever
+receives :class:`~repro.aggregation.protocol.Report` objects — and the
+post-processing property (paper Section II-B) means anything it computes
+inherits each device's LDP guarantee.
+
+Beyond the naive query answers, the server offers the noise-aware
+estimators of :mod:`repro.queries.estimators` when told the mechanism's
+Laplace scale, and tolerates stragglers (epochs simply aggregate whoever
+reported).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..queries.estimators import debiased_variance
+from .protocol import Report
+
+__all__ = ["AggregationServer", "EpochSummary"]
+
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochSummary:
+    """Aggregate view of one collection round."""
+
+    epoch: int
+    n_reports: int
+    n_devices: int
+    mean: float
+    median: float
+    variance: float
+    variance_debiased: Optional[float]
+
+
+class AggregationServer:
+    """Collects reports and answers aggregate queries per epoch."""
+
+    def __init__(self, noise_scale: Optional[float] = None):
+        #: λ of the devices' Laplace noise, if known; enables debiasing.
+        self.noise_scale = noise_scale
+        self._epochs: Dict[int, List[Report]] = collections.defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def submit(self, report: Report) -> None:
+        """Accept one report (idempotence is the device's concern)."""
+        self._epochs[report.epoch].append(report)
+
+    def submit_all(self, reports) -> None:
+        """Accept a batch of reports."""
+        for r in reports:
+            self.submit(r)
+
+    @property
+    def epochs(self) -> List[int]:
+        """Epochs with at least one report, ascending."""
+        return sorted(self._epochs)
+
+    def reports(self, epoch: int) -> List[Report]:
+        """All reports of an epoch."""
+        if epoch not in self._epochs:
+            raise ConfigurationError(f"no reports for epoch {epoch}")
+        return list(self._epochs[epoch])
+
+    def values(self, epoch: int) -> np.ndarray:
+        """Reported values of an epoch."""
+        return np.array([r.value for r in self.reports(epoch)])
+
+    # ------------------------------------------------------------------
+    def summarize(self, epoch: int) -> EpochSummary:
+        """Aggregate statistics for one epoch."""
+        reports = self.reports(epoch)
+        vals = np.array([r.value for r in reports])
+        debiased = (
+            debiased_variance(vals, self.noise_scale)
+            if self.noise_scale is not None and vals.size > 1
+            else None
+        )
+        return EpochSummary(
+            epoch=epoch,
+            n_reports=int(vals.size),
+            n_devices=len({r.device_id for r in reports}),
+            mean=float(vals.mean()),
+            median=float(np.median(vals)),
+            variance=float(vals.var()),
+            variance_debiased=debiased,
+        )
+
+    def count_above(self, epoch: int, threshold: float) -> int:
+        """Counting query on an epoch's reports."""
+        return int(np.count_nonzero(self.values(epoch) > threshold))
+
+    def mean_trend(self) -> List[float]:
+        """Per-epoch means across all collected epochs."""
+        return [float(self.values(e).mean()) for e in self.epochs]
+
+    # ------------------------------------------------------------------
+    def worst_case_disclosure(self, device_id: str) -> float:
+        """Server-side composition bound on one device's disclosure.
+
+        Sums the claimed per-report loss over *every* report the device
+        sent.  The server cannot tell cached replays (which add no loss)
+        from fresh reports, so this is deliberately conservative: it is
+        always ≥ the device's own accountant (which is the authoritative
+        number — privacy is enforced on-device).
+        """
+        return float(
+            sum(
+                r.claimed_loss
+                for reports in self._epochs.values()
+                for r in reports
+                if r.device_id == device_id
+            )
+        )

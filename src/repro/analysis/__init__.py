@@ -1,0 +1,26 @@
+"""Analysis helpers: histogram comparison, empirical privacy-loss
+estimation, and table rendering for the benchmark harness."""
+
+from .convergence import (
+    devices_for_target_mae,
+    predicted_mean_mae,
+    predicted_rr_std,
+    variance_bias,
+)
+from .empirical_loss import EmpiricalLossEstimate, estimate_pairwise_loss
+from .histograms import GridHistogram, overlap_fraction, tail_region
+from .reports import render_series, render_table
+
+__all__ = [
+    "devices_for_target_mae",
+    "predicted_mean_mae",
+    "predicted_rr_std",
+    "variance_bias",
+    "EmpiricalLossEstimate",
+    "estimate_pairwise_loss",
+    "GridHistogram",
+    "overlap_fraction",
+    "tail_region",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,70 @@
+"""Analytic error predictions for aggregate queries under LDP.
+
+These closed forms let experiments assert not just "the error shrinks"
+but "the error shrinks like the theory says", and let deployments size
+their fleets: how many devices buy a target accuracy at a given ε?
+
+For i.i.d. Laplace noise ``Lap(λ)`` added to N values:
+
+* the mean's error is asymptotically ``N(0, 2λ²/N)`` (CLT), so
+  ``E|error| = sqrt(2/π)·sqrt(2λ²/N + Var(x)/N·0)…`` — for the *query
+  error* (estimate minus true mean of the same N values) only the noise
+  variance enters: ``E|error| = 2λ/sqrt(π·N)``;
+* the naive variance estimator is biased by exactly ``+2λ²``;
+* randomized response with keep probability p estimates a frequency with
+  ``std = sqrt(p(1-p))/((2p-1)·sqrt(N))`` (binomial debiasing).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "predicted_mean_mae",
+    "devices_for_target_mae",
+    "variance_bias",
+    "predicted_rr_std",
+]
+
+
+def predicted_mean_mae(lam: float, n: int) -> float:
+    """Expected |mean-query error| for N Laplace-noised values.
+
+    The estimate's error is the mean of N i.i.d. ``Lap(λ)`` draws; by the
+    CLT it is ``≈ N(0, 2λ²/N)``, whose mean absolute value is
+    ``sqrt(2/π)·sqrt(2λ²/N) = 2λ/sqrt(π·N)``.
+    """
+    if lam <= 0 or n < 1:
+        raise ConfigurationError("need positive lam and n")
+    return 2.0 * lam / math.sqrt(math.pi * n)
+
+
+def devices_for_target_mae(lam: float, target_mae: float) -> int:
+    """Smallest N with ``predicted_mean_mae(λ, N) <= target``."""
+    if target_mae <= 0:
+        raise ConfigurationError("target must be positive")
+    n = (2.0 * lam / target_mae) ** 2 / math.pi
+    return max(int(math.ceil(n)), 1)
+
+
+def variance_bias(lam: float) -> float:
+    """Exact bias of the naive variance estimator: ``+2λ²``."""
+    if lam <= 0:
+        raise ConfigurationError("lam must be positive")
+    return 2.0 * lam * lam
+
+
+def predicted_rr_std(keep_prob: float, n: int) -> float:
+    """Std of the debiased randomized-response frequency estimate.
+
+    The observed frequency is binomial-ish with per-bit variance at most
+    ``p(1-p)...``; conservatively using the worst case 1/4 understates
+    nothing: ``std <= 1/(2·(2p-1)·sqrt(N))``.
+    """
+    if not 0.5 < keep_prob < 1.0:
+        raise ConfigurationError("keep probability must be in (1/2, 1)")
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    return 0.5 / ((2.0 * keep_prob - 1.0) * math.sqrt(n))

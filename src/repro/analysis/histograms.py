@@ -1,0 +1,103 @@
+"""Histogram utilities for distribution comparison (Figs. 4, 6, 7, 12)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng.pmf import DiscretePMF
+
+__all__ = ["GridHistogram", "tail_region", "overlap_fraction"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridHistogram:
+    """Empirical counts of grid-aligned samples (values are ``k·step``)."""
+
+    step: float
+    min_k: int
+    counts: np.ndarray
+
+    @classmethod
+    def from_samples(cls, values: np.ndarray, step: float) -> "GridHistogram":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("no samples")
+        k = np.round(values / step).astype(np.int64)
+        kmin = int(k.min())
+        counts = np.bincount(k - kmin)
+        return cls(step=step, min_k=kmin, counts=counts)
+
+    @property
+    def max_k(self) -> int:
+        """Largest populated grid index."""
+        return self.min_k + self.counts.size - 1
+
+    def values(self) -> np.ndarray:
+        """Real values of the histogram bins."""
+        return np.arange(self.min_k, self.max_k + 1) * self.step
+
+    def normalized(self) -> np.ndarray:
+        """Counts as probabilities."""
+        return self.counts / self.counts.sum()
+
+    def to_pmf(self) -> DiscretePMF:
+        """Convert to a :class:`DiscretePMF`."""
+        return DiscretePMF(self.step, self.min_k, self.normalized())
+
+    def count_at(self, k: int) -> int:
+        """Count of a specific grid index (0 outside the window)."""
+        i = k - self.min_k
+        if 0 <= i < self.counts.size:
+            return int(self.counts[i])
+        return 0
+
+
+def tail_region(
+    hist: GridHistogram, tail_fraction: float = 0.02, side: str = "upper"
+) -> Tuple[int, int]:
+    """Grid-index window containing the requested tail mass.
+
+    This is the "zoom into the region near the tail" of Figs. 4(b)/12(b).
+    """
+    if not 0 < tail_fraction < 1:
+        raise ConfigurationError("tail_fraction must be in (0, 1)")
+    probs = hist.normalized()
+    if side == "upper":
+        cum = np.cumsum(probs[::-1])[::-1]
+        idx = np.flatnonzero(cum <= tail_fraction)
+        start = int(idx[0]) if idx.size else hist.counts.size - 1
+        return hist.min_k + start, hist.max_k
+    if side == "lower":
+        cum = np.cumsum(probs)
+        idx = np.flatnonzero(cum <= tail_fraction)
+        end = int(idx[-1]) if idx.size else 0
+        return hist.min_k, hist.min_k + end
+    raise ConfigurationError("side must be 'upper' or 'lower'")
+
+
+def overlap_fraction(
+    h1: GridHistogram,
+    h2: GridHistogram,
+    window: Optional[Tuple[int, int]] = None,
+) -> float:
+    """Fraction of populated bins (within ``window``) populated in *both*.
+
+    The operational reading of Fig. 12(b): bins where only one input has
+    counts are outputs that identify the input outright.
+    """
+    lo = min(h1.min_k, h2.min_k)
+    hi = max(h1.max_k, h2.max_k)
+    if window is not None:
+        lo, hi = window
+    ks = np.arange(lo, hi + 1)
+    c1 = np.array([h1.count_at(int(k)) for k in ks])
+    c2 = np.array([h2.count_at(int(k)) for k in ks])
+    populated = (c1 > 0) | (c2 > 0)
+    if not populated.any():
+        return 1.0
+    both = (c1 > 0) & (c2 > 0)
+    return float(both.sum() / populated.sum())

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the same rows/series the paper reports; this module
+keeps the formatting in one place so tables line up consistently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """A figure-as-table: one x column plus one column per named series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for _, values in series])
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

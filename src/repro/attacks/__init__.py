@@ -1,0 +1,35 @@
+"""Adversary models used in the evaluation: the averaging attacker
+against budget control (Fig. 13) and the tail-event distinguisher against
+the naive baseline (Fig. 12)."""
+
+from .averaging import (
+    AttackTrace,
+    floor_error,
+    run_averaging_attack,
+    run_averaging_attack_mechanism,
+)
+from .distinguisher import (
+    DistinguisherReport,
+    distinguishing_outputs,
+    run_distinguisher,
+)
+from .timing import (
+    TimingAttackReport,
+    exact_draw_distributions,
+    run_timing_attack,
+    timing_advantage,
+)
+
+__all__ = [
+    "AttackTrace",
+    "floor_error",
+    "run_averaging_attack",
+    "run_averaging_attack_mechanism",
+    "DistinguisherReport",
+    "distinguishing_outputs",
+    "run_distinguisher",
+    "TimingAttackReport",
+    "exact_draw_distributions",
+    "run_timing_attack",
+    "timing_advantage",
+]

@@ -1,0 +1,149 @@
+"""Timing side channel of resampling (paper Section IV-C).
+
+"Our implementation of resampling may introduce a timing channel since
+the number of resamples depends on the sensor value" — an observer who
+sees only *when* the ready flag rises learns something about the value,
+because readings near the range edges are rejected (and redrawn) more
+often.  The proposed mitigation draws a fixed number of samples and picks
+one, making the latency constant.
+
+This module makes the channel measurable:
+
+* :func:`exact_draw_distributions` — the exact per-hypothesis geometric
+  draw-count distributions from the acceptance probabilities;
+* :func:`timing_advantage` — the Bayes advantage of the optimal
+  latency-only distinguisher over ``n_queries`` observations;
+* :func:`run_timing_attack` — an empirical likelihood-ratio attack on
+  sampled draw counts, with or without the fixed-draw mitigation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.resampling import ResamplingMechanism
+
+__all__ = [
+    "TimingAttackReport",
+    "exact_draw_distributions",
+    "timing_advantage",
+    "run_timing_attack",
+]
+
+
+def _geometric_pmf(p: float, max_k: int) -> np.ndarray:
+    """Pr[draws = k], k = 1..max_k, last bin absorbs the tail."""
+    ks = np.arange(1, max_k + 1)
+    pmf = p * (1.0 - p) ** (ks - 1)
+    pmf[-1] += (1.0 - p) ** max_k
+    return pmf
+
+
+def exact_draw_distributions(
+    mech: ResamplingMechanism, x1: float, x2: float, max_draws: int = 32
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact draw-count PMFs for two hypothesized sensor values."""
+    p1 = mech.acceptance_probability(x1)
+    p2 = mech.acceptance_probability(x2)
+    return _geometric_pmf(p1, max_draws), _geometric_pmf(p2, max_draws)
+
+
+def timing_advantage(
+    mech: ResamplingMechanism,
+    x1: float,
+    x2: float,
+    n_queries: int = 1,
+    max_draws: int = 32,
+) -> float:
+    """Bayes advantage of the optimal latency-only distinguisher.
+
+    For one query this is half the total-variation distance between the
+    two draw-count distributions; for ``n_queries`` i.i.d. observations
+    we fold the distributions (sum of draw counts) and take TV there.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("need at least one query")
+    d1, d2 = exact_draw_distributions(mech, x1, x2, max_draws)
+    f1, f2 = d1, d2
+    for _ in range(n_queries - 1):
+        f1 = np.convolve(f1, d1)
+        f2 = np.convolve(f2, d2)
+    return 0.5 * float(np.abs(f1 - f2).sum())
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingAttackReport:
+    """Outcome of the empirical latency-only distinguishing attack."""
+
+    x1: float
+    x2: float
+    n_queries: int
+    #: Exact acceptance probabilities under the two hypotheses.
+    accept_prob_x1: float
+    accept_prob_x2: float
+    #: Empirical success rate of the likelihood-ratio distinguisher
+    #: (0.5 = no information).
+    success_rate: float
+    #: Exact single-query Bayes advantage.
+    single_query_advantage: float
+    #: Whether the fixed-draw mitigation was active.
+    mitigated: bool
+
+
+def run_timing_attack(
+    mech: ResamplingMechanism,
+    x1: float,
+    x2: float,
+    n_queries: int = 50,
+    n_trials: int = 400,
+    fixed_draws: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> TimingAttackReport:
+    """Empirical likelihood-ratio attack using only draw counts.
+
+    Each trial: pick a hypothesis at random, observe ``n_queries`` draw
+    counts (through the real mechanism), decide by exact likelihood
+    ratio.  With ``fixed_draws > 0`` the mitigation is modelled: every
+    query reports the constant count, which carries zero information.
+    """
+    if n_trials < 10:
+        raise ConfigurationError("need at least 10 trials")
+    rng = rng or np.random.default_rng()
+    p1 = mech.acceptance_probability(x1)
+    p2 = mech.acceptance_probability(x2)
+    log1, log2 = np.log(p1), np.log(p2)
+    log1m, log2m = np.log1p(-p1) if p1 < 1 else -np.inf, (
+        np.log1p(-p2) if p2 < 1 else -np.inf
+    )
+    correct = 0
+    for _ in range(n_trials):
+        truth = int(rng.integers(0, 2))  # 0 -> x1, 1 -> x2
+        x = x1 if truth == 0 else x2
+        if fixed_draws > 0:
+            draws = np.full(n_queries, fixed_draws)
+            # Constant observations: likelihoods tie; guess at random.
+            decide = int(rng.integers(0, 2))
+        else:
+            _, draws = mech.privatize_with_counts(np.full(n_queries, x))
+            extra = draws - 1
+            ll1 = n_queries * log1 + float(extra.sum()) * log1m
+            ll2 = n_queries * log2 + float(extra.sum()) * log2m
+            if ll1 == ll2:
+                decide = int(rng.integers(0, 2))
+            else:
+                decide = 0 if ll1 > ll2 else 1
+        correct += int(decide == truth)
+    return TimingAttackReport(
+        x1=x1,
+        x2=x2,
+        n_queries=n_queries,
+        accept_prob_x1=p1,
+        accept_prob_x2=p2,
+        success_rate=correct / n_trials,
+        single_query_advantage=timing_advantage(mech, x1, x2),
+        mitigated=fixed_draws > 0,
+    )

@@ -1,0 +1,106 @@
+"""DP-Box budget engine (paper Algorithm 1 + caching + replenishment).
+
+Implements the output-adaptive accounting of Section III-C: each noising
+request is charged the loss of the segment its realized output falls in
+(:class:`~repro.core.segments.SegmentTable`), debited from a fixed budget.
+Once the budget cannot cover a request, the engine either replays the
+cached last output (no additional loss — the paper's practical answer to
+budget overruns) or halts.  A cycle-driven replenishment timer restores
+the budget periodically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..errors import BudgetExhaustedError, ConfigurationError
+from ..privacy.accountant import BudgetAccountant
+from .segments import SegmentTable
+
+__all__ = ["BudgetEngine", "BudgetDecision"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetDecision:
+    """Outcome of presenting a realized output to the budget engine."""
+
+    #: Output code to report (the fresh one, or the cached one on overrun).
+    k_out: int
+    #: Loss actually charged (0 when served from cache).
+    charged: float
+    #: True when the reply came from the output cache.
+    from_cache: bool
+
+
+class BudgetEngine:
+    """Segment-table budget accounting with caching and replenishment."""
+
+    def __init__(
+        self,
+        table: SegmentTable,
+        budget: float,
+        replenish_period_cycles: Optional[int] = None,
+        cache_on_exhaustion: bool = True,
+    ):
+        if budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        if replenish_period_cycles is not None and replenish_period_cycles <= 0:
+            raise ConfigurationError("replenishment period must be positive")
+        self.table = table
+        self.accountant = BudgetAccountant(budget)
+        self.replenish_period_cycles = replenish_period_cycles
+        self.cache_on_exhaustion = cache_on_exhaustion
+        self._cached_output: Optional[int] = None
+        self._cycles_since_replenish = 0
+        self.n_cached_replies = 0
+        self.n_fresh_replies = 0
+        self.n_replenishments = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> float:
+        """Budget still available in the current period."""
+        return self.accountant.remaining
+
+    @property
+    def exhausted_for(self) -> float:
+        """Loss level below which no further query can be afforded."""
+        return self.accountant.remaining
+
+    def advance_cycles(self, n: int) -> None:
+        """Account elapsed idle cycles; replenish when the period elapses.
+
+        The DP-Box tracks this while in the waiting phase (Section
+        IV-C.2).
+        """
+        if self.replenish_period_cycles is None:
+            return
+        self._cycles_since_replenish += n
+        while self._cycles_since_replenish >= self.replenish_period_cycles:
+            self._cycles_since_replenish -= self.replenish_period_cycles
+            self.accountant.reset()
+            self.n_replenishments += 1
+
+    # ------------------------------------------------------------------
+    def submit(self, k_out_fresh: int) -> BudgetDecision:
+        """Charge for a freshly computed output, or fall back to cache.
+
+        ``k_out_fresh`` is the output code the noising datapath produced;
+        the engine decides whether the budget can pay for releasing it.
+        """
+        loss = self.table.loss_for_output(k_out_fresh)
+        if self.accountant.can_spend(loss):
+            self.accountant.spend(loss)
+            self._cached_output = k_out_fresh
+            self.n_fresh_replies += 1
+            return BudgetDecision(k_out=k_out_fresh, charged=loss, from_cache=False)
+        if self.cache_on_exhaustion and self._cached_output is not None:
+            self.n_cached_replies += 1
+            return BudgetDecision(
+                k_out=self._cached_output, charged=0.0, from_cache=True
+            )
+        raise BudgetExhaustedError(
+            f"budget cannot cover loss {loss:.4g} "
+            f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+        )

@@ -1,0 +1,41 @@
+"""DP-Box command-port encodings (paper Section IV-A).
+
+The main processor drives DP-Box through a 3-bit command port plus a
+signed value port.  Several commands are overloaded during the
+initialization phase (budget / replenishment-period configuration), which
+is faithful to the paper's interface and modelled in the FSM.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Command"]
+
+
+class Command(enum.IntEnum):
+    """3-bit command encodings on the DP-Box command port."""
+
+    #: Begin noising with the loaded x, ε, and range.  In the
+    #: initialization phase: lock budget/replenishment and go to WAITING.
+    START_NOISING = 0b000
+
+    #: Load the privacy level exponent ``nm`` (``ε = 2**-nm``, eq. 19).
+    #: In the initialization phase: load the privacy budget.
+    SET_EPSILON = 0b001
+
+    #: Load the sensor value to be noised.
+    SET_SENSOR_VALUE = 0b010
+
+    #: Load the sensor range upper bound ``r_u``.  In the initialization
+    #: phase: load the budget replenishment period (cycles).
+    SET_RANGE_UPPER = 0b011
+
+    #: Load the sensor range lower bound ``r_l``.
+    SET_RANGE_LOWER = 0b100
+
+    #: Toggle between resampling and thresholding guards.
+    SET_THRESHOLD = 0b101
+
+    #: Hold the DP-Box idle (without it, noising restarts immediately).
+    DO_NOTHING = 0b110

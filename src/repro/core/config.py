@@ -1,0 +1,105 @@
+"""Static DP-Box configuration.
+
+Collects every synthesis-time parameter of the hardware: datapath bit
+widths, the guard mode, the loss-bound multiple used for threshold
+calibration, the budget-segment levels (Fig. 8), and behavioural options
+(caching on exhaustion, timing-channel mitigation).
+
+Run-time parameters — ε exponent, sensor value, range — arrive over the
+command port instead (see :mod:`repro.core.dpbox`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["DPBoxConfig", "GuardMode", "validate_epsilon_exponent"]
+
+
+class GuardMode(enum.Enum):
+    """Which guard the DP-Box applies to out-of-window outputs."""
+
+    RESAMPLE = "resample"
+    THRESHOLD = "threshold"
+
+    def toggled(self) -> "GuardMode":
+        """The other mode (the Set Threshold command toggles)."""
+        return GuardMode.THRESHOLD if self is GuardMode.RESAMPLE else GuardMode.RESAMPLE
+
+
+@dataclasses.dataclass(frozen=True)
+class DPBoxConfig:
+    """Synthesis-time parameters of a DP-Box instance."""
+
+    #: URNG output width ``Bu``.
+    input_bits: int = 17
+    #: Signed noised-output width ``By`` (paper: 20-bit datapath).
+    output_bits: int = 20
+    #: Fractional bits of the noise grid relative to the sensor range:
+    #: ``Δ = d / 2**range_frac_bits``.
+    range_frac_bits: int = 7
+    #: Guard mode selected at reset (Set Threshold toggles it).
+    guard_mode: GuardMode = GuardMode.THRESHOLD
+    #: Loss-bound multiple ``n``: guards are calibrated to loss ``n·ε``.
+    loss_multiple: float = 2.0
+    #: Budget-segment levels as multiples of ε, ascending (Fig. 8).  The
+    #: first level also caps the in-range segment charge.
+    segment_levels: Tuple[float, ...] = (1.0, 1.25, 1.5, 1.75, 2.0)
+    #: Return the cached output once the budget is exhausted (Section
+    #: III-C); when False the DP-Box halts (raises) instead.
+    cache_on_exhaustion: bool = True
+    #: Draw a fixed number of noise samples per request and select the
+    #: first acceptable one, closing the resampling timing channel
+    #: (Section IV-C).  0 disables the mitigation.
+    fixed_resample_draws: int = 0
+    #: Use the bit-true CORDIC logarithm unit instead of an exact float
+    #: log (Section IV-B: "implementing a CORDIC logarithm function").
+    #: Threshold calibration and segment tables are then computed on the
+    #: CORDIC datapath's own enumerated PMF, so the guarantee is for the
+    #: hardware actually deployed.
+    use_cordic_log: bool = False
+    #: Fractional bits of the CORDIC datapath (ignored unless enabled).
+    cordic_frac_bits: int = 24
+    #: Clock frequency used for latency/energy conversion.
+    frequency_hz: float = 16e6
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.input_bits <= 40:
+            raise ConfigurationError("input_bits must be in 2..40")
+        if not 4 <= self.output_bits <= 40:
+            raise ConfigurationError("output_bits must be in 4..40")
+        if not 1 <= self.range_frac_bits <= 16:
+            raise ConfigurationError("range_frac_bits must be in 1..16")
+        if self.loss_multiple <= 1.0:
+            raise ConfigurationError("loss_multiple must exceed 1")
+        levels = tuple(self.segment_levels)
+        if not levels or any(l <= 0 for l in levels):
+            raise ConfigurationError("segment levels must be positive")
+        if list(levels) != sorted(levels):
+            raise ConfigurationError("segment levels must be ascending")
+        if levels[-1] > self.loss_multiple + 1e-12:
+            raise ConfigurationError(
+                "segment levels cannot exceed the calibrated loss multiple"
+            )
+        if self.fixed_resample_draws < 0:
+            raise ConfigurationError("fixed_resample_draws must be >= 0")
+        if not 8 <= self.cordic_frac_bits <= 32:
+            raise ConfigurationError("cordic_frac_bits must be in 8..32")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+
+    def delta_for_range(self, d: float) -> float:
+        """Noise grid step for a sensor range of length ``d``."""
+        if d <= 0:
+            raise ConfigurationError("range length must be positive")
+        return d / float(1 << self.range_frac_bits)
+
+
+def validate_epsilon_exponent(nm: int) -> None:
+    """``ε = 2**-nm`` (eq. 19) must keep the scale multiply a left shift."""
+    if not 0 <= nm <= 8:
+        raise ConfigurationError("epsilon exponent nm must be in 0..8")

@@ -1,0 +1,164 @@
+"""Area / power / energy model of DP-Box and its software alternatives.
+
+The paper reports synthesis results for a 65 nm implementation (Section
+V) and a software-vs-hardware energy comparison (Section III-D).  We have
+no RTL toolchain in this environment, so — per the substitution policy in
+DESIGN.md §4 — this module encodes the published constants and the
+first-order arithmetic that connects them, attached to the cycle counts
+our simulator produces.
+
+Calibration note: the paper's two energy ratios (894× vs 20-bit
+fixed-point software, 318× vs half-float software) are *mutually
+consistent* with a single model
+
+    E_sw = C_sw · E_mcu          E_hw = 4 · E_mcu + 2 · E_box
+
+(4 conservatively-assumed MCU cycles for the write/read, 2 active DP-Box
+cycles), which pins the per-cycle energy ratio at
+``E_box/E_mcu ≈ 0.258``.  With the synthesized power of 158.3 µW at
+16 MHz this gives ``E_mcu ≈ 38.3 pJ/cycle`` — a plausible ULP-MCU figure
+— and reproduces both published ratios to within a percent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SynthesisPoint",
+    "DPBOX_BASELINE",
+    "DPBOX_RELAXED",
+    "EnergyModel",
+    "SW_FXP_CYCLES",
+    "SW_FLOAT_CYCLES",
+    "HW_MCU_CYCLES",
+    "HW_BOX_ACTIVE_CYCLES",
+    "BUDGET_LOGIC_OVERHEAD",
+]
+
+#: Cycles of the 20-bit fixed-point software noising loop on the MSP430.
+SW_FXP_CYCLES = 4043
+#: Cycles of the half-precision floating-point software loop.
+SW_FLOAT_CYCLES = 1436
+#: MCU cycles conservatively charged per hardware noising (one memory
+#: write + one memory read instruction).
+HW_MCU_CYCLES = 4
+#: DP-Box active cycles per (non-resampled) noising.
+HW_BOX_ACTIVE_CYCLES = 2
+#: Fractional area overhead of embedding the budget-control logic.
+BUDGET_LOGIC_OVERHEAD = 0.11
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisPoint:
+    """One synthesized DP-Box variant."""
+
+    name: str
+    gates: int
+    critical_path_ns: float
+    power_uw: float
+    technology_nm: int = 65
+    frequency_hz: float = 16e6
+
+    def __post_init__(self) -> None:
+        if min(self.gates, self.technology_nm) <= 0:
+            raise ConfigurationError("gates/technology must be positive")
+        if min(self.critical_path_ns, self.power_uw, self.frequency_hz) <= 0:
+            raise ConfigurationError("timing/power must be positive")
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """Frequency limit implied by the critical path."""
+        return 1e9 / self.critical_path_ns
+
+    @property
+    def energy_per_cycle_pj(self) -> float:
+        """Active energy per clock cycle at the nominal frequency."""
+        return (self.power_uw * 1e-6) / self.frequency_hz * 1e12
+
+    def gates_with_budget_logic(self) -> int:
+        """Gate count including the embedded budget controller (+11%)."""
+        return int(round(self.gates * (1.0 + BUDGET_LOGIC_OVERHEAD)))
+
+    def pipelined(self, stages: int, register_overhead: float = 0.06) -> "SynthesisPoint":
+        """First-order pipelined variant (paper Section V: "pipelined
+        variants reduced critical path length at the expense of area").
+
+        Splitting the combinational CORDIC chain into ``stages`` stages
+        divides the critical path (plus one flop delay of margin) and adds
+        one pipeline register bank per extra stage (``register_overhead``
+        of the gate count each).  Dynamic power grows with the added
+        flops clocking every cycle.
+        """
+        if stages < 1:
+            raise ConfigurationError("stages must be >= 1")
+        if stages == 1:
+            return self
+        extra = register_overhead * (stages - 1)
+        flop_delay_ns = 0.35  # setup+clk-to-q margin per added boundary, 65 nm
+        return SynthesisPoint(
+            name=f"{self.name}-pipe{stages}",
+            gates=int(round(self.gates * (1.0 + extra))),
+            critical_path_ns=self.critical_path_ns / stages + flop_delay_ns,
+            power_uw=self.power_uw * (1.0 + 0.8 * extra),
+            technology_nm=self.technology_nm,
+            frequency_hz=self.frequency_hz,
+        )
+
+
+#: The primary synthesis result (Section V).
+DPBOX_BASELINE = SynthesisPoint(
+    name="baseline-16MHz", gates=10431, critical_path_ns=58.66, power_uw=158.3
+)
+#: The relaxed-timing variant reported alongside it.
+DPBOX_RELAXED = SynthesisPoint(
+    name="relaxed-30ns", gates=9621, critical_path_ns=30.0, power_uw=252.0
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Per-noising energy of the software and hardware implementations."""
+
+    synthesis: SynthesisPoint = DPBOX_BASELINE
+    #: MCU energy per cycle in pJ; default calibrated so the model
+    #: reproduces the paper's 894×/318× ratios (see module docstring).
+    mcu_energy_per_cycle_pj: float = 38.3
+
+    def __post_init__(self) -> None:
+        if self.mcu_energy_per_cycle_pj <= 0:
+            raise ConfigurationError("MCU energy must be positive")
+
+    # ------------------------------------------------------------------
+    def software_energy_pj(self, cycles: int) -> float:
+        """Energy of a software noising taking ``cycles`` MCU cycles."""
+        if cycles <= 0:
+            raise ConfigurationError("cycle count must be positive")
+        return cycles * self.mcu_energy_per_cycle_pj
+
+    def hardware_energy_pj(self, box_cycles: int = HW_BOX_ACTIVE_CYCLES) -> float:
+        """Energy of one hardware noising: MCU handshake + DP-Box active.
+
+        ``box_cycles`` grows with resampling (one extra cycle per redraw).
+        """
+        if box_cycles <= 0:
+            raise ConfigurationError("cycle count must be positive")
+        return (
+            HW_MCU_CYCLES * self.mcu_energy_per_cycle_pj
+            + box_cycles * self.synthesis.energy_per_cycle_pj
+        )
+
+    # ------------------------------------------------------------------
+    def ratio_vs_fxp_software(self, box_cycles: int = HW_BOX_ACTIVE_CYCLES) -> float:
+        """Energy win over the 20-bit fixed-point software loop (~894×)."""
+        return self.software_energy_pj(SW_FXP_CYCLES) / self.hardware_energy_pj(box_cycles)
+
+    def ratio_vs_float_software(self, box_cycles: int = HW_BOX_ACTIVE_CYCLES) -> float:
+        """Energy win over the half-float software loop (~318×)."""
+        return self.software_energy_pj(SW_FLOAT_CYCLES) / self.hardware_energy_pj(box_cycles)
+
+    def latency_seconds(self, cycles: int) -> float:
+        """Wall time of ``cycles`` at the synthesis frequency."""
+        return cycles / self.synthesis.frequency_hz

@@ -1,0 +1,29 @@
+"""DP-Box operating phases (paper Section IV-C)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Phase"]
+
+
+class Phase(enum.Enum):
+    """The three phases of DP-Box operation.
+
+    INITIALIZATION
+        Entered at power-up (secure boot window).  Budget and
+        replenishment period are configurable; leaving this phase locks
+        them until the system is power-cycled.
+    WAITING
+        Idle from the processor's viewpoint, but internally tracking the
+        replenishment timer and prefetching the next Laplace sample so
+        noising can complete in a single cycle.
+    NOISING
+        Computes ``y = x + s_f·l_u``, applies the guard (clamp, or
+        resample at one extra cycle per redraw), updates the budget, and
+        raises the ready flag.
+    """
+
+    INITIALIZATION = "initialization"
+    WAITING = "waiting"
+    NOISING = "noising"

@@ -1,0 +1,65 @@
+"""Latency accounting for DP-Box transactions (paper Fig. 11).
+
+Aggregates :class:`~repro.core.dpbox.NoisingResult` streams into the
+statistics the paper reports: average cycles per noising, broken down by
+guard mode and dataset.  Also provides the *analytic* expected latency of
+resampling (2 + expected extra draws) so experiments can be cross-checked
+against closed form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.resampling import ResamplingMechanism
+from .dpbox import NoisingResult
+
+__all__ = ["LatencyStats", "collect_latency", "expected_latency_cycles"]
+
+#: Cycles of a guard-free noising: one register load + one generate.
+BASE_NOISING_CYCLES = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Summary of observed noising latencies."""
+
+    n: int
+    mean_cycles: float
+    max_cycles: int
+    mean_draws: float
+    p99_cycles: float
+
+    @classmethod
+    def from_results(cls, results: Iterable[NoisingResult]) -> "LatencyStats":
+        cycles = np.array([r.cycles for r in results], dtype=float)
+        if cycles.size == 0:
+            raise ConfigurationError("no results to summarize")
+        draws = np.array([r.draws for r in results], dtype=float)
+        return cls(
+            n=int(cycles.size),
+            mean_cycles=float(cycles.mean()),
+            max_cycles=int(cycles.max()),
+            mean_draws=float(draws.mean()),
+            p99_cycles=float(np.percentile(cycles, 99)),
+        )
+
+
+def collect_latency(results: List[NoisingResult]) -> LatencyStats:
+    """Convenience alias of :meth:`LatencyStats.from_results`."""
+    return LatencyStats.from_results(results)
+
+
+def expected_latency_cycles(mechanism: ResamplingMechanism, x: float) -> float:
+    """Analytic expected DP-Box cycles to noise ``x`` with resampling.
+
+    One load cycle plus a geometric number of generate cycles with
+    success probability equal to the window acceptance probability:
+    ``1 + 1/p_accept``.  Thresholding is always exactly
+    :data:`BASE_NOISING_CYCLES`.
+    """
+    return 1.0 + mechanism.expected_draws(x)

@@ -1,0 +1,167 @@
+"""Multi-sensor DP-Box with a shared privacy budget (paper Section IV).
+
+"If there is more than one sensor, there also may need to be a hardware
+mechanism for sharing the budget between all sensors since the readings
+of different sensors could be combined to compromise privacy."
+
+:class:`MultiSensorDPBox` manages N sensor channels.  Each channel has
+its own guarded mechanism (range, ε, mode, exact segment table) but all
+channels draw from **one** budget: the composition theorem makes losses
+about the *same individual* additive across sensors, so per-sensor
+budgets of B each would hand a cross-sensor adversary N·B of loss about
+a quantity the sensors jointly measure.  Per-channel output caches keep
+service available after exhaustion, exactly as in the single-sensor box.
+
+This model sits at the mechanism level (vectorizable, exact analysis);
+the cycle-level single-channel model is :class:`repro.core.dpbox.DPBox`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import BudgetExhaustedError, ConfigurationError
+from ..mechanisms.base import SensorSpec
+from ..mechanisms.resampling import ResamplingMechanism
+from ..mechanisms.thresholding import ThresholdingMechanism
+from ..privacy.accountant import BudgetAccountant
+from .config import GuardMode
+from .segments import SegmentTable, build_segment_table
+
+__all__ = ["ChannelConfig", "ChannelReply", "MultiSensorDPBox"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelConfig:
+    """Per-sensor channel configuration."""
+
+    name: str
+    sensor: SensorSpec
+    epsilon: float
+    guard_mode: GuardMode = GuardMode.THRESHOLD
+    loss_multiple: float = 2.0
+    input_bits: int = 14
+    segment_levels: tuple = (1.0, 1.5, 2.0)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if self.loss_multiple <= 1.0:
+            raise ConfigurationError("loss_multiple must exceed 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelReply:
+    """One reply from a channel."""
+
+    channel: str
+    value: float
+    charged: float
+    from_cache: bool
+
+
+class _Channel:
+    """Internal per-channel state: mechanism + segment table + cache."""
+
+    def __init__(self, config: ChannelConfig):
+        self.config = config
+        mech_cls = (
+            ResamplingMechanism
+            if config.guard_mode is GuardMode.RESAMPLE
+            else ThresholdingMechanism
+        )
+        self.mechanism = mech_cls(
+            config.sensor,
+            config.epsilon,
+            loss_multiple=config.loss_multiple,
+            input_bits=config.input_bits,
+        )
+        family = self.mechanism._family()
+        self.table: SegmentTable = build_segment_table(
+            family, config.epsilon, config.segment_levels
+        )
+        self.cached_code: Optional[int] = None
+
+    def draw_code(self, x: float) -> int:
+        y = float(self.mechanism.privatize(np.asarray([x]))[0])
+        return int(round(y / self.mechanism.delta))
+
+    def value_of(self, code: int) -> float:
+        return code * self.mechanism.delta
+
+
+class MultiSensorDPBox:
+    """N guarded channels drawing on one shared privacy budget."""
+
+    def __init__(
+        self,
+        channels: Dict[str, ChannelConfig] | list,
+        budget: float,
+        cache_on_exhaustion: bool = True,
+    ):
+        if isinstance(channels, list):
+            names = [c.name for c in channels]
+            if len(set(names)) != len(names):
+                raise ConfigurationError("channel names must be unique")
+            channels = {c.name: c for c in channels}
+        if not channels:
+            raise ConfigurationError("need at least one channel")
+        self._channels = {name: _Channel(cfg) for name, cfg in channels.items()}
+        self.accountant = BudgetAccountant(budget)
+        self.cache_on_exhaustion = cache_on_exhaustion
+        self.n_fresh = 0
+        self.n_cached = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_names(self) -> list:
+        """Configured channel names."""
+        return list(self._channels)
+
+    @property
+    def remaining_budget(self) -> float:
+        """Shared budget still available."""
+        return self.accountant.remaining
+
+    def channel(self, name: str) -> _Channel:
+        """Access a channel's internals (mechanism, segment table)."""
+        if name not in self._channels:
+            raise ConfigurationError(f"unknown channel {name!r}")
+        return self._channels[name]
+
+    def replenish(self) -> None:
+        """Restore the shared budget (new accounting period)."""
+        self.accountant.reset()
+
+    # ------------------------------------------------------------------
+    def request(self, channel: str, x: float) -> ChannelReply:
+        """Noise a reading on a channel, charging the shared budget."""
+        ch = self.channel(channel)
+        code = ch.draw_code(x)
+        loss = ch.table.loss_for_output(code)
+        if self.accountant.can_spend(loss):
+            self.accountant.spend(loss)
+            ch.cached_code = code
+            self.n_fresh += 1
+            return ChannelReply(
+                channel=channel, value=ch.value_of(code), charged=loss, from_cache=False
+            )
+        if self.cache_on_exhaustion and ch.cached_code is not None:
+            self.n_cached += 1
+            return ChannelReply(
+                channel=channel,
+                value=ch.value_of(ch.cached_code),
+                charged=0.0,
+                from_cache=True,
+            )
+        raise BudgetExhaustedError(
+            f"shared budget cannot cover loss {loss:.4g} on channel {channel!r} "
+            f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+        )
+
+    def total_disclosed_loss(self) -> float:
+        """Composition-theorem total loss released so far this period."""
+        return self.accountant.spent

@@ -1,0 +1,192 @@
+"""Software (MSP430-class) reference implementation of noising.
+
+Section III-D compares DP-Box against doing the same noising in software
+on the microcontroller: 4043 cycles for 20-bit fixed point, 1436 cycles
+using half-precision floats.  This module provides
+
+* :class:`SoftwareNoiser` — a *functional* pure-integer implementation of
+  the full noising pipeline (Tausworthe URNG → CORDIC log → scale → round
+  → add), numerically identical to the DP-Box datapath, that **counts
+  abstract MSP430 cycles** per primitive operation as it runs;
+* an op-cost table with documented per-primitive estimates for a
+  multiplier-less 16-bit MCU, plus a calibration mode that scales the
+  table so the fixed-point total matches the paper's measured 4043 cycles
+  (the measured totals remain the source of truth for the energy model in
+  :mod:`repro.core.energy`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..rng.cordic import CordicLn
+from ..rng.tausworthe import Taus88
+from .energy import SW_FLOAT_CYCLES, SW_FXP_CYCLES
+
+__all__ = ["MSP430CostTable", "SoftwareNoiser", "paper_cycle_counts"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MSP430CostTable:
+    """Cycle costs of primitive operations on a 16-bit MSP430-class MCU.
+
+    32-bit values occupy two machine words; shifts cost one cycle per bit
+    per word.  The defaults are conservative textbook estimates for a
+    multiplier-less device.
+    """
+
+    #: 32-bit add/sub/xor/and (two 16-bit ops + carry handling).
+    alu32: float = 4.0
+    #: One-bit shift of a 32-bit value.
+    shift32_per_bit: float = 4.0
+    #: 32-bit compare-and-branch.
+    branch: float = 3.0
+    #: Memory load/store of a 32-bit value.
+    mem32: float = 6.0
+    #: Call/return overhead for a leaf routine.
+    call: float = 10.0
+
+    def scaled(self, factor: float) -> "MSP430CostTable":
+        """Uniformly scale every cost (used for calibration)."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return MSP430CostTable(
+            alu32=self.alu32 * factor,
+            shift32_per_bit=self.shift32_per_bit * factor,
+            branch=self.branch * factor,
+            mem32=self.mem32 * factor,
+            call=self.call * factor,
+        )
+
+
+def paper_cycle_counts() -> Tuple[int, int]:
+    """The measured (fixed-point, half-float) software cycle totals."""
+    return SW_FXP_CYCLES, SW_FLOAT_CYCLES
+
+
+class SoftwareNoiser:
+    """Pure-integer software noising with per-operation cycle accounting."""
+
+    def __init__(
+        self,
+        input_bits: int = 17,
+        frac_bits: int = 20,
+        cordic_iterations: int = 20,
+        seed: int = 1234,
+        cost_table: Optional[MSP430CostTable] = None,
+        calibrate_to_paper: bool = False,
+    ):
+        self.input_bits = input_bits
+        self.frac_bits = frac_bits
+        self._urng = Taus88(seed=seed)
+        self._cordic = CordicLn(frac_bits=frac_bits, n_iterations=cordic_iterations)
+        self.costs = cost_table or MSP430CostTable()
+        self.cycles = 0
+        if calibrate_to_paper:
+            raw = self._dry_run_cycles()
+            self.costs = self.costs.scaled(SW_FXP_CYCLES / raw)
+
+    # ------------------------------------------------------------------
+    # Cycle accounting helpers
+    # ------------------------------------------------------------------
+    def _charge_alu(self, n: int = 1) -> None:
+        self.cycles += n * self.costs.alu32
+
+    def _charge_shift(self, bits: int) -> None:
+        self.cycles += max(bits, 1) * self.costs.shift32_per_bit
+
+    def _charge_branch(self, n: int = 1) -> None:
+        self.cycles += n * self.costs.branch
+
+    def _charge_mem(self, n: int = 1) -> None:
+        self.cycles += n * self.costs.mem32
+
+    def _charge_call(self, n: int = 1) -> None:
+        self.cycles += n * self.costs.call
+
+    # ------------------------------------------------------------------
+    # The noising pipeline (functionally identical to the DP-Box path)
+    # ------------------------------------------------------------------
+    def _taus_step(self) -> int:
+        """One Tausworthe output, charging its constituent operations."""
+        # Per component: two multi-bit shifts, two xors, one and.
+        for shift_a, shift_b in ((13, 19), (2, 25), (3, 11)):
+            self._charge_shift(shift_a)
+            self._charge_shift(shift_b)
+            self._charge_alu(3)
+            self._charge_shift(12)  # the masked-state shift
+        self._charge_alu(2)  # final combining xors
+        self._charge_mem(3)  # state load/store
+        self._charge_call()
+        return self._urng.next_u32()
+
+    def _uniform_code(self) -> int:
+        raw = self._taus_step() >> (32 - self.input_bits)
+        self._charge_shift(32 - self.input_bits)
+        self._charge_branch()
+        return raw if raw != 0 else (1 << self.input_bits)
+
+    def _cordic_ln(self, m: int) -> int:
+        """Fixed-point ln(m·2^-Bu), charging the CORDIC iterations."""
+        self._charge_call()
+        # Normalization: find the leading one (bit scan loop).
+        j = m.bit_length() - 1
+        self._charge_branch(max(j, 1))
+        self._charge_shift(abs(self.frac_bits - j))
+        # Iterations: two variable shifts + three adds + one branch each.
+        for shift in self._cordic.schedule:
+            self._charge_shift(shift)
+            self._charge_shift(shift)
+            self._charge_alu(3)
+            self._charge_branch()
+        self._charge_alu(2)  # 2*z and the (j - Bu)·ln2 correction
+        return self._cordic.ln_uniform_code(m, self.input_bits)
+
+    def noise_value(
+        self, sensor_code: int, lam_shift: int, delta_shift: int
+    ) -> Tuple[int, float]:
+        """Noise a sensor code; returns (noised code, cycles consumed).
+
+        ``lam_shift`` realizes the ``λ = d·2**nm`` scaling as a shift
+        (eq. 19); ``delta_shift`` converts from the log grid down to the
+        output grid.  All arithmetic is integer.
+        """
+        start = self.cycles
+        m = self._uniform_code()
+        ln_code = self._cordic_ln(m)  # negative, frac_bits grid
+        # magnitude = -λ·ln(u): shift-based scaling.
+        mag = (-ln_code) << lam_shift
+        self._charge_shift(lam_shift)
+        # Round to the output grid (Δ = 2**delta_shift on the log grid).
+        half = 1 << (delta_shift - 1) if delta_shift > 0 else 0
+        k = (mag + half) >> delta_shift
+        self._charge_alu()
+        self._charge_shift(max(delta_shift, 1))
+        # Random sign from one more URNG bit.
+        sign_bit = self._taus_step() & 1
+        self._charge_alu()
+        noised = sensor_code + (-k if sign_bit else k)
+        self._charge_alu()
+        self._charge_mem(2)  # read sensor value, write result
+        return noised, self.cycles - start
+
+    # ------------------------------------------------------------------
+    def _dry_run_cycles(self) -> float:
+        """Cycle count of one noising with the current (unscaled) table."""
+        saved_urng = Taus88.from_state(*self._urng.state)
+        saved_cycles = self.cycles
+        self.cycles = 0
+        _, cycles = self.noise_value(0, lam_shift=1, delta_shift=8)
+        self._urng = saved_urng
+        self.cycles = saved_cycles
+        return cycles
+
+    def average_cycles(self, n: int = 32) -> float:
+        """Average cycles per noising over ``n`` runs."""
+        total = 0
+        for _ in range(n):
+            _, c = self.noise_value(0, lam_shift=1, delta_shift=8)
+            total += c
+        return total / n

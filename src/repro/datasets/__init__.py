@@ -1,0 +1,31 @@
+"""Evaluation datasets: synthetic Table-I substitutes and the Table-VI
+halfspace classification set (see DESIGN.md §4 for the substitution
+rationale)."""
+
+from .base import DatasetStats, SensorDataset
+from .halfspace import HalfspaceDataset, make_halfspace_dataset
+from .registry import DATASET_CONFIGS, PAPER_DATASETS, DatasetConfig, load, load_all
+from .synthetic import (
+    bimodal_gaussian,
+    clustered_uniform,
+    decaying_exponential,
+    skewed_lognormal,
+    truncated_gaussian,
+)
+
+__all__ = [
+    "DatasetStats",
+    "SensorDataset",
+    "HalfspaceDataset",
+    "make_halfspace_dataset",
+    "DATASET_CONFIGS",
+    "PAPER_DATASETS",
+    "DatasetConfig",
+    "load",
+    "load_all",
+    "bimodal_gaussian",
+    "clustered_uniform",
+    "decaying_exponential",
+    "skewed_lognormal",
+    "truncated_gaussian",
+]

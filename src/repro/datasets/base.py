@@ -1,0 +1,88 @@
+"""Dataset containers.
+
+A :class:`SensorDataset` bundles a value vector with the *declared* sensor
+range used for privacy calibration.  The declared range is deliberately a
+property of the sensor (its physical limits), not of the realized data —
+scaling noise to the empirical min/max would itself leak information.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.base import SensorSpec
+
+__all__ = ["SensorDataset", "DatasetStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetStats:
+    """Table-I row: entry count, extremes, mean, standard deviation."""
+
+    entries: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    def row(self) -> str:
+        return (
+            f"{self.entries:>7d}  [{self.minimum:.4g}, {self.maximum:.4g}]  "
+            f"mean {self.mean:.4g}  std {self.std:.4g}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SensorDataset:
+    """A named value vector plus its declared sensor range."""
+
+    name: str
+    values: np.ndarray
+    sensor: SensorSpec
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float).ravel()
+        object.__setattr__(self, "values", values)
+        if values.size == 0:
+            raise ConfigurationError("dataset is empty")
+        if np.any(~self.sensor.contains(values)):
+            raise ConfigurationError(
+                f"dataset {self.name!r} has values outside its declared range"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of entries."""
+        return int(self.values.size)
+
+    def stats(self) -> DatasetStats:
+        """Empirical statistics (the Table-I columns)."""
+        v = self.values
+        return DatasetStats(
+            entries=self.n,
+            minimum=float(v.min()),
+            maximum=float(v.max()),
+            mean=float(v.mean()),
+            std=float(v.std()),
+        )
+
+    def subsample(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> "SensorDataset":
+        """A uniform random subsample (without replacement if possible)."""
+        if n < 1:
+            raise ConfigurationError("subsample size must be positive")
+        rng = rng or np.random.default_rng()
+        replace = n > self.n
+        idx = rng.choice(self.n, size=n, replace=replace)
+        return SensorDataset(
+            name=f"{self.name}[n={n}]",
+            values=self.values[idx],
+            sensor=self.sensor,
+            description=self.description,
+        )

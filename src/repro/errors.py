@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime privacy faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class FixedPointError(ReproError):
+    """A fixed-point operation failed (e.g. unrepresentable value)."""
+
+
+class OverflowPolicyError(FixedPointError):
+    """A value exceeded the representable range under the ``error`` policy."""
+
+
+class PrivacyError(ReproError):
+    """Base class for privacy-related failures."""
+
+
+class PrivacyViolationError(PrivacyError):
+    """A mechanism was proven *not* to satisfy the requested epsilon-LDP."""
+
+
+class BudgetExhaustedError(PrivacyError):
+    """A noising request arrived after the privacy budget was used up.
+
+    DP-Box normally answers such requests from its output cache instead of
+    raising; this exception is raised only when caching is disabled.
+    """
+
+
+class CalibrationError(PrivacyError):
+    """No threshold exists that meets the requested privacy-loss bound."""
+
+
+class HardwareProtocolError(ReproError):
+    """The DP-Box command sequence violated the hardware interface protocol."""

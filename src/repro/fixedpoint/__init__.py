@@ -1,0 +1,32 @@
+"""Fixed-point arithmetic substrate.
+
+Everything in the DP-Box datapath — the Tausworthe URNG output, the CORDIC
+logarithm, the noise scaling and the final noised sensor value — lives on
+a fixed-point grid.  This package provides the Q-format descriptors,
+scalar register-level arithmetic, and vectorized (numpy) equivalents used
+throughout the library.
+"""
+
+from .format import DPBOX_NOISE_FORMAT, QFormat
+from .number import Fxp, OverflowPolicy, quantize_code
+from .rounding import RoundingMode, round_scaled
+from .vector import (
+    dequantize_codes,
+    quantization_error,
+    quantize_array,
+    saturate_codes,
+)
+
+__all__ = [
+    "DPBOX_NOISE_FORMAT",
+    "QFormat",
+    "Fxp",
+    "OverflowPolicy",
+    "quantize_code",
+    "RoundingMode",
+    "round_scaled",
+    "quantize_array",
+    "dequantize_codes",
+    "saturate_codes",
+    "quantization_error",
+]

@@ -1,0 +1,111 @@
+"""Q-format descriptors for fixed-point numbers.
+
+A :class:`QFormat` captures the static shape of a two's-complement
+fixed-point representation: total bit width, number of fractional bits,
+and signedness.  It is deliberately a small immutable value object; the
+arithmetic lives in :mod:`repro.fixedpoint.number` and
+:mod:`repro.fixedpoint.vector`.
+
+The DP-Box of the paper uses a 20-bit signed datapath ("we needed to use
+20-bit fixed-point values" to support 13-bit sensors at eps >= 0.1); its
+format is exposed as :data:`DPBOX_NOISE_FORMAT`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+__all__ = ["QFormat", "DPBOX_NOISE_FORMAT"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QFormat:
+    """Shape of a two's-complement fixed-point representation.
+
+    Parameters
+    ----------
+    total_bits:
+        Total number of bits, including the sign bit when ``signed``.
+    frac_bits:
+        Number of fractional bits.  May exceed ``total_bits`` (pure
+        fractions with leading zeros) or be negative (coarse grids).
+    signed:
+        Whether the representation is two's-complement signed.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise ConfigurationError(f"total_bits must be >= 1, got {self.total_bits}")
+        if self.signed and self.total_bits < 2:
+            raise ConfigurationError("signed formats need at least 2 bits")
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def int_bits(self) -> int:
+        """Number of integer (non-fractional, non-sign) bits."""
+        return self.total_bits - self.frac_bits - (1 if self.signed else 0)
+
+    @property
+    def step(self) -> float:
+        """Quantization step (value of one LSB)."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_code(self) -> int:
+        """Smallest representable integer code."""
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_code * self.step
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.step
+
+    @property
+    def num_codes(self) -> int:
+        """Number of distinct representable codes (2**total_bits)."""
+        return 1 << self.total_bits
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def representable(self, value: float) -> bool:
+        """Whether ``value`` lies exactly on this format's grid and in range."""
+        scaled = value / self.step
+        return (
+            self.min_code <= scaled <= self.max_code
+            and float(scaled) == int(round(scaled))
+        )
+
+    def describe(self) -> str:
+        """Human-readable Q-notation, e.g. ``sQ7.12`` for signed 20-bit."""
+        prefix = "sQ" if self.signed else "uQ"
+        return f"{prefix}{self.int_bits}.{self.frac_bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+#: The 20-bit signed datapath format of the synthesized DP-Box (Section V).
+#: Seven integer bits cover normalized sensor ranges; twelve fractional
+#: bits give the resolution needed for eps >= 0.1 at 13-bit sensors.
+DPBOX_NOISE_FORMAT = QFormat(total_bits=20, frac_bits=12, signed=True)

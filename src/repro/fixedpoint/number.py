@@ -1,0 +1,191 @@
+"""Scalar fixed-point values with explicit overflow policies.
+
+:class:`Fxp` wraps an integer *code* together with a :class:`QFormat` and
+implements the handful of arithmetic operations the DP-Box datapath needs:
+add/sub (same format), multiply (full-precision then requantize), shifts
+(the paper scales noise by ``eps = 2**-nm`` with a bit shift), negation,
+and comparisons.  Saturation or wrap-around on overflow is selectable,
+matching the two behaviours real ULP datapaths exhibit.
+
+These scalars model single hardware registers; bulk experiments use the
+vectorized helpers in :mod:`repro.fixedpoint.vector`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Union
+
+from ..errors import FixedPointError, OverflowPolicyError
+from .format import QFormat
+from .rounding import RoundingMode, round_scaled
+
+__all__ = ["OverflowPolicy", "Fxp", "quantize_code"]
+
+
+class OverflowPolicy(enum.Enum):
+    """What happens when a result exceeds the representable range."""
+
+    #: Clamp to the nearest representable extreme (saturating arithmetic).
+    SATURATE = "saturate"
+
+    #: Two's-complement wrap-around (what an unchecked adder does).
+    WRAP = "wrap"
+
+    #: Raise :class:`OverflowPolicyError` (useful in tests).
+    ERROR = "error"
+
+
+def quantize_code(
+    value: float,
+    fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+) -> int:
+    """Map a real ``value`` to an integer code of ``fmt``.
+
+    The value is scaled by ``1/fmt.step``, rounded per ``rounding`` and
+    then range-reduced per ``overflow``.
+    """
+    idx = int(round_scaled(value / fmt.step, rounding))
+    return _apply_overflow(idx, fmt, overflow)
+
+
+def _apply_overflow(code: int, fmt: QFormat, policy: OverflowPolicy) -> int:
+    if fmt.min_code <= code <= fmt.max_code:
+        return code
+    if policy is OverflowPolicy.SATURATE:
+        return max(fmt.min_code, min(fmt.max_code, code))
+    if policy is OverflowPolicy.WRAP:
+        span = fmt.num_codes
+        wrapped = (code - fmt.min_code) % span + fmt.min_code
+        return wrapped
+    raise OverflowPolicyError(
+        f"code {code} outside [{fmt.min_code}, {fmt.max_code}] for {fmt.describe()}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Fxp:
+    """An immutable fixed-point scalar: integer ``code`` in format ``fmt``."""
+
+    code: int
+    fmt: QFormat
+
+    def __post_init__(self) -> None:
+        if not (self.fmt.min_code <= self.code <= self.fmt.max_code):
+            raise FixedPointError(
+                f"code {self.code} not representable in {self.fmt.describe()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls,
+        value: float,
+        fmt: QFormat,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> "Fxp":
+        """Quantize a real value into this format."""
+        return cls(quantize_code(value, fmt, rounding, overflow), fmt)
+
+    def to_float(self) -> float:
+        """The real value this code represents."""
+        return self.code * self.fmt.step
+
+    def requantize(
+        self,
+        fmt: QFormat,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> "Fxp":
+        """Convert to another format (re-rounding as needed)."""
+        return Fxp.from_float(self.to_float(), fmt, rounding, overflow)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (same-format operands; result stays in the format)
+    # ------------------------------------------------------------------
+    def _check_same_fmt(self, other: "Fxp") -> None:
+        if other.fmt != self.fmt:
+            raise FixedPointError(
+                f"format mismatch: {self.fmt.describe()} vs {other.fmt.describe()}"
+            )
+
+    def add(self, other: "Fxp", overflow: OverflowPolicy = OverflowPolicy.SATURATE) -> "Fxp":
+        """Fixed-point addition with the given overflow behaviour."""
+        self._check_same_fmt(other)
+        return Fxp(_apply_overflow(self.code + other.code, self.fmt, overflow), self.fmt)
+
+    def sub(self, other: "Fxp", overflow: OverflowPolicy = OverflowPolicy.SATURATE) -> "Fxp":
+        """Fixed-point subtraction with the given overflow behaviour."""
+        self._check_same_fmt(other)
+        return Fxp(_apply_overflow(self.code - other.code, self.fmt, overflow), self.fmt)
+
+    def mul(
+        self,
+        other: "Fxp",
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowPolicy = OverflowPolicy.SATURATE,
+    ) -> "Fxp":
+        """Full-precision multiply, requantized back into this format.
+
+        Hardware computes the (2N)-bit product and then drops fractional
+        bits with a rounder; we model exactly that: the integer product has
+        ``2 * frac_bits`` fractional bits and is rounded back to
+        ``frac_bits``.
+        """
+        self._check_same_fmt(other)
+        prod = self.code * other.code  # 2*frac_bits fractional bits
+        scaled = prod / (1 << self.fmt.frac_bits)
+        idx = int(round_scaled(scaled, rounding))
+        return Fxp(_apply_overflow(idx, self.fmt, overflow), self.fmt)
+
+    def shift(self, amount: int, overflow: OverflowPolicy = OverflowPolicy.SATURATE) -> "Fxp":
+        """Arithmetic shift: ``amount > 0`` shifts left, ``< 0`` right.
+
+        Right shifts round toward negative infinity, matching a plain
+        arithmetic shifter.  This is the operation DP-Box uses to apply
+        ``eps = 2**-nm`` scaling (paper eq. 19).
+        """
+        if amount >= 0:
+            code = self.code << amount
+        else:
+            code = self.code >> (-amount)
+        return Fxp(_apply_overflow(code, self.fmt, overflow), self.fmt)
+
+    def neg(self, overflow: OverflowPolicy = OverflowPolicy.SATURATE) -> "Fxp":
+        """Two's-complement negation (note ``-min_code`` saturates)."""
+        return Fxp(_apply_overflow(-self.code, self.fmt, overflow), self.fmt)
+
+    def abs(self, overflow: OverflowPolicy = OverflowPolicy.SATURATE) -> "Fxp":
+        """Absolute value (``abs(min_code)`` saturates to ``max_code``)."""
+        return self.neg(overflow) if self.code < 0 else self
+
+    # ------------------------------------------------------------------
+    # Comparisons (same format only)
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "Fxp") -> bool:
+        self._check_same_fmt(other)
+        return self.code < other.code
+
+    def __le__(self, other: "Fxp") -> bool:
+        self._check_same_fmt(other)
+        return self.code <= other.code
+
+    def __gt__(self, other: "Fxp") -> bool:
+        self._check_same_fmt(other)
+        return self.code > other.code
+
+    def __ge__(self, other: "Fxp") -> bool:
+        self._check_same_fmt(other)
+        return self.code >= other.code
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fxp({self.to_float():g} [{self.code}] {self.fmt.describe()})"
+
+
+Number = Union[int, float, Fxp]

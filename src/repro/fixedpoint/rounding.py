@@ -1,0 +1,83 @@
+"""Rounding modes for fixed-point quantization.
+
+Hardware quantizers implement several distinct rounding behaviours; the
+choice affects both the DC bias of a datapath and — as the paper shows —
+the exact probability mass assigned to each random-number output.  The
+paper's FxP RNG rounds to the *nearest* quantization level (Section
+III-A2); the other modes are provided so alternative datapaths (the
+software reference implementation, the CORDIC post-scaler) can be modelled
+faithfully.
+
+All functions operate on "scaled" values, i.e. real values divided by the
+quantization step, and return integer grid indices as ``numpy`` arrays (or
+Python ints for scalar input).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+__all__ = ["RoundingMode", "round_scaled"]
+
+_ArrayLike = Union[float, int, np.ndarray]
+
+
+class RoundingMode(enum.Enum):
+    """How a real value is mapped onto the fixed-point grid."""
+
+    #: Round to nearest; ties away from zero (C ``round``; matches the
+    #: behaviour of a comparator-based hardware rounder with a carry-in).
+    NEAREST = "nearest"
+
+    #: Round to nearest; ties to even (IEEE-754 default, ``np.rint``).
+    NEAREST_EVEN = "nearest-even"
+
+    #: Round toward negative infinity (a plain right-shift in hardware).
+    FLOOR = "floor"
+
+    #: Round toward positive infinity.
+    CEIL = "ceil"
+
+    #: Round toward zero (magnitude truncation).
+    TRUNCATE = "truncate"
+
+
+def _round_half_away(x: np.ndarray) -> np.ndarray:
+    return np.sign(x) * np.floor(np.abs(x) + 0.5)
+
+
+def round_scaled(x: _ArrayLike, mode: RoundingMode = RoundingMode.NEAREST) -> _ArrayLike:
+    """Round ``x`` (already divided by the step) to integer grid indices.
+
+    Parameters
+    ----------
+    x:
+        Scalar or array of values in units of the quantization step.
+    mode:
+        The rounding behaviour to apply.
+
+    Returns
+    -------
+    Integer-valued float array (or float scalar) of grid indices.  The
+    result is kept floating so that callers can clamp before converting to
+    integer dtypes without overflow surprises.
+    """
+    arr = np.asarray(x, dtype=float)
+    if mode is RoundingMode.NEAREST:
+        out = _round_half_away(arr)
+    elif mode is RoundingMode.NEAREST_EVEN:
+        out = np.rint(arr)
+    elif mode is RoundingMode.FLOOR:
+        out = np.floor(arr)
+    elif mode is RoundingMode.CEIL:
+        out = np.ceil(arr)
+    elif mode is RoundingMode.TRUNCATE:
+        out = np.trunc(arr)
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown rounding mode: {mode!r}")
+    if np.isscalar(x) or (isinstance(x, np.ndarray) and x.ndim == 0):
+        return float(out)
+    return out

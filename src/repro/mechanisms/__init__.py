@@ -1,0 +1,67 @@
+"""Local-privacy mechanism arms used throughout the evaluation.
+
+The four numeric arms of paper Tables II–V plus the categorical
+randomized-response mode, all behind one :class:`LocalMechanism` API.
+:func:`make_mechanism` builds an arm by table name.
+"""
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .base import LocalMechanism, SensorSpec
+from .fxp_baseline import FxpBaselineMechanism
+from .generic import GuardedNoiseMechanism
+from .fxp_common import DEFAULT_INPUT_BITS, DEFAULT_OUTPUT_BITS, FxpMechanismBase
+from .ideal_laplace import IdealLaplaceMechanism
+from .resampling import ResamplingMechanism
+from .rr_mode import DpBoxRandomizedResponse
+from .thresholding import ThresholdingMechanism
+
+__all__ = [
+    "LocalMechanism",
+    "SensorSpec",
+    "FxpBaselineMechanism",
+    "GuardedNoiseMechanism",
+    "FxpMechanismBase",
+    "IdealLaplaceMechanism",
+    "ResamplingMechanism",
+    "ThresholdingMechanism",
+    "DpBoxRandomizedResponse",
+    "DEFAULT_INPUT_BITS",
+    "DEFAULT_OUTPUT_BITS",
+    "make_mechanism",
+    "ARM_NAMES",
+]
+
+#: Canonical evaluation-arm names, in paper table order.
+ARM_NAMES = ("ideal", "baseline", "resampling", "thresholding")
+
+
+def make_mechanism(
+    arm: str,
+    sensor: SensorSpec,
+    epsilon: float,
+    loss_multiple: float = 2.0,
+    **kwargs,
+) -> LocalMechanism:
+    """Build an evaluation arm by name.
+
+    ``arm`` is one of ``"ideal"``, ``"baseline"``, ``"resampling"``,
+    ``"thresholding"`` or ``"rr"``.  Extra keyword arguments are passed to
+    the mechanism constructor (bit widths, Δ, URNG source, ...).
+    """
+    arm = arm.lower()
+    if arm == "ideal":
+        rng = kwargs.pop("rng", None)
+        if kwargs:
+            raise ConfigurationError(f"unsupported options for ideal arm: {kwargs}")
+        return IdealLaplaceMechanism(sensor, epsilon, rng=rng)
+    if arm == "baseline":
+        return FxpBaselineMechanism(sensor, epsilon, **kwargs)
+    if arm == "resampling":
+        return ResamplingMechanism(sensor, epsilon, loss_multiple=loss_multiple, **kwargs)
+    if arm == "thresholding":
+        return ThresholdingMechanism(sensor, epsilon, loss_multiple=loss_multiple, **kwargs)
+    if arm == "rr":
+        return DpBoxRandomizedResponse(sensor, epsilon, **kwargs)
+    raise ConfigurationError(f"unknown mechanism arm {arm!r}")

@@ -1,0 +1,102 @@
+"""Uniform interface for local privacy mechanisms.
+
+Every experiment arm in the paper's evaluation — ideal Laplace, naive
+fixed-point baseline, resampling, thresholding, randomized response —
+implements :class:`LocalMechanism`: privatize a batch of sensor readings
+and report (exactly, where the mechanism is discrete) whether the result
+is ε-LDP.  The utility/latency harnesses and DP-Box are written against
+this interface only.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..privacy.definitions import LossReport
+
+__all__ = ["SensorSpec", "LocalMechanism"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SensorSpec:
+    """Static description of a sensor: the declared data range ``[m, M]``.
+
+    LDP noise scaling depends only on the range length ``d = M - m``
+    (paper Section II-B) — no other knowledge of the sensor is needed,
+    which is what lets DP-Box be sensor-agnostic.
+    """
+
+    m: float
+    M: float
+
+    def __post_init__(self) -> None:
+        if not self.M > self.m:
+            raise ConfigurationError(f"need M > m, got [{self.m}, {self.M}]")
+
+    @property
+    def d(self) -> float:
+        """Range length ``M - m`` (the mechanism's sensitivity)."""
+        return self.M - self.m
+
+    @property
+    def midpoint(self) -> float:
+        """Center of the range (used by the default counting predicate)."""
+        return 0.5 * (self.m + self.M)
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Clamp readings into the declared range."""
+        return np.clip(np.asarray(x, dtype=float), self.m, self.M)
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        """Element-wise membership test."""
+        x = np.asarray(x, dtype=float)
+        return (x >= self.m) & (x <= self.M)
+
+
+class LocalMechanism(abc.ABC):
+    """A randomized map from a sensor reading to a privatized report."""
+
+    #: Short name used in result tables ("Ideal", "FxP baseline", ...).
+    name: str = "mechanism"
+
+    def __init__(self, sensor: SensorSpec, epsilon: float):
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.sensor = sensor
+        self.epsilon = epsilon
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        """Privatize a batch of readings (shape preserved)."""
+
+    @abc.abstractmethod
+    def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
+        """Exact (or analytic) worst-case privacy-loss certification.
+
+        ``epsilon_target`` defaults to the mechanism's own claimed bound.
+        """
+
+    # ------------------------------------------------------------------
+    @property
+    def claimed_loss_bound(self) -> float:
+        """The per-query loss bound this mechanism claims to provide."""
+        return self.epsilon
+
+    def is_ldp(self) -> bool:
+        """Convenience: does the exact analysis confirm the claim?"""
+        return bool(self.ldp_report().satisfied)
+
+    def _check_inputs(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if np.any(~self.sensor.contains(x)):
+            raise ConfigurationError(
+                "sensor readings outside the declared range "
+                f"[{self.sensor.m}, {self.sensor.M}]"
+            )
+        return x

@@ -1,0 +1,32 @@
+"""Naive fixed-point Laplace mechanism — the paper's broken baseline.
+
+This arm adds fixed-point Laplace noise with **no guard**.  Its utility is
+essentially indistinguishable from the ideal mechanism (paper Tables
+II–V, "FxP HW Baseline"), but its exact worst-case privacy loss is
+infinite: outputs beyond ``x ± L`` and the zero-probability tail holes
+let an adversary rule inputs out with certainty (Sections III-A3, VI-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..privacy.loss import DiscreteMechanismFamily
+from .fxp_common import FxpMechanismBase
+
+__all__ = ["FxpBaselineMechanism"]
+
+
+class FxpBaselineMechanism(FxpMechanismBase):
+    """``y = quantize(x) + n_fxp`` with no resampling or thresholding."""
+
+    name = "FxP baseline"
+
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        k_x = self.quantize_inputs(x)
+        return self._noised_codes(k_x) * self.delta
+
+    def _family(self) -> DiscreteMechanismFamily:
+        return DiscreteMechanismFamily.additive(
+            self.noise_pmf, self.verification_codes(), mode="baseline"
+        )

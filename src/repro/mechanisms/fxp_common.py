@@ -1,0 +1,129 @@
+"""Shared machinery for the fixed-point mechanism arms.
+
+All three fixed-point arms (naive baseline, resampling, thresholding)
+share the same front end: sensor readings are quantized onto the noise
+grid ``Δ`` (the sensor ADC step is assumed to be a multiple of ``Δ``, as
+in the DP-Box datapath), a signed noise code is drawn from the
+:class:`~repro.rng.laplace_fxp.FxpLaplaceRng`, and the sum is produced.
+They differ only in the *guard* applied afterwards, which is what
+:class:`FxpMechanismBase` leaves abstract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..privacy.definitions import LossReport
+from ..privacy.loss import DiscreteMechanismFamily, input_grid_codes
+from ..rng.laplace_fxp import FxpLaplaceConfig, FxpLaplaceRng
+from ..rng.pmf import DiscretePMF
+from ..rng.urng import UniformCodeSource
+from .base import LocalMechanism, SensorSpec
+
+__all__ = ["FxpMechanismBase", "DEFAULT_INPUT_BITS", "DEFAULT_OUTPUT_BITS"]
+
+#: Paper running-example URNG width (Fig. 4 uses Bu = 17).
+DEFAULT_INPUT_BITS = 17
+#: Signed output width; 20 matches the synthesized DP-Box datapath.
+DEFAULT_OUTPUT_BITS = 20
+
+
+class FxpMechanismBase(LocalMechanism):
+    """Base class: quantized sensor + fixed-point Laplace noise."""
+
+    def __init__(
+        self,
+        sensor: SensorSpec,
+        epsilon: float,
+        input_bits: int = DEFAULT_INPUT_BITS,
+        output_bits: int = DEFAULT_OUTPUT_BITS,
+        delta: Optional[float] = None,
+        source: Optional[UniformCodeSource] = None,
+        log_backend=None,
+        n_verify_inputs: int = 9,
+    ):
+        super().__init__(sensor, epsilon)
+        if delta is None:
+            # Default grid: 7 fractional bits of the sensor range — fine
+            # enough that quantization is negligible next to the noise,
+            # coarse enough that exact PMFs stay small.
+            delta = sensor.d / 128.0
+        config = FxpLaplaceConfig(
+            input_bits=input_bits,
+            output_bits=output_bits,
+            delta=delta,
+            lam=sensor.d / epsilon,
+        )
+        self.rng = FxpLaplaceRng(config, source=source, log_backend=log_backend)
+        self.n_verify_inputs = n_verify_inputs
+        self._noise_pmf: Optional[DiscretePMF] = None
+        # Sensor range endpoints must land on the grid; snap them once and
+        # validate the snap is exact enough to be a pure representation
+        # choice, not a data change.
+        self.k_m = self._snap(sensor.m, "lower range bound")
+        self.k_M = self._snap(sensor.M, "upper range bound")
+        if self.k_M <= self.k_m:
+            raise ConfigurationError("sensor range collapses on the noise grid")
+
+    # ------------------------------------------------------------------
+    def _snap(self, value: float, what: str) -> int:
+        k = int(round(value / self.delta))
+        if abs(k * self.delta - value) > 0.5 * self.delta + 1e-12:
+            raise ConfigurationError(f"{what} cannot be represented on the grid")
+        return k
+
+    @property
+    def delta(self) -> float:
+        """Noise/output quantization step ``Δ``."""
+        return self.rng.config.delta
+
+    @property
+    def noise_pmf(self) -> DiscretePMF:
+        """Exact signed noise PMF (cached)."""
+        if self._noise_pmf is None:
+            self._noise_pmf = self.rng.exact_pmf()
+        return self._noise_pmf
+
+    def verification_codes(self) -> Sequence[int]:
+        """Sensor grid codes used for the exact LDP certification."""
+        return input_grid_codes(
+            self.k_m * self.delta,
+            self.k_M * self.delta,
+            self.delta,
+            n_points=self.n_verify_inputs,
+        )
+
+    def quantize_inputs(self, x: np.ndarray) -> np.ndarray:
+        """Sensor readings → grid codes (round to nearest, clamped to range)."""
+        x = self._check_inputs(x)
+        k = np.floor(x / self.delta + 0.5).astype(np.int64)
+        return np.clip(k, self.k_m, self.k_M)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _family(self) -> DiscreteMechanismFamily:
+        """The conditional-distribution family this arm induces."""
+        raise NotImplementedError
+
+    def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
+        target = self.claimed_loss_bound if epsilon_target is None else epsilon_target
+        return self._family().worst_case_loss(epsilon_target=target)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _noised_codes(self, k_x: np.ndarray) -> np.ndarray:
+        """One round of ``x + n`` in grid codes."""
+        return k_x + self.rng.sample_codes(k_x.size).reshape(k_x.shape)
+
+    @staticmethod
+    def _round_threshold_code(threshold: float, delta: float) -> int:
+        k = int(math.floor(threshold / delta + 1e-9))
+        if k < 1:
+            raise ConfigurationError("threshold must be at least one grid step")
+        return k

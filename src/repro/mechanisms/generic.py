@@ -1,0 +1,151 @@
+"""Guarded additive mechanisms over arbitrary fixed-point noise.
+
+The resampling/thresholding guards and the exact LDP certification are
+not Laplace-specific: they work for any discrete symmetric noise on the
+``Δ`` grid.  :class:`GuardedNoiseMechanism` wraps any generator with the
+:class:`~repro.rng.inversion.FxpInversionRng` interface (staircase,
+Gaussian, or a custom distribution) in the same
+:class:`~repro.mechanisms.base.LocalMechanism` API the evaluation harness
+uses — which is what the noise-distribution ablation bench runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..privacy.definitions import LossReport
+from ..privacy.loss import DiscreteMechanismFamily, input_grid_codes
+from ..privacy.thresholds import calibrate_threshold_exact
+from ..rng.pmf import DiscretePMF
+from .base import LocalMechanism, SensorSpec
+
+__all__ = ["GuardedNoiseMechanism"]
+
+_MAX_ROUNDS = 64
+
+
+class GuardedNoiseMechanism(LocalMechanism):
+    """Additive mechanism with a pluggable noise generator and guard.
+
+    Parameters
+    ----------
+    sensor:
+        Declared sensor range (must sit on the noise grid).
+    epsilon:
+        The nominal privacy parameter the noise was scaled for (used for
+        reporting; the enforced bound is ``target_loss``).
+    noise_rng:
+        Any object with ``sample_codes(n)``, ``exact_pmf()`` and a
+        ``config.delta`` (e.g. :class:`~repro.rng.staircase.FxpStaircaseRng`).
+    mode:
+        ``"baseline"``, ``"resample"`` or ``"threshold"``.
+    target_loss:
+        Worst-case loss bound used for exact threshold calibration
+        (ignored for the baseline).
+    """
+
+    def __init__(
+        self,
+        sensor: SensorSpec,
+        epsilon: float,
+        noise_rng,
+        mode: str = "threshold",
+        target_loss: Optional[float] = None,
+        n_verify_inputs: int = 9,
+        name: Optional[str] = None,
+    ):
+        super().__init__(sensor, epsilon)
+        if mode not in ("baseline", "resample", "threshold"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.noise_rng = noise_rng
+        self.name = name or f"{type(noise_rng).__name__}/{mode}"
+        self.delta = float(noise_rng.config.delta)
+        self.k_m = self._snap(sensor.m)
+        self.k_M = self._snap(sensor.M)
+        self.n_verify_inputs = n_verify_inputs
+        self._noise_pmf: Optional[DiscretePMF] = None
+        self.window: Optional[Tuple[int, int]] = None
+        self.threshold: Optional[float] = None
+        if mode != "baseline":
+            if target_loss is None:
+                raise ConfigurationError("guarded modes need a target_loss")
+            self.target_loss = float(target_loss)
+            self.threshold = calibrate_threshold_exact(
+                self.noise_pmf,
+                self._verification_codes(),
+                self.target_loss,
+                mode=mode,
+            )
+            k_th = int(round(self.threshold / self.delta))
+            self.window = (self.k_m - k_th, self.k_M + k_th)
+        else:
+            self.target_loss = float(target_loss) if target_loss else epsilon
+
+    # ------------------------------------------------------------------
+    def _snap(self, value: float) -> int:
+        k = int(round(value / self.delta))
+        if abs(k * self.delta - value) > 0.5 * self.delta + 1e-12:
+            raise ConfigurationError("range bound not representable on the grid")
+        return k
+
+    def _verification_codes(self):
+        return input_grid_codes(
+            self.k_m * self.delta,
+            self.k_M * self.delta,
+            self.delta,
+            n_points=self.n_verify_inputs,
+        )
+
+    @property
+    def noise_pmf(self) -> DiscretePMF:
+        """Exact noise PMF (cached)."""
+        if self._noise_pmf is None:
+            self._noise_pmf = self.noise_rng.exact_pmf()
+        return self._noise_pmf
+
+    @property
+    def claimed_loss_bound(self) -> float:
+        return self.target_loss
+
+    # ------------------------------------------------------------------
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_inputs(x)
+        k_x = np.clip(
+            np.floor(x / self.delta + 0.5).astype(np.int64), self.k_m, self.k_M
+        )
+        flat = k_x.reshape(-1)
+        k_y = flat + self.noise_rng.sample_codes(flat.size)
+        if self.mode == "threshold":
+            assert self.window is not None
+            k_y = np.clip(k_y, self.window[0], self.window[1])
+        elif self.mode == "resample":
+            assert self.window is not None
+            lo, hi = self.window
+            pending = np.flatnonzero((k_y < lo) | (k_y > hi))
+            for _ in range(_MAX_ROUNDS):
+                if pending.size == 0:
+                    break
+                k_y[pending] = flat[pending] + self.noise_rng.sample_codes(
+                    pending.size
+                )
+                good = (k_y[pending] >= lo) & (k_y[pending] <= hi)
+                pending = pending[~good]
+            if pending.size:
+                raise ConfigurationError("resampling failed to accept; bad window")
+        return (k_y.reshape(k_x.shape)) * self.delta
+
+    def _family(self) -> DiscreteMechanismFamily:
+        codes = self._verification_codes()
+        if self.mode == "baseline":
+            return DiscreteMechanismFamily.additive(self.noise_pmf, codes)
+        return DiscreteMechanismFamily.additive(
+            self.noise_pmf, codes, window=self.window, mode=self.mode
+        )
+
+    def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
+        target = self.claimed_loss_bound if epsilon_target is None else epsilon_target
+        return self._family().worst_case_loss(epsilon_target=target)

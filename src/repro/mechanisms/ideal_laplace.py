@@ -1,0 +1,45 @@
+"""Ideal continuous Laplace mechanism — the evaluation's gold standard."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..privacy.definitions import LossReport
+from ..privacy.laplace_mechanism import IdealLaplaceMechanismCore
+from .base import LocalMechanism, SensorSpec
+
+__all__ = ["IdealLaplaceMechanism"]
+
+
+class IdealLaplaceMechanism(LocalMechanism):
+    """``y = x + Lap(d/ε)`` over float64 — provably exactly ε-LDP.
+
+    This mechanism cannot exist in real hardware (paper Section III-A4),
+    but it is the yardstick every discrete arm is compared against in
+    Tables II–V.
+    """
+
+    name = "Ideal"
+
+    def __init__(
+        self,
+        sensor: SensorSpec,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(sensor, epsilon)
+        self._core = IdealLaplaceMechanismCore(sensor.m, sensor.M, epsilon, rng)
+
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        return self._core.privatize(self._check_inputs(x))
+
+    def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
+        """Analytic: the continuous Laplace mechanism's loss is exactly ε."""
+        target = self.epsilon if epsilon_target is None else epsilon_target
+        return LossReport(
+            worst_loss=self.epsilon,
+            epsilon_target=target,
+            argmax_inputs=(self.sensor.m, self.sensor.M),
+        )

@@ -1,0 +1,131 @@
+"""DP-Box randomized-response mode (paper Section VI-E).
+
+"The proposed DP-box can be reconfigured to support the randomized
+response mechanism by setting the threshold zero" — with binary data
+``x ∈ {m, M}``, the thresholded output clamps into ``[m, M]`` and is
+quantized to the nearer endpoint, which is exactly Warner randomized
+response with flip probability ``q = Pr[x + n crosses the midpoint]``.
+
+:class:`DpBoxRandomizedResponse` computes the induced 2x2 channel
+*exactly* from the fixed-point noise PMF, reports the exact ε it
+provides, and exposes the debiased frequency estimator used in Fig. 14.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..privacy.definitions import LossReport, pointwise_loss
+from ..privacy.randomized_response import debias_frequency
+from .base import SensorSpec
+from .fxp_common import FxpMechanismBase
+
+__all__ = ["DpBoxRandomizedResponse"]
+
+
+class DpBoxRandomizedResponse(FxpMechanismBase):
+    """Binary randomized response realized by a zero-threshold DP-Box."""
+
+    name = "DP-Box RR"
+
+    def __init__(self, sensor: SensorSpec, epsilon: float, **kwargs):
+        super().__init__(sensor, epsilon, **kwargs)
+        d_codes = self.k_M - self.k_m
+        if d_codes < 2:
+            raise ConfigurationError("binary range collapses on the noise grid")
+        #: Midpoint crossing code: output >= midpoint reports M.
+        self._k_mid = self.k_m + (d_codes + 1) // 2
+        self._flip_from_m, self._flip_from_M = self._exact_flip_probs()
+
+    # ------------------------------------------------------------------
+    def _exact_flip_probs(self) -> Tuple[float, float]:
+        """Exact flip probability for each of the two true values."""
+        pmf = self.noise_pmf
+        # x = m: reported as M when m + n >= midpoint.
+        flip_m = pmf.shifted(self.k_m).tail_ge(self._k_mid)
+        # x = M: reported as m when M + n < midpoint.
+        flip_M = pmf.shifted(self.k_M).tail_le(self._k_mid - 1)
+        if flip_m >= 0.5 or flip_M >= 0.5:
+            raise ConfigurationError(
+                "flip probability >= 1/2: the configured epsilon is too small "
+                "for a useful randomized response"
+            )
+        return float(flip_m), float(flip_M)
+
+    @property
+    def flip_probability(self) -> float:
+        """Worst-side flip probability (the utility-relevant one)."""
+        return max(self._flip_from_m, self._flip_from_M)
+
+    @property
+    def keep_probability(self) -> float:
+        """Worst-side keep probability."""
+        return 1.0 - self.flip_probability
+
+    def exact_epsilon(self) -> float:
+        """Exact ε of the induced 2x2 channel."""
+        return self.ldp_report().worst_loss
+
+    # ------------------------------------------------------------------
+    def privatize_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Privatize 0/1 data (0 → m, 1 → M) and return 0/1 reports."""
+        bits = np.asarray(bits)
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ConfigurationError("RR mode expects 0/1 data")
+        values = np.where(bits == 1, self.sensor.M, self.sensor.m)
+        reported = self.privatize(values)
+        return (reported >= (self._k_mid * self.delta) - 0.5 * self.delta).astype(int)
+
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        """Privatize binary sensor values (must equal m or M)."""
+        x = np.asarray(x, dtype=float)
+        is_m = np.isclose(x, self.sensor.m)
+        is_M = np.isclose(x, self.sensor.M)
+        if not np.all(is_m | is_M):
+            raise ConfigurationError("RR mode expects binary values in {m, M}")
+        k_x = np.where(is_M, self.k_M, self.k_m).astype(np.int64)
+        k_y = k_x + self.rng.sample_codes(k_x.size).reshape(k_x.shape)
+        # Threshold = 0: clamp into [m, M], then quantize to the nearer
+        # endpoint (the categorical output alphabet).
+        k_y = np.clip(k_y, self.k_m, self.k_M)
+        return np.where(k_y >= self._k_mid, self.sensor.M, self.sensor.m)
+
+    def estimate_frequency(self, noisy_bits: np.ndarray) -> float:
+        """Debiased estimate of the true 1-frequency from noisy reports.
+
+        Uses the average of the two exact flip probabilities as the
+        channel symmetrization (they differ only by one grid step's worth
+        of tie handling).
+        """
+        keep = 1.0 - 0.5 * (self._flip_from_m + self._flip_from_M)
+        return debias_frequency(float(np.mean(noisy_bits)), keep)
+
+    # ------------------------------------------------------------------
+    def channel_matrix(self) -> np.ndarray:
+        """Exact 2x2 channel: rows = true (m, M), cols = reported (m, M)."""
+        return np.array(
+            [
+                [1.0 - self._flip_from_m, self._flip_from_m],
+                [self._flip_from_M, 1.0 - self._flip_from_M],
+            ]
+        )
+
+    def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
+        target = self.epsilon if epsilon_target is None else epsilon_target
+        ch = self.channel_matrix()
+        losses = [
+            abs(pointwise_loss(ch[0, j], ch[1, j])) for j in range(2)
+        ]
+        worst = max(losses)
+        j = int(np.argmax(losses))
+        return LossReport(
+            worst_loss=float(worst),
+            epsilon_target=target,
+            argmax_output=float(self.sensor.m if j == 0 else self.sensor.M),
+            argmax_inputs=(self.sensor.m, self.sensor.M),
+            n_infinite_outputs=0 if math.isfinite(worst) else 1,
+        )

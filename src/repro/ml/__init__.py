@@ -1,0 +1,20 @@
+"""From-scratch ML substrate for the private-learning experiment
+(Table VI): linear SVM, logistic regression, and the training harness."""
+
+from .logistic import LogisticRegression
+from .metrics import (
+    PrivateTrainingResult,
+    accuracy,
+    table6_sweep,
+    train_private_svm,
+)
+from .svm import LinearSVM
+
+__all__ = [
+    "LogisticRegression",
+    "PrivateTrainingResult",
+    "accuracy",
+    "table6_sweep",
+    "train_private_svm",
+    "LinearSVM",
+]

@@ -1,0 +1,80 @@
+"""Logistic regression via full-batch gradient descent.
+
+Mentioned alongside SVM in the paper's learning discussion ("models such
+as logistic regression or support vector machine can be trained while
+preserving data privacy").  A compact from-scratch implementation used by
+the private-learning example and as a second model in the Table-VI-style
+sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Numerically stable logistic function.
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclasses.dataclass
+class LogisticRegression:
+    """L2-regularized logistic regression, ±1 labels."""
+
+    regularization: float = 1e-3
+    learning_rate: float = 0.5
+    iterations: int = 300
+
+    def __post_init__(self) -> None:
+        if self.regularization < 0:
+            raise ConfigurationError("regularization must be nonnegative")
+        if self.learning_rate <= 0 or self.iterations < 1:
+            raise ConfigurationError("invalid optimizer settings")
+        self.weight: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Train on features ``X`` (n, dim) and ±1 labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ConfigurationError("X must be (n, dim) matching y")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ConfigurationError("labels must be ±1")
+        y01 = (y + 1.0) / 2.0
+        n, dim = X.shape
+        w = np.zeros(dim)
+        b = 0.0
+        for _ in range(self.iterations):
+            p = _sigmoid(X @ w + b)
+            grad_w = X.T @ (p - y01) / n + self.regularization * w
+            grad_b = float(np.mean(p - y01))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weight = w
+        self.bias = b
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """±1 class predictions."""
+        if self.weight is None:
+            raise ConfigurationError("model is not fitted")
+        z = np.asarray(X, dtype=float) @ self.weight + self.bias
+        return np.where(z >= 0, 1, -1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))

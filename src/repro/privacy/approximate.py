@@ -1,0 +1,87 @@
+"""Approximate (ε, δ)-LDP analysis of discrete mechanisms.
+
+A mechanism satisfies (ε, δ)-LDP when for all inputs ``x1, x2`` and all
+output sets ``S``::
+
+    Pr[A(x1) ∈ S] ≤ e^ε · Pr[A(x2) ∈ S] + δ.
+
+For discrete mechanisms the tightest δ at a given ε has a closed form —
+the maximal "hockey-stick" divergence over input pairs::
+
+    δ(ε) = max_{x1,x2} Σ_y max(0, P(y|x1) - e^ε · P(y|x2)).
+
+This lens makes the paper's negative result *quantitative*: the naive
+fixed-point arm is not ε-LDP for any ε, but it **is** (ε, δ)-LDP for a δ
+equal to the probability mass of its revealing outputs — a δ on the
+order of the URNG tail mass, i.e. far above the cryptographically
+negligible values (δ ≪ 1/N) the DP literature requires.  It is also the
+natural frame for the fixed-point Gaussian generator, whose continuous
+ideal is itself only (ε, δ)-DP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .loss import DiscreteMechanismFamily
+
+__all__ = ["delta_at_epsilon", "epsilon_at_delta", "hockey_stick_divergence"]
+
+
+def hockey_stick_divergence(p1: np.ndarray, p2: np.ndarray, epsilon: float) -> float:
+    """``Σ max(0, p1 - e^ε·p2)`` for two distributions on a common grid."""
+    p1 = np.asarray(p1, dtype=float)
+    p2 = np.asarray(p2, dtype=float)
+    if p1.shape != p2.shape:
+        raise ConfigurationError("distributions must share a support grid")
+    return float(np.maximum(p1 - math.exp(epsilon) * p2, 0.0).sum())
+
+
+def delta_at_epsilon(family: DiscreteMechanismFamily, epsilon: float) -> float:
+    """Tightest δ for which the family is (ε, δ)-LDP.
+
+    Maximizes the hockey-stick divergence over all ordered input pairs.
+    δ = 0 recovers pure ε-LDP; δ = 1 means some input pair is perfectly
+    distinguishable at this ε.
+    """
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be nonnegative")
+    mat = family.matrix
+    e = math.exp(epsilon)
+    worst = 0.0
+    n = mat.shape[0]
+    for i in range(n):
+        # Vectorize over all x2 at once for this x1.
+        gaps = np.maximum(mat[i][None, :] - e * mat, 0.0).sum(axis=1)
+        worst = max(worst, float(gaps.max()))
+    return worst
+
+
+def epsilon_at_delta(
+    family: DiscreteMechanismFamily,
+    delta: float,
+    eps_hi: float = 64.0,
+    tol: float = 1e-6,
+) -> Optional[float]:
+    """Smallest ε for which the family is (ε, δ)-LDP (bisection).
+
+    Returns ``None`` when even ``eps_hi`` cannot reach the requested δ —
+    i.e. the mechanism has revealing outputs with mass above δ, which no
+    finite ε can absorb.
+    """
+    if not 0.0 <= delta < 1.0:
+        raise ConfigurationError("delta must be in [0, 1)")
+    if delta_at_epsilon(family, eps_hi) > delta:
+        return None
+    lo, hi = 0.0, eps_hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if delta_at_epsilon(family, mid) <= delta:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,157 @@
+"""Categorical LDP mechanisms beyond binary RR (paper Section VI-E).
+
+The paper notes that DP-Box's randomized-response mode targets
+categorical data and cites Google's RAPPOR as the deployed example.
+This module provides the two standard categorical constructions a
+library user would reach for:
+
+* :class:`KRandomizedResponse` — direct k-ary RR: keep the true category
+  with probability ``e^ε / (e^ε + k - 1)``, otherwise report one of the
+  other categories uniformly.  Exactly ε-LDP; the utility-optimal
+  generalization of Warner RR.
+* :class:`OneHotRappor` — the basic one-round RAPPOR: one-hot encode and
+  pass every bit through an independent binary RR.  A category change
+  flips two bits, so per-bit keep probability ``e^{ε/2}/(1+e^{ε/2})``
+  gives ε-LDP overall.  Less efficient than k-RR for small k, but each
+  bit can be produced by a zero-threshold DP-Box independently, which is
+  the hardware-relevant property.
+
+Both expose exact channel matrices, exact ε, and debiased frequency
+estimators (clipped and renormalized onto the simplex).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["KRandomizedResponse", "OneHotRappor"]
+
+
+def _check_categories(values: np.ndarray, k: int) -> np.ndarray:
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ConfigurationError("empty input")
+    if not np.issubdtype(values.dtype, np.integer):
+        raise ConfigurationError("categories must be integers")
+    if values.min() < 0 or values.max() >= k:
+        raise ConfigurationError(f"categories must be in 0..{k - 1}")
+    return values
+
+
+def _project_to_simplex(freqs: np.ndarray) -> np.ndarray:
+    clipped = np.clip(freqs, 0.0, None)
+    total = clipped.sum()
+    if total <= 0:
+        return np.full_like(freqs, 1.0 / freqs.size)
+    return clipped / total
+
+
+class KRandomizedResponse:
+    """Direct k-ary randomized response (exactly ε-LDP)."""
+
+    def __init__(
+        self,
+        n_categories: int,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_categories < 2:
+            raise ConfigurationError("need at least two categories")
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.k = n_categories
+        self.epsilon = epsilon
+        self.rng = rng or np.random.default_rng()
+        e = math.exp(epsilon)
+        #: Probability of reporting the true category.
+        self.keep_prob = e / (e + self.k - 1)
+        #: Probability of reporting any specific *other* category.
+        self.other_prob = 1.0 / (e + self.k - 1)
+
+    # ------------------------------------------------------------------
+    def channel_matrix(self) -> np.ndarray:
+        """Exact k×k channel: rows = true category, cols = report."""
+        ch = np.full((self.k, self.k), self.other_prob)
+        np.fill_diagonal(ch, self.keep_prob)
+        return ch
+
+    def exact_epsilon(self) -> float:
+        """``ln(keep/other)`` — equals the configured ε by construction."""
+        return math.log(self.keep_prob / self.other_prob)
+
+    # ------------------------------------------------------------------
+    def privatize(self, categories: np.ndarray) -> np.ndarray:
+        """Report each category through the k-RR channel."""
+        categories = _check_categories(categories, self.k)
+        keep = self.rng.random(categories.shape) < self.keep_prob
+        # Uniform over the k-1 *other* categories: draw 0..k-2 and skip
+        # the true value.
+        others = self.rng.integers(0, self.k - 1, size=categories.shape)
+        others = others + (others >= categories)
+        return np.where(keep, categories, others)
+
+    def estimate_frequencies(self, reports: np.ndarray) -> np.ndarray:
+        """Debiased category-frequency estimates (projected to simplex).
+
+        ``E[obs_j] = f_j·keep + (1-f_j)·other`` per category, inverted
+        linearly.
+        """
+        reports = _check_categories(reports, self.k)
+        obs = np.bincount(reports, minlength=self.k) / reports.size
+        raw = (obs - self.other_prob) / (self.keep_prob - self.other_prob)
+        return _project_to_simplex(raw)
+
+
+class OneHotRappor:
+    """Basic one-round RAPPOR: one-hot encoding + per-bit binary RR."""
+
+    def __init__(
+        self,
+        n_categories: int,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_categories < 2:
+            raise ConfigurationError("need at least two categories")
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.k = n_categories
+        self.epsilon = epsilon
+        self.rng = rng or np.random.default_rng()
+        # A category change flips exactly two bits; each contributes
+        # ln(p/(1-p)), so per-bit keep prob e^{ε/2}/(1+e^{ε/2}).
+        half = math.exp(epsilon / 2.0)
+        self.bit_keep_prob = half / (1.0 + half)
+
+    # ------------------------------------------------------------------
+    def exact_epsilon(self) -> float:
+        """Worst-case log ratio over reports: ``2·ln(p/(1-p))`` = ε."""
+        p = self.bit_keep_prob
+        return 2.0 * math.log(p / (1.0 - p))
+
+    def privatize_bits(self, categories: np.ndarray) -> np.ndarray:
+        """One-hot encode and flip each bit independently.
+
+        Returns an ``(n, k)`` 0/1 matrix — what n zero-threshold DP-Box
+        channels would emit.
+        """
+        categories = _check_categories(categories, self.k)
+        onehot = np.zeros((categories.size, self.k), dtype=int)
+        onehot[np.arange(categories.size), categories] = 1
+        flips = self.rng.random(onehot.shape) >= self.bit_keep_prob
+        return np.where(flips, 1 - onehot, onehot)
+
+    def estimate_frequencies(self, noisy_bits: np.ndarray) -> np.ndarray:
+        """Per-bit debias, then simplex projection."""
+        noisy_bits = np.asarray(noisy_bits)
+        if noisy_bits.ndim != 2 or noisy_bits.shape[1] != self.k:
+            raise ConfigurationError(f"expected an (n, {self.k}) bit matrix")
+        p = self.bit_keep_prob
+        obs = noisy_bits.mean(axis=0)
+        raw = (obs - (1.0 - p)) / (2.0 * p - 1.0)
+        return _project_to_simplex(raw)

@@ -1,0 +1,95 @@
+"""Core definitions: privacy loss and epsilon-LDP (paper Section II).
+
+A randomized local mechanism with conditional output distribution
+``Pr[y | x]`` satisfies ε-LDP when, for *every* pair of inputs
+``x1, x2`` and every output ``y``::
+
+    Pr[y | x1] <= exp(ε) · Pr[y | x2]            (paper eq. 5)
+
+The (pointwise) privacy loss of reporting ``y`` is::
+
+    loss(y; x1, x2) = ln( Pr[y|x1] / Pr[y|x2] )   (paper eq. 4)
+
+ε-LDP holds iff the loss is bounded by ε over all choices, so the library
+verifies privacy by *computing the exact worst-case loss*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["pointwise_loss", "LossReport"]
+
+
+def pointwise_loss(p1: float, p2: float) -> float:
+    """``ln(p1/p2)`` with the DP conventions for zero probabilities.
+
+    * both zero → 0 (the output is unreachable; it constrains nothing);
+    * ``p1 > 0, p2 == 0`` → ``+inf`` (observing ``y`` rules out ``x2``);
+    * ``p1 == 0, p2 > 0`` → ``-inf`` (symmetric case).
+    """
+    if p1 == 0.0 and p2 == 0.0:
+        return 0.0
+    if p2 == 0.0:
+        return math.inf
+    if p1 == 0.0:
+        return -math.inf
+    # log(p1) - log(p2) rather than log(p1/p2): the quotient can overflow
+    # to inf when p2 is subnormal even though the loss itself is finite.
+    return math.log(p1) - math.log(p2)
+
+
+@dataclasses.dataclass(frozen=True)
+class LossReport:
+    """Result of an exact worst-case privacy-loss computation.
+
+    Attributes
+    ----------
+    worst_loss:
+        ``sup_{y, x1, x2} loss(y; x1, x2)``; ``inf`` when LDP fails.
+    epsilon_target:
+        The bound the mechanism was checked against (``None`` if the
+        caller only asked for the loss itself).
+    satisfied:
+        ``worst_loss <= epsilon_target`` (``None`` without a target).
+    argmax_output:
+        An output value achieving (or approaching) the worst loss.
+    argmax_inputs:
+        The input pair achieving it.
+    n_infinite_outputs:
+        How many output grid points have infinite loss (0 when LDP holds).
+    """
+
+    worst_loss: float
+    epsilon_target: Optional[float] = None
+    argmax_output: Optional[float] = None
+    argmax_inputs: Optional[tuple] = None
+    n_infinite_outputs: int = 0
+
+    @property
+    def satisfied(self) -> Optional[bool]:
+        if self.epsilon_target is None:
+            return None
+        return bool(self.worst_loss <= self.epsilon_target + 1e-12)
+
+    @property
+    def is_finite(self) -> bool:
+        """True when no output reveals any input with certainty."""
+        return bool(np.isfinite(self.worst_loss))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if not self.is_finite:
+            return (
+                f"LDP violated: {self.n_infinite_outputs} output(s) have "
+                f"infinite privacy loss (e.g. y={self.argmax_output})"
+            )
+        tail = ""
+        if self.epsilon_target is not None:
+            verdict = "OK" if self.satisfied else "EXCEEDED"
+            tail = f" vs target {self.epsilon_target:.4g} [{verdict}]"
+        return f"worst-case privacy loss {self.worst_loss:.4g}{tail}"

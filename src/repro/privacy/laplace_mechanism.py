@@ -1,0 +1,73 @@
+"""The ideal (continuous) local Laplace mechanism (paper Section II-B).
+
+For sensor data ``x ∈ [m, M]`` with range length ``d = M - m``, reporting
+``y = x + n`` with ``n ~ Lap(d/ε)`` satisfies ε-LDP: for any two inputs
+the density ratio is ``exp(|x2 - x1|/λ) <= exp(d/λ) = exp(ε)``.
+
+This module provides that mechanism over float64 — the "Ideal Local DP"
+arm of the evaluation — plus its analytic worst-case loss (which tests
+compare against the discrete analyzer on fine grids).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng.laplace_ideal import IdealLaplace
+
+__all__ = ["IdealLaplaceMechanismCore", "ideal_worst_case_loss"]
+
+
+@dataclasses.dataclass
+class IdealLaplaceMechanismCore:
+    """Float64 local Laplace mechanism for inputs in ``[m, M]``."""
+
+    m: float
+    M: float
+    epsilon: float
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.M <= self.m:
+            raise ConfigurationError("M must exceed m")
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        self._laplace = IdealLaplace(self.d / self.epsilon)
+
+    @property
+    def d(self) -> float:
+        """Sensor range length ``M - m``."""
+        return self.M - self.m
+
+    @property
+    def lam(self) -> float:
+        """Noise scale ``d/ε``."""
+        return self.d / self.epsilon
+
+    def privatize(self, x: np.ndarray) -> np.ndarray:
+        """Noise a batch of sensor values (must lie in ``[m, M]``)."""
+        x = np.asarray(x, dtype=float)
+        if np.any((x < self.m - 1e-9) | (x > self.M + 1e-9)):
+            raise ConfigurationError("sensor values outside the declared range")
+        return x + self._laplace.sample(x.size, self.rng).reshape(x.shape)
+
+    def log_likelihood(self, y: np.ndarray, x: float) -> np.ndarray:
+        """``ln Pr[y | x]`` density — for loss/attack analysis."""
+        return self._laplace.log_pdf(np.asarray(y, dtype=float) - x)
+
+
+def ideal_worst_case_loss(m: float, M: float, epsilon: float) -> float:
+    """Analytic worst-case loss of the ideal mechanism: exactly ``ε``.
+
+    ``sup_y ln[f(y-x1)/f(y-x2)] = |x1-x2|/λ``, maximized at the range
+    endpoints where ``|x1-x2| = d``, giving ``d/λ = ε``.
+    """
+    if M <= m or epsilon <= 0:
+        raise ConfigurationError("need M > m and epsilon > 0")
+    return epsilon

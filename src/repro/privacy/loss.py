@@ -1,0 +1,212 @@
+"""Exact privacy-loss analysis of discrete local mechanisms.
+
+The central object is :class:`DiscreteMechanismFamily` — the full matrix
+``P[i, j] = Pr[y_j | x_i]`` of a mechanism over a grid of sensor inputs
+and a common output window.  From it we compute, *exactly*:
+
+* the worst-case privacy loss (paper eq. 4 maximized over everything),
+* the per-output loss profile (paper Fig. 8),
+* loss-segment thresholds for the budget-control algorithm.
+
+Families are built from a noise PMF by the three constructions the paper
+studies: plain addition (naive baseline), truncation-with-renormalization
+(resampling), and clamping (thresholding).  All inputs and outputs must
+live on the noise grid ``k·Δ``, which is exactly the fixed-point setting
+of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng.pmf import DiscretePMF
+from .definitions import LossReport
+
+__all__ = ["DiscreteMechanismFamily", "input_grid_codes"]
+
+
+def input_grid_codes(m: float, M: float, delta: float, n_points: int = 9) -> List[int]:
+    """Grid-aligned sensor input codes spanning ``[m, M]``.
+
+    Includes both endpoints (which realize the worst-case loss for every
+    mechanism in the paper) plus evenly spaced interior points.  Raises if
+    the range endpoints do not sit on the ``Δ`` grid.
+    """
+    k_m = _require_on_grid(m, delta, "range lower bound")
+    k_M = _require_on_grid(M, delta, "range upper bound")
+    if k_M <= k_m:
+        raise ConfigurationError("range upper bound must exceed lower bound")
+    if n_points < 2:
+        raise ConfigurationError("need at least the two endpoints")
+    span = k_M - k_m
+    ks = sorted({k_m + round(i * span / (n_points - 1)) for i in range(n_points)})
+    return list(ks)
+
+
+def _require_on_grid(value: float, delta: float, what: str) -> int:
+    k = round(value / delta)
+    if not math.isclose(k * delta, value, rel_tol=0, abs_tol=1e-9 * max(1.0, abs(value))):
+        raise ConfigurationError(
+            f"{what} {value!r} is not a multiple of the noise step {delta!r}"
+        )
+    return int(k)
+
+
+@dataclasses.dataclass
+class DiscreteMechanismFamily:
+    """``P[i, j] = Pr[y = (out_min_k + j)·Δ | x = input_codes[i]·Δ]``."""
+
+    delta: float
+    input_codes: np.ndarray  # int64, shape (n_x,)
+    out_min_k: int
+    matrix: np.ndarray  # float, shape (n_x, n_y)
+
+    def __post_init__(self) -> None:
+        self.input_codes = np.asarray(self.input_codes, dtype=np.int64)
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        if self.matrix.shape[0] != self.input_codes.size:
+            raise ConfigurationError("one matrix row per input required")
+        sums = self.matrix.sum(axis=1)
+        if np.any(np.abs(sums - 1.0) > 1e-9):
+            raise ConfigurationError("each conditional distribution must sum to 1")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def additive(
+        cls,
+        noise: DiscretePMF,
+        input_codes: Sequence[int],
+        window: Optional[Tuple[int, int]] = None,
+        mode: str = "baseline",
+    ) -> "DiscreteMechanismFamily":
+        """Build a family from additive noise ``y = x + n``.
+
+        Parameters
+        ----------
+        noise:
+            Signed noise PMF on the ``Δ`` grid.
+        input_codes:
+            Sensor input codes ``x/Δ`` (integers).
+        window:
+            Output-code window ``(k_lo, k_hi)``.  Required for the
+            ``"resample"`` and ``"threshold"`` modes; for ``"baseline"``
+            it defaults to the union of all shifted supports.
+        mode:
+            ``"baseline"`` — plain addition (paper's naive FxP baseline);
+            ``"resample"`` — condition each shifted PMF on the window;
+            ``"threshold"`` — clamp each shifted PMF into the window.
+        """
+        codes = np.asarray(sorted(set(int(c) for c in input_codes)), dtype=np.int64)
+        if codes.size < 2:
+            raise ConfigurationError("need at least two distinct inputs")
+        if mode not in ("baseline", "resample", "threshold"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        if window is None:
+            if mode != "baseline":
+                raise ConfigurationError(f"mode {mode!r} requires an output window")
+            k_lo = int(codes.min()) + noise.min_k
+            k_hi = int(codes.max()) + noise.max_k
+        else:
+            k_lo, k_hi = int(window[0]), int(window[1])
+            if k_hi <= k_lo:
+                raise ConfigurationError("empty output window")
+        n_y = k_hi - k_lo + 1
+        mat = np.zeros((codes.size, n_y))
+        for i, kx in enumerate(codes):
+            shifted = noise.shifted(int(kx))
+            if mode == "baseline":
+                row = shifted.prob_array(k_lo, k_hi)
+            elif mode == "resample":
+                row = shifted.truncated(k_lo, k_hi, renormalize=True).probs
+            else:
+                row = shifted.clamped(k_lo, k_hi).probs
+            mat[i] = row
+        return cls(delta=noise.step, input_codes=codes, out_min_k=k_lo, matrix=mat)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def output_codes(self) -> np.ndarray:
+        """Grid codes of the output window."""
+        return np.arange(self.out_min_k, self.out_min_k + self.matrix.shape[1])
+
+    def output_values(self) -> np.ndarray:
+        """Real output values of the window."""
+        return self.output_codes * self.delta
+
+    # ------------------------------------------------------------------
+    # Loss computations
+    # ------------------------------------------------------------------
+    def loss_profile(self) -> np.ndarray:
+        """Worst pairwise loss at each output: ``max_{x1,x2} ln ratio``.
+
+        Entries are ``+inf`` where some inputs can produce the output and
+        others cannot, and ``nan`` where *no* input can produce it (such
+        outputs never occur and do not affect privacy).
+        """
+        p = self.matrix
+        with np.errstate(divide="ignore"):
+            logp = np.where(p > 0, np.log(np.where(p > 0, p, 1.0)), -np.inf)
+        top = logp.max(axis=0)
+        bottom = logp.min(axis=0)
+        with np.errstate(invalid="ignore"):
+            profile = top - bottom  # -inf - -inf = nan (unreachable outputs)
+        unreachable = ~np.isfinite(top)  # all rows zero
+        profile = np.where(unreachable, np.nan, profile)
+        mixed = np.isfinite(top) & ~np.isfinite(bottom)
+        profile = np.where(mixed, np.inf, profile)
+        return profile
+
+    def worst_case_loss(self, epsilon_target: Optional[float] = None) -> LossReport:
+        """Exact supremum of the privacy loss over outputs and input pairs."""
+        profile = self.loss_profile()
+        finite_or_inf = profile[~np.isnan(profile)]
+        if finite_or_inf.size == 0:
+            raise ConfigurationError("mechanism has no reachable outputs")
+        j = int(np.nanargmax(profile))
+        worst = float(profile[j])
+        n_inf = int(np.sum(np.isinf(profile)))
+        p_col = self.matrix[:, j]
+        i1 = int(np.argmax(p_col))
+        positive = p_col > 0
+        if positive.all():
+            i2 = int(np.argmin(p_col))
+        else:
+            i2 = int(np.argmax(~positive))
+        return LossReport(
+            worst_loss=worst,
+            epsilon_target=epsilon_target,
+            argmax_output=float((self.out_min_k + j) * self.delta),
+            argmax_inputs=(
+                float(self.input_codes[i1] * self.delta),
+                float(self.input_codes[i2] * self.delta),
+            ),
+            n_infinite_outputs=n_inf,
+        )
+
+    def loss_by_segment(self, boundaries_k: Sequence[int]) -> List[float]:
+        """Worst loss within consecutive output segments.
+
+        ``boundaries_k`` are output grid codes splitting the window into
+        ``len(boundaries_k) + 1`` segments ``(..., b0], (b0, b1], ...``;
+        used to build the budget-control segment table (Fig. 8 / Alg. 1).
+        """
+        profile = self.loss_profile()
+        codes = self.output_codes
+        bounds = sorted(int(b) for b in boundaries_k)
+        edges = [codes[0] - 1] + bounds + [codes[-1]]
+        losses = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (codes > lo) & (codes <= hi)
+            seg = profile[mask]
+            seg = seg[~np.isnan(seg)]
+            losses.append(float(seg.max()) if seg.size else 0.0)
+        return losses

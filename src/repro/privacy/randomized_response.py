@@ -1,0 +1,83 @@
+"""Randomized response for binary/categorical data (paper Section VI-E).
+
+Classic Warner randomized response: report the true bit with probability
+``p`` and its complement with probability ``1-p``.  For ``p > 1/2`` this
+satisfies ε-LDP with ``ε = ln(p / (1-p))``.
+
+The paper reconfigures DP-Box into this mechanism by setting the
+threshold to zero; :mod:`repro.mechanisms.rr_mode` provides that
+construction and maps its effective flip probability back through the
+functions here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "rr_epsilon_from_keep_prob",
+    "rr_keep_prob_from_epsilon",
+    "RandomizedResponse",
+    "debias_frequency",
+]
+
+
+def rr_epsilon_from_keep_prob(p: float) -> float:
+    """ε of randomized response with keep probability ``p`` (> 1/2)."""
+    if not 0.5 < p < 1.0:
+        raise ConfigurationError("keep probability must be in (1/2, 1)")
+    return math.log(p / (1.0 - p))
+
+
+def rr_keep_prob_from_epsilon(epsilon: float) -> float:
+    """Keep probability achieving ε-LDP: ``e^ε / (1 + e^ε)``."""
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    return math.exp(epsilon) / (1.0 + math.exp(epsilon))
+
+
+def debias_frequency(observed_freq: float, keep_prob: float) -> float:
+    """Unbiased estimate of the true 1-frequency from the noisy frequency.
+
+    ``E[observed] = p·f + (1-p)·(1-f)``, so
+    ``f̂ = (observed - (1-p)) / (2p - 1)``.  The estimate is clipped to
+    ``[0, 1]`` (the paper's MAE plots use the clipped estimator).
+    """
+    if not 0.5 < keep_prob < 1.0:
+        raise ConfigurationError("keep probability must be in (1/2, 1)")
+    raw = (observed_freq - (1.0 - keep_prob)) / (2.0 * keep_prob - 1.0)
+    return min(max(raw, 0.0), 1.0)
+
+
+@dataclasses.dataclass
+class RandomizedResponse:
+    """ε-LDP randomized response over bits (0/1 arrays)."""
+
+    epsilon: float
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        self.keep_prob = rr_keep_prob_from_epsilon(self.epsilon)
+
+    def privatize(self, bits: np.ndarray) -> np.ndarray:
+        """Flip each bit independently with probability ``1 - keep_prob``."""
+        bits = np.asarray(bits)
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ConfigurationError("randomized response expects 0/1 data")
+        flips = self.rng.random(bits.shape) >= self.keep_prob
+        return np.where(flips, 1 - bits, bits)
+
+    def estimate_frequency(self, noisy_bits: np.ndarray) -> float:
+        """Debias the observed 1-frequency back to an estimate of truth."""
+        observed = float(np.mean(noisy_bits))
+        return debias_frequency(observed, self.keep_prob)

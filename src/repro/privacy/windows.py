@@ -1,0 +1,111 @@
+"""Windowed privacy-budget accounting.
+
+DP-Box's replenishment timer (Section III-C / IV-C) is a *fixed-window*
+privacy policy: "no more than B of loss per period".  This module states
+that policy precisely and adds the stricter *sliding-window* variant a
+deployment may prefer:
+
+* :class:`FixedWindowAccountant` — the budget resets at period
+  boundaries; the guarantee is per calendar window.  Worst-case loss in
+  any window of length W is B; in any *sliding* interval of length W it
+  can reach 2B (the classic boundary-straddling weakness — tested).
+* :class:`SlidingWindowAccountant` — charges expire exactly W ticks after
+  they were incurred, so *every* interval of length W is bounded by B.
+
+Both share the DP-Box cache semantics: a refused charge means "serve the
+cached output instead".
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["FixedWindowAccountant", "SlidingWindowAccountant"]
+
+
+class _WindowedBase:
+    def __init__(self, budget: float, window: int):
+        if budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.budget = float(budget)
+        self.window = int(window)
+        self.now = 0
+
+    def advance(self, ticks: int = 1) -> None:
+        """Advance the clock (cycles, epochs — any monotone tick)."""
+        if ticks < 0:
+            raise ConfigurationError("time cannot go backwards")
+        self.now += ticks
+
+
+class FixedWindowAccountant(_WindowedBase):
+    """Budget resets at multiples of ``window`` (DP-Box replenishment)."""
+
+    def __init__(self, budget: float, window: int):
+        super().__init__(budget, window)
+        self._spent_this_window = 0.0
+        self._window_index = 0
+
+    def _roll(self) -> None:
+        idx = self.now // self.window
+        if idx != self._window_index:
+            self._window_index = idx
+            self._spent_this_window = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Budget left in the current window."""
+        self._roll()
+        return max(self.budget - self._spent_this_window, 0.0)
+
+    def try_spend(self, loss: float) -> bool:
+        """Charge if the current window can afford it."""
+        if loss < 0:
+            raise ConfigurationError("loss must be nonnegative")
+        self._roll()
+        if loss > self.remaining + 1e-12:
+            return False
+        self._spent_this_window += loss
+        return True
+
+
+class SlidingWindowAccountant(_WindowedBase):
+    """Every interval of length ``window`` is bounded by ``budget``."""
+
+    def __init__(self, budget: float, window: int):
+        super().__init__(budget, window)
+        self._charges: Deque[Tuple[int, float]] = collections.deque()
+        self._active = 0.0
+
+    def _expire(self) -> None:
+        horizon = self.now - self.window
+        while self._charges and self._charges[0][0] <= horizon:
+            _, loss = self._charges.popleft()
+            self._active -= loss
+
+    @property
+    def remaining(self) -> float:
+        """Budget left in the window ending now."""
+        self._expire()
+        return max(self.budget - self._active, 0.0)
+
+    def try_spend(self, loss: float) -> bool:
+        """Charge if no window would be pushed over budget."""
+        if loss < 0:
+            raise ConfigurationError("loss must be nonnegative")
+        self._expire()
+        if loss > self.remaining + 1e-12:
+            return False
+        self._charges.append((self.now, loss))
+        self._active += loss
+        return True
+
+    def spent_in_window_ending_now(self) -> float:
+        """Active (unexpired) loss."""
+        self._expire()
+        return self._active

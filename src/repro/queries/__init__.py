@@ -1,0 +1,32 @@
+"""Statistical queries and the MAE utility harness (Tables II–V)."""
+
+from .base import Query
+from .counting import CountingQuery
+from .estimators import debiased_count_above, debiased_mean, debiased_variance
+from .histogram import HistogramQuery, bucketize, histogram_via_krr
+from .mean import MeanQuery
+from .quantile import QuantileQuery
+from .median import MedianQuery
+from .utility import UtilityResult, mae_trials, measure_utility
+from .variance import VarianceQuery
+
+__all__ = [
+    "Query",
+    "CountingQuery",
+    "HistogramQuery",
+    "bucketize",
+    "histogram_via_krr",
+    "MeanQuery",
+    "MedianQuery",
+    "QuantileQuery",
+    "VarianceQuery",
+    "UtilityResult",
+    "mae_trials",
+    "measure_utility",
+    "debiased_count_above",
+    "debiased_mean",
+    "debiased_variance",
+]
+
+#: The four paper queries, in table order.
+PAPER_QUERIES = (MeanQuery(), MedianQuery(), VarianceQuery(), CountingQuery())

@@ -1,0 +1,40 @@
+"""Statistical query interface.
+
+Paper Section VI evaluates four aggregate queries — mean, median,
+variance, counting — applied to privatized data, measuring utility as the
+mean absolute error against the same query on raw data.  Each query is a
+deterministic function of a data vector; the MAE harness in
+:mod:`repro.queries.utility` runs them over repeated privatization
+trials.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Query"]
+
+
+class Query(abc.ABC):
+    """A deterministic aggregate statistic of a data vector."""
+
+    #: Name used in result tables.
+    name: str = "query"
+
+    @abc.abstractmethod
+    def evaluate(self, data: np.ndarray) -> float:
+        """Compute the statistic of ``data`` (1-D)."""
+
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=float).ravel()
+        if data.size == 0:
+            raise ConfigurationError("query applied to empty data")
+        return data
+
+    def absolute_error(self, noisy: np.ndarray, raw: np.ndarray) -> float:
+        """``|q(noisy) - q(raw)|`` for one privatization trial."""
+        return abs(self.evaluate(noisy) - self.evaluate(raw))

@@ -1,0 +1,40 @@
+"""Counting query.
+
+The paper reports a counting query without specifying the predicate
+(Table V); per DESIGN.md §5 we count entries **above a threshold value**,
+defaulting to the dataset mid-range, which is the natural sensor-side
+predicate ("how many readings are high?").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Query
+
+__all__ = ["CountingQuery"]
+
+
+class CountingQuery(Query):
+    """Number of entries strictly above a threshold."""
+
+    name = "counting"
+
+    def __init__(self, threshold: Optional[float] = None):
+        #: Predicate threshold; ``None`` means the mid-range of the data
+        #: the query is evaluated on (computed per call).
+        self.threshold = threshold
+
+    def evaluate(self, data: np.ndarray) -> float:
+        data = self._check(data)
+        t = self.threshold
+        if t is None:
+            t = 0.5 * (float(data.min()) + float(data.max()))
+        return float(np.count_nonzero(data > t))
+
+    def with_threshold(self, threshold: float) -> "CountingQuery":
+        """A copy pinned to an explicit threshold (the harness pins the
+        raw-data mid-range so noisy and raw trials share a predicate)."""
+        return CountingQuery(threshold=threshold)

@@ -1,0 +1,24 @@
+"""Median query."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Query
+
+__all__ = ["MedianQuery"]
+
+
+class MedianQuery(Query):
+    """Sample median.
+
+    The median of Laplace-noised data converges to the true median for
+    symmetric noise; with thresholding, the boundary atoms sit far from
+    the data and do not move the median unless the clamp probability
+    approaches 1/2.
+    """
+
+    name = "median"
+
+    def evaluate(self, data: np.ndarray) -> float:
+        return float(np.median(self._check(data)))

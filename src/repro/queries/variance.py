@@ -1,0 +1,23 @@
+"""Variance query."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Query
+
+__all__ = ["VarianceQuery"]
+
+
+class VarianceQuery(Query):
+    """Population variance.
+
+    The naive estimator (used by the paper's tables) is biased upward by
+    the noise variance ``2λ²``; the debiased companion estimator lives in
+    :mod:`repro.queries.estimators`.
+    """
+
+    name = "variance"
+
+    def evaluate(self, data: np.ndarray) -> float:
+        return float(np.var(self._check(data)))

@@ -1,0 +1,51 @@
+"""Random-number generation substrate.
+
+Everything between raw hardware bits and a Laplace noise sample lives
+here: LFSR and Tausworthe uniform generators, CORDIC and piecewise-
+polynomial logarithm units, the ideal (float) Laplace sampler, the
+fixed-point Laplace RNG of the paper with its exact output PMF, and the
+discrete-PMF algebra used by the privacy analysis.
+"""
+
+from .cordic import CordicLn, cordic_iteration_schedule
+from .gaussian import FxpGaussianRng, gaussian_sigma, probit
+from .geometric import FxpGeometricRng, IdealTwoSidedGeometric, geometric_alpha
+from .inversion import FxpInversionRng
+from .laplace_fxp import FxpLaplaceConfig, FxpLaplaceRng
+from .laplace_ideal import IdealLaplace
+from .lfsr import FibonacciLFSR, GaloisLFSR, MAXIMAL_TAPS
+from .log_approx import PiecewisePolyLn
+from .pmf import DiscretePMF
+from .staircase import FxpStaircaseRng, StaircaseParams, optimal_gamma
+from .tausworthe import Taus88, VectorTaus88, taus88_seed_streams
+from .urng import ExhaustiveSource, NumpySource, TauswortheSource, UniformCodeSource
+
+__all__ = [
+    "CordicLn",
+    "cordic_iteration_schedule",
+    "FxpGaussianRng",
+    "FxpGeometricRng",
+    "IdealTwoSidedGeometric",
+    "geometric_alpha",
+    "gaussian_sigma",
+    "probit",
+    "FxpInversionRng",
+    "FxpStaircaseRng",
+    "StaircaseParams",
+    "optimal_gamma",
+    "FxpLaplaceConfig",
+    "FxpLaplaceRng",
+    "IdealLaplace",
+    "FibonacciLFSR",
+    "GaloisLFSR",
+    "MAXIMAL_TAPS",
+    "PiecewisePolyLn",
+    "DiscretePMF",
+    "Taus88",
+    "VectorTaus88",
+    "taus88_seed_streams",
+    "ExhaustiveSource",
+    "NumpySource",
+    "TauswortheSource",
+    "UniformCodeSource",
+]

@@ -1,0 +1,177 @@
+"""Fixed-point hyperbolic CORDIC natural logarithm.
+
+DP-Box computes the inverse-CDF logarithm "by implementing a CORDIC
+logarithm function ... the entire logarithm computation can be completed
+in a single cycle" (paper Section IV-B) — i.e. the iterations are unrolled
+combinationally.  We model the arithmetic bit-exactly:
+
+* vectoring-mode hyperbolic CORDIC evaluates ``atanh(y/x)``;
+* with ``x = w + 1`` and ``y = w - 1`` this yields ``ln(w) = 2*atanh(...)``
+  for the mantissa ``w in [1, 2)``;
+* range reduction handles the full URNG alphabet:
+  ``ln(m * 2**-Bu) = ln(w) + (j - Bu) * ln(2)`` where ``m = w * 2**j``.
+
+Hyperbolic CORDIC only converges if iterations ``4, 13, 40, ...``
+(``i_{k+1} = 3*i_k + 1``) are executed twice; :class:`CordicLn` does so.
+
+All internal state is plain integer arithmetic on a ``frac_bits`` grid, so
+the model is faithful to an RTL datapath; a numpy-vectorized evaluation is
+provided for bulk use and is bit-identical to the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CordicLn", "cordic_iteration_schedule"]
+
+
+def cordic_iteration_schedule(n_iterations: int) -> List[int]:
+    """Hyperbolic-CORDIC shift schedule with the mandatory repeats.
+
+    Returns the sequence of shift amounts ``i`` (starting at 1); indices
+    from the series 4, 13, 40, ... appear twice, which is required for the
+    iteration to converge over the full input range.
+    """
+    if n_iterations < 1:
+        raise ConfigurationError("need at least one CORDIC iteration")
+    schedule: List[int] = []
+    repeat_next = 4
+    i = 1
+    while len(schedule) < n_iterations:
+        schedule.append(i)
+        if i == repeat_next and len(schedule) < n_iterations:
+            schedule.append(i)  # mandatory repeated iteration
+            repeat_next = 3 * repeat_next + 1
+        i += 1
+    return schedule
+
+
+class CordicLn:
+    """Fixed-point natural logarithm of ``m * 2**-Bu`` via CORDIC.
+
+    Parameters
+    ----------
+    frac_bits:
+        Fractional bits of the internal x/y/z datapath.  The synthesized
+        DP-Box uses a 20-bit noised output; its log unit carries a few
+        guard bits, so the default is 24.
+    n_iterations:
+        Number of CORDIC micro-rotations (including repeats).  Accuracy is
+        roughly one bit per iteration up to the datapath resolution.
+    """
+
+    def __init__(self, frac_bits: int = 24, n_iterations: int = 20):
+        if frac_bits < 4:
+            raise ConfigurationError("frac_bits must be >= 4")
+        self.frac_bits = frac_bits
+        self.n_iterations = n_iterations
+        self.schedule = cordic_iteration_schedule(n_iterations)
+        one = 1 << frac_bits
+        #: atanh(2**-i) constants on the datapath grid (rounded to nearest).
+        self.atanh_table = [
+            int(round(math.atanh(2.0 ** (-i)) * one)) for i in self.schedule
+        ]
+        #: ln(2) on the datapath grid, used by the range reducer.
+        self.ln2 = int(round(math.log(2.0) * one))
+
+    # ------------------------------------------------------------------
+    # Core: ln of a mantissa in [1, 2), scalar integer datapath
+    # ------------------------------------------------------------------
+    def ln_mantissa_code(self, w_code: int) -> int:
+        """``ln(w)`` for mantissa code ``w_code`` (value ``w_code * 2**-F``).
+
+        ``w_code`` must represent a value in ``[1, 2)``.  Returns the log
+        on the same fixed-point grid.
+        """
+        one = 1 << self.frac_bits
+        if not one <= w_code < 2 * one:
+            raise ConfigurationError(
+                f"mantissa code {w_code} not in [1, 2) at {self.frac_bits} frac bits"
+            )
+        x = w_code + one
+        y = w_code - one
+        z = 0
+        for shift, const in zip(self.schedule, self.atanh_table):
+            if y < 0:
+                x, y, z = x + (y >> shift), y + (x >> shift), z - const
+            else:
+                x, y, z = x - (y >> shift), y - (x >> shift), z + const
+        return 2 * z
+
+    # ------------------------------------------------------------------
+    # Full range reduction: ln(m * 2**-Bu)
+    # ------------------------------------------------------------------
+    def ln_uniform_code(self, m: int, input_bits: int) -> int:
+        """``ln(m * 2**-input_bits)`` for ``m in {1, ..., 2**input_bits}``.
+
+        Returns the (non-positive) log on the internal grid.  ``m`` equal
+        to ``2**input_bits`` maps exactly to 0.
+        """
+        if not 1 <= m <= (1 << input_bits):
+            raise ConfigurationError(f"code {m} outside 1..2**{input_bits}")
+        j = m.bit_length() - 1
+        if m == (1 << j):
+            ln_frac = 0  # exact power of two: mantissa is exactly 1
+        else:
+            # Mantissa w = m * 2**-j in (1, 2); place it on the datapath grid.
+            if j >= self.frac_bits:
+                w_code = m >> (j - self.frac_bits)
+            else:
+                w_code = m << (self.frac_bits - j)
+            ln_frac = self.ln_mantissa_code(w_code)
+        return ln_frac + (j - input_bits) * self.ln2
+
+    def ln_uniform(self, m: int, input_bits: int) -> float:
+        """Float value of :meth:`ln_uniform_code` (code * step)."""
+        return self.ln_uniform_code(m, input_bits) * 2.0 ** (-self.frac_bits)
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluation (bit-identical to the scalar path)
+    # ------------------------------------------------------------------
+    def ln_uniform_codes(self, m: np.ndarray, input_bits: int) -> np.ndarray:
+        """Vectorized :meth:`ln_uniform_code` over an int64 code array."""
+        m = np.asarray(m, dtype=np.int64)
+        if np.any((m < 1) | (m > (1 << input_bits))):
+            raise ConfigurationError("codes outside the URNG alphabet")
+        one = np.int64(1 << self.frac_bits)
+        # Exponent j = floor(log2(m)); bit_length via frexp-free integer math.
+        j = np.zeros_like(m)
+        tmp = m.copy()
+        for shift in (32, 16, 8, 4, 2, 1):
+            mask = tmp >= (np.int64(1) << np.int64(shift))
+            j[mask] += shift
+            tmp[mask] >>= shift
+        # Mantissa codes on the datapath grid.
+        up = self.frac_bits - j
+        w = np.where(up >= 0, m << np.maximum(up, 0), m >> np.maximum(-up, 0))
+        is_pow2 = w == one
+        x = w + one
+        y = w - one
+        z = np.zeros_like(m)
+        for shift, const in zip(self.schedule, self.atanh_table):
+            neg = y < 0
+            dx = np.where(neg, y >> shift, -(y >> shift))
+            dy = np.where(neg, x >> shift, -(x >> shift))
+            dz = np.where(neg, -const, const)
+            x, y, z = x + dx, y + dy, z + dz
+        ln_frac = np.where(is_pow2, np.int64(0), 2 * z)
+        return ln_frac + (j - input_bits) * np.int64(self.ln2)
+
+    # ------------------------------------------------------------------
+    # Accuracy introspection
+    # ------------------------------------------------------------------
+    def max_abs_error(self, input_bits: int, sample_every: int = 1) -> float:
+        """Worst absolute error vs ``math.log`` over the code alphabet.
+
+        ``sample_every`` thins the sweep for large ``input_bits``.
+        """
+        codes = np.arange(1, (1 << input_bits) + 1, sample_every, dtype=np.int64)
+        approx = self.ln_uniform_codes(codes, input_bits) * 2.0 ** (-self.frac_bits)
+        exact = np.log(codes * 2.0 ** (-input_bits))
+        return float(np.max(np.abs(approx - exact)))

@@ -1,0 +1,108 @@
+"""Generic fixed-point inversion-method noise generators.
+
+The paper's analysis (Section III-A4) applies to *any* DP-guaranteeing
+noise distribution realized on finite-precision hardware — it names
+Laplace, Gaussian, and staircase.  This module generalizes the
+fixed-point Laplace RNG's structure: a ``Bu``-bit uniform code drives a
+symmetric inverse-half-CDF, the magnitude is rounded to the ``Δ`` grid
+and saturated to ``By`` bits, and a random bit supplies the sign.
+
+Concrete distributions subclass :class:`FxpInversionRng` by providing the
+magnitude transform; the exact output PMF is obtained by enumerating the
+full code alphabet through the *actual* datapath, so the analyzer in
+:mod:`repro.privacy.loss` treats these generators identically to Laplace.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .laplace_fxp import FxpLaplaceConfig
+from .pmf import DiscretePMF
+from .urng import NumpySource, UniformCodeSource
+
+__all__ = ["FxpInversionRng"]
+
+
+class FxpInversionRng(abc.ABC):
+    """Fixed-point sampler: uniform code → magnitude → grid → signed.
+
+    Reuses :class:`FxpLaplaceConfig` for the bit-width/grid bookkeeping
+    (``lam`` is interpreted by each subclass as its primary scale).
+    """
+
+    def __init__(
+        self,
+        config: FxpLaplaceConfig,
+        source: Optional[UniformCodeSource] = None,
+    ):
+        self.config = config
+        self.source = source if source is not None else NumpySource()
+        self._pmf_cache: Optional[DiscretePMF] = None
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def magnitude_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Inverse half-CDF: uniforms in (0, 1] → nonnegative magnitudes.
+
+        Must be finite for every representable ``u`` (the all-ones code
+        maps to the distribution's largest representable magnitude, which
+        is what bounds the support — the first failure cause).
+        """
+
+    @property
+    @abc.abstractmethod
+    def max_magnitude_real(self) -> float:
+        """Largest magnitude before rounding (at the smallest code)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def top_code(self) -> int:
+        """Largest emitted magnitude code (rounded, saturated)."""
+        unsat = int(math.floor(self.max_magnitude_real / self.config.delta + 0.5))
+        return min(unsat, self.config.max_code)
+
+    def _codes_from_uniform(self, m: np.ndarray) -> np.ndarray:
+        u = m.astype(float) * 2.0 ** (-self.config.input_bits)
+        magnitude = self.magnitude_from_uniform(u)
+        if np.any(~np.isfinite(magnitude)) or np.any(magnitude < 0):
+            raise ConfigurationError("magnitude transform must be finite and >= 0")
+        k = np.floor(magnitude / self.config.delta + 0.5).astype(np.int64)
+        return np.minimum(k, self.config.max_code)
+
+    # ------------------------------------------------------------------
+    def sample_codes(self, n: int) -> np.ndarray:
+        """Draw ``n`` signed output codes."""
+        m = self.source.uniform_codes(n, self.config.input_bits)
+        k = self._codes_from_uniform(m)
+        sign = 1 - 2 * self.source.random_bits(n)
+        return sign * k
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` noise values in real units."""
+        return self.sample_codes(n) * self.config.delta
+
+    def exact_pmf(self) -> DiscretePMF:
+        """Exact signed PMF by enumerating the full code alphabet."""
+        if self._pmf_cache is not None:
+            return self._pmf_cache
+        bu = self.config.input_bits
+        m = np.arange(1, (1 << bu) + 1, dtype=np.int64)
+        k = self._codes_from_uniform(m)
+        top = int(k.max())
+        mag_counts = np.bincount(k, minlength=top + 1)
+        denom = 2 * (1 << bu)
+        signed = np.zeros(2 * top + 1, dtype=np.int64)
+        signed[top] = 2 * mag_counts[0]
+        if top > 0:
+            signed[top + 1 :] = mag_counts[1:]
+            signed[:top] = mag_counts[1:][::-1]
+        self._pmf_cache = DiscretePMF.from_counts(
+            self.config.delta, -top, signed, denom
+        )
+        return self._pmf_cache

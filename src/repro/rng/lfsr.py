@@ -1,0 +1,125 @@
+"""Linear-feedback shift registers.
+
+LFSRs are the cheapest hardware pseudo-random bit sources and serve two
+roles here: (a) as a standalone ultra-low-area URNG option for DP-Box
+variants, and (b) as the building block intuition behind the Tausworthe
+generator (a Tausworthe stage *is* an LFSR with a particular tap/output
+structure).  Both Fibonacci (external-XOR) and Galois (internal-XOR)
+topologies are provided, bit-exact to their hardware definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["FibonacciLFSR", "GaloisLFSR", "MAXIMAL_TAPS"]
+
+#: Known maximal-length tap sets (XNOR/XOR Fibonacci convention, taps are
+#: 1-indexed bit positions whose XOR feeds the input).  Source: standard
+#: tables for maximal-length polynomials.
+MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    20: (20, 17),
+    23: (23, 18),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+class FibonacciLFSR:
+    """External-XOR LFSR: new bit = XOR of the tapped bits, shifted in."""
+
+    def __init__(self, width: int, taps: Sequence[int], seed: int = 1):
+        if width < 2:
+            raise ConfigurationError("LFSR width must be >= 2")
+        if not taps or any(t < 1 or t > width for t in taps):
+            raise ConfigurationError(f"taps must be within 1..{width}, got {taps}")
+        if seed <= 0 or seed >= (1 << width):
+            raise ConfigurationError("seed must be a nonzero state within width bits")
+        self.width = width
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self.state = seed
+
+    @classmethod
+    def maximal(cls, width: int, seed: int = 1) -> "FibonacciLFSR":
+        """Construct a maximal-length LFSR from the built-in tap table."""
+        if width not in MAXIMAL_TAPS:
+            raise ConfigurationError(f"no maximal tap set known for width {width}")
+        return cls(width, MAXIMAL_TAPS[width], seed)
+
+    def step(self) -> int:
+        """Advance one clock; return the output bit (the bit shifted out).
+
+        Tap ``t`` (the exponent of the feedback polynomial term) reads the
+        register bit ``width - t`` in this right-shift topology — the
+        standard table convention.
+        """
+        fb = 0
+        for t in self.taps:
+            fb ^= (self.state >> (self.width - t)) & 1
+        out = self.state & 1
+        self.state = (self.state >> 1) | (fb << (self.width - 1))
+        return out
+
+    def next_bits(self, n: int) -> int:
+        """Collect ``n`` output bits MSB-first into one integer."""
+        value = 0
+        for _ in range(n):
+            value = (value << 1) | self.step()
+        return value
+
+    def sequence(self, n: int) -> List[int]:
+        """Return the next ``n`` output bits as a list."""
+        return [self.step() for _ in range(n)]
+
+
+class GaloisLFSR:
+    """Internal-XOR LFSR; same sequence set as Fibonacci, one-gate-deep."""
+
+    def __init__(self, width: int, mask: int, seed: int = 1):
+        if width < 2:
+            raise ConfigurationError("LFSR width must be >= 2")
+        if mask <= 0 or mask >= (1 << width):
+            raise ConfigurationError("mask must be a nonzero value within width bits")
+        if seed <= 0 or seed >= (1 << width):
+            raise ConfigurationError("seed must be a nonzero state within width bits")
+        self.width = width
+        self.mask = mask
+        self.state = seed
+
+    @classmethod
+    def from_taps(cls, width: int, taps: Sequence[int], seed: int = 1) -> "GaloisLFSR":
+        """Build the Galois mask equivalent to a Fibonacci tap list."""
+        mask = 0
+        for t in taps:
+            mask |= 1 << (t - 1)
+        return cls(width, mask, seed)
+
+    def step(self) -> int:
+        """Advance one clock; return the output bit.
+
+        The mask has bit ``t-1`` set per tap ``t``; maximal polynomials
+        always include ``x^width``, whose mask bit re-inserts the MSB
+        after the shift.
+        """
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self.mask
+        return out
+
+    def next_bits(self, n: int) -> int:
+        """Collect ``n`` output bits MSB-first into one integer."""
+        value = 0
+        for _ in range(n):
+            value = (value << 1) | self.step()
+        return value

@@ -1,0 +1,108 @@
+"""Piecewise-polynomial logarithm approximation.
+
+The paper notes that the inverse-CDF logarithm can be implemented either
+with CORDIC "or a number of polynomial segments of low degree" as done in
+prior energy-efficient fixed-point RNG hardware.  This module provides
+that second option: ``ln`` on the mantissa interval ``[1, 2)`` is
+approximated by ``n_segments`` equal-width polynomial segments of a given
+degree, with coefficients quantized to the datapath grid (a hardware
+implementation stores them in a small ROM and evaluates Horner's rule
+with one multiplier).
+
+The class mirrors :class:`repro.rng.cordic.CordicLn`'s interface so the
+two logarithm back-ends are interchangeable inside the Laplace sampler.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["PiecewisePolyLn"]
+
+
+class PiecewisePolyLn:
+    """Segmented polynomial ``ln`` on ``[1, 2)`` with range reduction."""
+
+    def __init__(self, n_segments: int = 8, degree: int = 2, frac_bits: int = 24):
+        if n_segments < 1:
+            raise ConfigurationError("need at least one segment")
+        if degree < 1:
+            raise ConfigurationError("degree must be >= 1")
+        if frac_bits < 4:
+            raise ConfigurationError("frac_bits must be >= 4")
+        self.n_segments = n_segments
+        self.degree = degree
+        self.frac_bits = frac_bits
+        self.ln2 = int(round(math.log(2.0) * (1 << frac_bits)))
+        self._coeffs = self._fit()
+
+    def _fit(self) -> np.ndarray:
+        """Least-squares fit per segment; coefficients snapped to the grid.
+
+        Each segment ``s`` covers ``[1 + s/S, 1 + (s+1)/S)``; the fit is in
+        the local variable ``t = w - left_edge`` so coefficient magnitudes
+        stay small (friendlier to fixed point).
+        """
+        step = 2.0 ** (-self.frac_bits)
+        coeffs = np.zeros((self.n_segments, self.degree + 1))
+        for s in range(self.n_segments):
+            left = 1.0 + s / self.n_segments
+            right = 1.0 + (s + 1) / self.n_segments
+            t = np.linspace(0.0, right - left, 257)
+            target = np.log(left + t)
+            fit = np.polyfit(t, target, self.degree)  # highest degree first
+            coeffs[s] = np.round(fit / step) * step
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def ln_mantissa(self, w: np.ndarray) -> np.ndarray:
+        """Approximate ``ln(w)`` for ``w`` in ``[1, 2)`` (vectorized)."""
+        w = np.asarray(w, dtype=float)
+        if np.any((w < 1.0) | (w >= 2.0)):
+            raise ConfigurationError("mantissa must be in [1, 2)")
+        seg = np.minimum((np.floor((w - 1.0) * self.n_segments)).astype(int),
+                         self.n_segments - 1)
+        t = w - (1.0 + seg / self.n_segments)
+        out = np.zeros_like(w)
+        step = 2.0 ** (-self.frac_bits)
+        for d in range(self.degree + 1):
+            # Horner's rule with requantization after each multiply-add,
+            # matching a single-multiplier fixed-point datapath.
+            out = np.round((out * t + self._coeffs[seg, d]) / step) * step
+        return out
+
+    def ln_uniform_codes(self, m: np.ndarray, input_bits: int) -> np.ndarray:
+        """``ln(m * 2**-input_bits)`` as codes on the internal grid."""
+        m = np.asarray(m, dtype=np.int64)
+        if np.any((m < 1) | (m > (1 << input_bits))):
+            raise ConfigurationError("codes outside the URNG alphabet")
+        mf = m.astype(float)
+        j = np.floor(np.log2(mf)).astype(np.int64)
+        # Guard against float log2 landing exactly on a power-of-two edge.
+        j = np.where(mf < 2.0 ** j, j - 1, j)
+        j = np.where(mf >= 2.0 ** (j + 1), j + 1, j)
+        w = mf / 2.0 ** j
+        is_pow2 = w == 1.0
+        safe_w = np.where(is_pow2, 1.5, w)
+        ln_frac = np.where(is_pow2, 0.0, self.ln_mantissa(safe_w))
+        ln_frac_codes = np.round(ln_frac * (1 << self.frac_bits)).astype(np.int64)
+        return ln_frac_codes + (j - input_bits) * np.int64(self.ln2)
+
+    def ln_uniform(self, m: int, input_bits: int) -> float:
+        """Scalar convenience wrapper returning a float log value."""
+        return float(
+            self.ln_uniform_codes(np.asarray([m]), input_bits)[0]
+        ) * 2.0 ** (-self.frac_bits)
+
+    def max_abs_error(self, input_bits: int, sample_every: int = 1) -> float:
+        """Worst absolute error vs ``np.log`` over the code alphabet."""
+        codes = np.arange(1, (1 << input_bits) + 1, sample_every, dtype=np.int64)
+        approx = self.ln_uniform_codes(codes, input_bits) * 2.0 ** (-self.frac_bits)
+        exact = np.log(codes * 2.0 ** (-input_bits))
+        return float(np.max(np.abs(approx - exact)))

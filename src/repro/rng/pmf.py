@@ -1,0 +1,190 @@
+"""Discrete probability mass functions on a uniform grid.
+
+The exact privacy-loss analysis (paper Section III) manipulates noise
+distributions that live on the fixed-point grid ``k * delta``.  This
+module provides the small PMF algebra those analyses need: shifting (what
+adding a constant sensor value does), truncation with renormalization
+(resampling), clamping with boundary atoms (thresholding), tails, and
+sampling.
+
+Probabilities are stored as float64 but are exact whenever they originate
+from integer URNG-code counts over a power-of-two denominator, which is
+the case for every PMF the library constructs — float64 represents
+``count / 2**(Bu+1)`` exactly for ``Bu <= 52``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["DiscretePMF"]
+
+
+@dataclasses.dataclass
+class DiscretePMF:
+    """PMF supported on the grid ``{(min_k + i) * step : i in range(len(probs))}``."""
+
+    step: float
+    min_k: int
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.probs = np.asarray(self.probs, dtype=float)
+        if self.probs.ndim != 1 or self.probs.size == 0:
+            raise ConfigurationError("probs must be a nonempty 1-D array")
+        if self.step <= 0:
+            raise ConfigurationError("step must be positive")
+        if np.any(self.probs < 0):
+            raise ConfigurationError("probabilities must be nonnegative")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(cls, step: float, min_k: int, counts: np.ndarray, denom: int) -> "DiscretePMF":
+        """Exact PMF from integer counts over a common denominator."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if np.any(counts < 0):
+            raise ConfigurationError("counts must be nonnegative")
+        if counts.sum() != denom:
+            raise ConfigurationError(
+                f"counts sum to {int(counts.sum())}, expected denominator {denom}"
+            )
+        return cls(step=step, min_k=min_k, probs=counts / float(denom))
+
+    @classmethod
+    def from_samples(cls, step: float, values: np.ndarray) -> "DiscretePMF":
+        """Empirical PMF of grid-aligned samples (values are ``k * step``)."""
+        k = np.asarray(np.round(np.asarray(values, dtype=float) / step), dtype=np.int64)
+        kmin, kmax = int(k.min()), int(k.max())
+        counts = np.bincount(k - kmin, minlength=kmax - kmin + 1)
+        return cls(step=step, min_k=kmin, probs=counts / counts.sum())
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def max_k(self) -> int:
+        """Largest grid index of the stored window."""
+        return self.min_k + self.probs.size - 1
+
+    @property
+    def total(self) -> float:
+        """Total stored mass (1.0 for proper distributions)."""
+        return float(self.probs.sum())
+
+    def support_values(self) -> np.ndarray:
+        """Real values of every stored grid point."""
+        return (np.arange(self.min_k, self.max_k + 1)) * self.step
+
+    def nonzero_bounds(self) -> Tuple[int, int]:
+        """(min_k, max_k) over grid points with strictly positive mass."""
+        idx = np.flatnonzero(self.probs > 0)
+        if idx.size == 0:
+            raise ConfigurationError("PMF has no positive mass")
+        return self.min_k + int(idx[0]), self.min_k + int(idx[-1])
+
+    def prob_at(self, k: int) -> float:
+        """Probability of grid index ``k`` (0 outside the stored window)."""
+        i = k - self.min_k
+        if 0 <= i < self.probs.size:
+            return float(self.probs[i])
+        return 0.0
+
+    def prob_array(self, k_lo: int, k_hi: int) -> np.ndarray:
+        """Probabilities on ``k_lo..k_hi`` inclusive, zero-padded."""
+        if k_hi < k_lo:
+            raise ConfigurationError("k_hi must be >= k_lo")
+        out = np.zeros(k_hi - k_lo + 1)
+        src_lo = max(k_lo, self.min_k)
+        src_hi = min(k_hi, self.max_k)
+        if src_lo <= src_hi:
+            out[src_lo - k_lo : src_hi - k_lo + 1] = self.probs[
+                src_lo - self.min_k : src_hi - self.min_k + 1
+            ]
+        return out
+
+    def tail_ge(self, k: int) -> float:
+        """``Pr[K >= k]``."""
+        i = max(k - self.min_k, 0)
+        if i >= self.probs.size:
+            return 0.0
+        return float(self.probs[i:].sum())
+
+    def tail_le(self, k: int) -> float:
+        """``Pr[K <= k]``."""
+        i = k - self.min_k
+        if i < 0:
+            return 0.0
+        return float(self.probs[: min(i + 1, self.probs.size)].sum())
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Expected value in real units."""
+        return float(np.dot(self.support_values(), self.probs) / self.total)
+
+    def variance(self) -> float:
+        """Variance in real units squared."""
+        v = self.support_values()
+        mu = self.mean()
+        return float(np.dot((v - mu) ** 2, self.probs) / self.total)
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new PMFs)
+    # ------------------------------------------------------------------
+    def shifted(self, dk: int) -> "DiscretePMF":
+        """PMF of ``K + dk`` (adding a grid-aligned constant)."""
+        return DiscretePMF(self.step, self.min_k + dk, self.probs.copy())
+
+    def truncated(self, k_lo: int, k_hi: int, renormalize: bool = True) -> "DiscretePMF":
+        """Conditional PMF given ``k_lo <= K <= k_hi`` (resampling)."""
+        probs = self.prob_array(k_lo, k_hi)
+        mass = probs.sum()
+        if mass <= 0:
+            raise ConfigurationError("truncation window contains no mass")
+        if renormalize:
+            probs = probs / mass
+        return DiscretePMF(self.step, k_lo, probs)
+
+    def clamped(self, k_lo: int, k_hi: int) -> "DiscretePMF":
+        """PMF of ``clip(K, k_lo, k_hi)`` (thresholding boundary atoms)."""
+        if k_hi < k_lo:
+            raise ConfigurationError("k_hi must be >= k_lo")
+        probs = self.prob_array(k_lo, k_hi)
+        probs[0] += self.tail_le(k_lo - 1)
+        probs[-1] += self.tail_ge(k_hi + 1)
+        return DiscretePMF(self.step, k_lo, probs)
+
+    def normalized(self) -> "DiscretePMF":
+        """Scale stored mass to 1."""
+        t = self.total
+        if t <= 0:
+            raise ConfigurationError("cannot normalize zero mass")
+        return DiscretePMF(self.step, self.min_k, self.probs / t)
+
+    # ------------------------------------------------------------------
+    # Sampling & comparison
+    # ------------------------------------------------------------------
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` real-valued samples from the PMF."""
+        rng = rng or np.random.default_rng()
+        p = self.probs / self.total
+        ks = rng.choice(np.arange(self.min_k, self.max_k + 1), size=n, p=p)
+        return ks * self.step
+
+    def total_variation(self, other: "DiscretePMF") -> float:
+        """Total-variation distance to another PMF on the same step."""
+        if not np.isclose(self.step, other.step):
+            raise ConfigurationError("PMFs must share a grid step")
+        lo = min(self.min_k, other.min_k)
+        hi = max(self.max_k, other.max_k)
+        a = self.prob_array(lo, hi) / self.total
+        b = other.prob_array(lo, hi) / other.total
+        return 0.5 * float(np.abs(a - b).sum())

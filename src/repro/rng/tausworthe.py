@@ -1,0 +1,155 @@
+"""Tausworthe (taus88) uniform random number generator.
+
+DP-Box draws its uniform inputs from "a Tausworthe random number
+generator" (paper Section IV-B, citing the fixed-point RNG literature).
+We implement L'Ecuyer's classic three-component combined Tausworthe
+generator (period ~2**88) in two forms:
+
+* :class:`Taus88` — a bit-exact scalar model of the hardware: three 32-bit
+  shift-register components advanced once per clock, outputs XORed.
+* :class:`VectorTaus88` — a lane-parallel numpy variant used by the
+  large-scale utility experiments.  Each lane is an independent, bit-exact
+  taus88 stream; lane 0 with the same seed reproduces :class:`Taus88`
+  exactly (tests assert this).
+
+Both expose ``next_u32`` / ``uniform_codes`` so the Laplace samplers can
+consume raw ``Bu``-bit codes without any floating-point intermediary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Taus88", "VectorTaus88", "taus88_seed_streams"]
+
+_M32 = 0xFFFFFFFF
+
+# Component parameters (q, s, k-mask) of taus88; the masks zero the bits
+# that do not participate in the recurrence of each component.
+_MASK1 = 4294967294  # ~1
+_MASK2 = 4294967288  # ~7
+_MASK3 = 4294967280  # ~15
+
+
+def _check_seed(s1: int, s2: int, s3: int) -> None:
+    if s1 < 2 or s2 < 8 or s3 < 16:
+        raise ConfigurationError(
+            "taus88 seeds must satisfy s1 >= 2, s2 >= 8, s3 >= 16 "
+            f"(got {s1}, {s2}, {s3})"
+        )
+
+
+def taus88_seed_streams(master_seed: int, n_streams: int) -> np.ndarray:
+    """Derive ``n_streams`` valid (s1, s2, s3) seed triples from one seed.
+
+    Uses a SplitMix64-style scrambler so nearby master seeds give unrelated
+    streams.  Returns a ``(n_streams, 3)`` uint64 array.
+    """
+    if n_streams < 1:
+        raise ConfigurationError("need at least one stream")
+    z = (np.uint64(master_seed) + np.uint64(0x9E3779B97F4A7C15) * (
+        np.arange(1, 3 * n_streams + 1, dtype=np.uint64)
+    ))
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    seeds = (z & np.uint64(_M32)).reshape(n_streams, 3)
+    # Enforce the minimum-seed constraints without losing entropy.
+    seeds[:, 0] |= np.uint64(2)
+    seeds[:, 1] |= np.uint64(8)
+    seeds[:, 2] |= np.uint64(16)
+    return seeds
+
+
+class Taus88:
+    """Bit-exact scalar taus88: three components, one output per clock."""
+
+    def __init__(self, seed: int = 12345):
+        seeds = taus88_seed_streams(seed, 1)[0]
+        self.s1, self.s2, self.s3 = (int(seeds[0]), int(seeds[1]), int(seeds[2]))
+        _check_seed(self.s1, self.s2, self.s3)
+
+    @classmethod
+    def from_state(cls, s1: int, s2: int, s3: int) -> "Taus88":
+        """Construct directly from component states (hardware snapshot)."""
+        _check_seed(s1, s2, s3)
+        gen = cls.__new__(cls)
+        gen.s1, gen.s2, gen.s3 = s1 & _M32, s2 & _M32, s3 & _M32
+        return gen
+
+    @property
+    def state(self) -> Tuple[int, int, int]:
+        """Current (s1, s2, s3) register contents."""
+        return (self.s1, self.s2, self.s3)
+
+    def next_u32(self) -> int:
+        """Advance one clock and return the 32-bit combined output."""
+        b = (((self.s1 << 13) & _M32) ^ self.s1) >> 19
+        self.s1 = (((self.s1 & _MASK1) << 12) & _M32) ^ b
+        b = (((self.s2 << 2) & _M32) ^ self.s2) >> 25
+        self.s2 = (((self.s2 & _MASK2) << 4) & _M32) ^ b
+        b = (((self.s3 << 3) & _M32) ^ self.s3) >> 11
+        self.s3 = (((self.s3 & _MASK3) << 17) & _M32) ^ b
+        return self.s1 ^ self.s2 ^ self.s3
+
+    def uniform_code(self, bits: int) -> int:
+        """A uniform code in ``{1, ..., 2**bits}`` (never zero).
+
+        The paper's URNG output is ``u = m * 2**-Bu`` with
+        ``m in {1, ..., 2**Bu}`` so that ``log(u)`` is always finite; the
+        hardware takes the top ``Bu`` bits and treats the all-zeros code as
+        the full-scale value.  ``bits`` may not exceed 32.
+        """
+        if not 1 <= bits <= 32:
+            raise ConfigurationError("bits must be in 1..32")
+        raw = self.next_u32() >> (32 - bits)
+        return raw if raw != 0 else (1 << bits)
+
+    def uniform(self, bits: int = 32) -> float:
+        """A float uniform in (0, 1]: ``uniform_code(bits) * 2**-bits``."""
+        return self.uniform_code(bits) * 2.0 ** (-bits)
+
+
+class VectorTaus88:
+    """Lane-parallel taus88: ``n_lanes`` independent bit-exact streams."""
+
+    def __init__(self, seed: int = 12345, n_lanes: int = 1024):
+        seeds = taus88_seed_streams(seed, n_lanes).astype(np.uint64)
+        self.n_lanes = n_lanes
+        self._s1 = seeds[:, 0] & np.uint64(_M32)
+        self._s2 = seeds[:, 1] & np.uint64(_M32)
+        self._s3 = seeds[:, 2] & np.uint64(_M32)
+
+    def _step(self) -> np.ndarray:
+        m32 = np.uint64(_M32)
+        s1, s2, s3 = self._s1, self._s2, self._s3
+        b = (((s1 << np.uint64(13)) & m32) ^ s1) >> np.uint64(19)
+        s1 = (((s1 & np.uint64(_MASK1)) << np.uint64(12)) & m32) ^ b
+        b = (((s2 << np.uint64(2)) & m32) ^ s2) >> np.uint64(25)
+        s2 = (((s2 & np.uint64(_MASK2)) << np.uint64(4)) & m32) ^ b
+        b = (((s3 << np.uint64(3)) & m32) ^ s3) >> np.uint64(11)
+        s3 = (((s3 & np.uint64(_MASK3)) << np.uint64(17)) & m32) ^ b
+        self._s1, self._s2, self._s3 = s1, s2, s3
+        return s1 ^ s2 ^ s3
+
+    def next_u32(self, n: int) -> np.ndarray:
+        """Return ``n`` 32-bit outputs, drawn round-robin across lanes."""
+        rounds = -(-n // self.n_lanes)
+        chunks = [self._step() for _ in range(rounds)]
+        return np.concatenate(chunks)[:n].astype(np.uint64)
+
+    def uniform_codes(self, n: int, bits: int) -> np.ndarray:
+        """``n`` uniform codes in ``{1, ..., 2**bits}`` as int64."""
+        if not 1 <= bits <= 32:
+            raise ConfigurationError("bits must be in 1..32")
+        raw = (self.next_u32(n) >> np.uint64(32 - bits)).astype(np.int64)
+        raw[raw == 0] = 1 << bits
+        return raw
+
+    def uniforms(self, n: int, bits: int = 32) -> np.ndarray:
+        """``n`` float uniforms in (0, 1]."""
+        return self.uniform_codes(n, bits) * 2.0 ** (-bits)

@@ -1,0 +1,15 @@
+"""Sensor front-end substrate: ADC models, physical signal generators,
+and the composed sensor node (signal → ADC → local privacy)."""
+
+from .adc import ADC
+from .node import SensorNode
+from .signals import heart_rate, occupancy, power_draw, temperature_walk
+
+__all__ = [
+    "ADC",
+    "SensorNode",
+    "heart_rate",
+    "occupancy",
+    "power_draw",
+    "temperature_walk",
+]

@@ -1,0 +1,101 @@
+"""Sensor ADC front end.
+
+The values DP-Box noises come from an ADC: a physical quantity mapped
+onto an ``n_bits`` code grid over the sensor's full-scale range, with the
+non-idealities real converters have (offset, gain error, input-referred
+noise, saturation).  Modelling the front end matters for two reasons:
+
+* the paper sizes DP-Box against "sensors with resolution up to 13 bits"
+  (Section III-D) — resolution is an ADC property;
+* the declared range used for privacy calibration is the ADC's full
+  scale, *not* the data's empirical range — the ADC is what makes the
+  declared range physically enforced (a reading simply cannot leave it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.base import SensorSpec
+
+__all__ = ["ADC"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ADC:
+    """An ``n_bits`` analog-to-digital converter over ``[v_min, v_max]``.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution; codes run ``0 .. 2**n_bits - 1``.
+    v_min, v_max:
+        Full-scale input range.  Inputs outside saturate.
+    noise_std:
+        Input-referred noise (standard deviation, physical units) added
+        before quantization.
+    offset, gain_error:
+        Static non-idealities: the converter digitizes
+        ``(v + offset) * (1 + gain_error)``.
+    """
+
+    n_bits: int
+    v_min: float
+    v_max: float
+    noise_std: float = 0.0
+    offset: float = 0.0
+    gain_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_bits <= 24:
+            raise ConfigurationError("n_bits must be in 1..24")
+        if self.v_max <= self.v_min:
+            raise ConfigurationError("v_max must exceed v_min")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise_std must be nonnegative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_codes(self) -> int:
+        """Number of output codes."""
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self) -> float:
+        """Physical size of one code step."""
+        return (self.v_max - self.v_min) / self.n_codes
+
+    @property
+    def sensor_spec(self) -> SensorSpec:
+        """The declared range DP-Box should be calibrated for."""
+        return SensorSpec(self.v_min, self.v_max)
+
+    # ------------------------------------------------------------------
+    def sample(
+        self, values: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Digitize physical values into integer codes (saturating)."""
+        values = np.asarray(values, dtype=float)
+        distorted = (values + self.offset) * (1.0 + self.gain_error)
+        if self.noise_std > 0:
+            rng = rng or np.random.default_rng()
+            distorted = distorted + rng.normal(0.0, self.noise_std, values.shape)
+        codes = np.floor((distorted - self.v_min) / self.lsb)
+        return np.clip(codes, 0, self.n_codes - 1).astype(np.int64)
+
+    def to_physical(self, codes: np.ndarray) -> np.ndarray:
+        """Mid-rise reconstruction: code center in physical units."""
+        codes = np.asarray(codes)
+        if np.any((codes < 0) | (codes >= self.n_codes)):
+            raise ConfigurationError("codes outside the ADC alphabet")
+        return self.v_min + (codes + 0.5) * self.lsb
+
+    def digitize(
+        self, values: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Sample then reconstruct: what the firmware reads, in units."""
+        return self.to_physical(self.sample(values, rng))

@@ -1,0 +1,63 @@
+"""A complete sensor node: signal → ADC → local privacy.
+
+:class:`SensorNode` composes an :class:`~repro.sensors.adc.ADC` with a
+local mechanism, exactly the datapath the paper's deployment has: the
+physical value is digitized (which clamps it into the declared range by
+construction) and the *digitized* reading is what gets privatized.  The
+mechanism's range is the ADC's full scale, so calibration and physics
+agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms import LocalMechanism, make_mechanism
+from .adc import ADC
+
+__all__ = ["SensorNode"]
+
+
+class SensorNode:
+    """ADC + local mechanism, ranges tied together."""
+
+    def __init__(
+        self,
+        adc: ADC,
+        epsilon: float,
+        arm: str = "thresholding",
+        mechanism: Optional[LocalMechanism] = None,
+        **mechanism_kwargs,
+    ):
+        self.adc = adc
+        if mechanism is not None:
+            if mechanism.sensor.m != adc.v_min or mechanism.sensor.M != adc.v_max:
+                raise ConfigurationError(
+                    "mechanism range must equal the ADC full scale"
+                )
+            self.mechanism = mechanism
+        else:
+            mechanism_kwargs.setdefault("input_bits", 14)
+            self.mechanism = make_mechanism(
+                arm, adc.sensor_spec, epsilon, **mechanism_kwargs
+            )
+
+    # ------------------------------------------------------------------
+    def read_raw(
+        self, physical: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """The firmware-visible (digitized, unprivatized) readings."""
+        return self.adc.digitize(physical, rng)
+
+    def read_private(
+        self, physical: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Digitize then privatize — the only output that may leave."""
+        return self.mechanism.privatize(self.read_raw(physical, rng))
+
+    def is_private(self) -> bool:
+        """Exact certification of the node's mechanism."""
+        return bool(self.mechanism.ldp_report().satisfied)

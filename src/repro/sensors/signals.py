@@ -1,0 +1,116 @@
+"""Physical signal models for the sensor classes the paper motivates.
+
+Deterministic (seeded) generators producing realistic raw streams for
+the wearable / environmental / energy scenarios of the introduction:
+bounded random-walk temperature, circadian heart rate with exercise
+bursts, spiky household power draw, and Markov occupancy.  Each returns
+plain physical-unit arrays; pair with :class:`~repro.sensors.adc.ADC`
+and a mechanism (or DP-Box) via :class:`~repro.sensors.node.SensorNode`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["temperature_walk", "heart_rate", "power_draw", "occupancy"]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def temperature_walk(
+    n: int,
+    start: float = 21.0,
+    lo: float = 15.0,
+    hi: float = 30.0,
+    step_std: float = 0.15,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Mean-reverting bounded random walk (room temperature, °C)."""
+    if n < 1:
+        raise ConfigurationError("need at least one sample")
+    if not lo < start < hi:
+        raise ConfigurationError("start must lie strictly inside [lo, hi]")
+    rng = _rng(seed)
+    mid = 0.5 * (lo + hi)
+    out = np.empty(n)
+    t = start
+    for i in range(n):
+        t += rng.normal(0.0, step_std) + 0.01 * (mid - t)
+        t = min(max(t, lo), hi)
+        out[i] = t
+    return out
+
+
+def heart_rate(
+    n: int,
+    resting: float = 62.0,
+    circadian_amplitude: float = 8.0,
+    samples_per_day: int = 288,
+    exercise_prob: float = 0.01,
+    seed: Optional[int] = 1,
+) -> np.ndarray:
+    """Circadian heart rate (bpm) with occasional exercise bursts."""
+    if n < 1:
+        raise ConfigurationError("need at least one sample")
+    rng = _rng(seed)
+    t = np.arange(n)
+    base = resting + circadian_amplitude * np.sin(
+        2 * np.pi * t / samples_per_day - np.pi / 2
+    )
+    hr = base + rng.normal(0.0, 2.0, n)
+    # Exercise bursts: exponential-decay elevations.
+    bursts = np.flatnonzero(rng.random(n) < exercise_prob)
+    for b in bursts:
+        length = int(rng.integers(6, 20))
+        peak = rng.uniform(40.0, 90.0)
+        idx = np.arange(b, min(b + length, n))
+        hr[idx] += peak * np.exp(-(idx - b) / 6.0)
+    return np.clip(hr, 35.0, 205.0)
+
+
+def power_draw(
+    n: int,
+    baseline: float = 180.0,
+    appliance_prob: float = 0.03,
+    seed: Optional[int] = 2,
+) -> np.ndarray:
+    """Household power (W): baseline + overlapping appliance pulses."""
+    if n < 1:
+        raise ConfigurationError("need at least one sample")
+    rng = _rng(seed)
+    power = np.full(n, baseline) + rng.normal(0.0, 12.0, n)
+    starts = np.flatnonzero(rng.random(n) < appliance_prob)
+    for s in starts:
+        length = int(rng.integers(3, 30))
+        load = rng.choice([800.0, 1500.0, 2200.0, 3000.0])
+        power[s : s + length] += load
+    return np.clip(power, 0.0, 4000.0)
+
+
+def occupancy(
+    n: int,
+    p_arrive: float = 0.05,
+    p_leave: float = 0.03,
+    seed: Optional[int] = 3,
+) -> np.ndarray:
+    """Two-state Markov occupancy (0/1)."""
+    if n < 1:
+        raise ConfigurationError("need at least one sample")
+    if not (0 < p_arrive < 1 and 0 < p_leave < 1):
+        raise ConfigurationError("transition probabilities must be in (0, 1)")
+    rng = _rng(seed)
+    out = np.empty(n, dtype=int)
+    state = 0
+    for i in range(n):
+        if state == 0 and rng.random() < p_arrive:
+            state = 1
+        elif state == 1 and rng.random() < p_leave:
+            state = 0
+        out[i] = state
+    return out

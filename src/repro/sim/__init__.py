@@ -1,0 +1,8 @@
+"""Minimal synchronous hardware-simulation substrate (clock, registers,
+modules) on which the cycle-level DP-Box model is built."""
+
+from .clock import Clock
+from .module import Module
+from .signal import Register
+
+__all__ = ["Clock", "Module", "Register"]

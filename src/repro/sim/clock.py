@@ -1,0 +1,38 @@
+"""Cycle clock for the synchronous hardware models.
+
+A :class:`Clock` is a shared cycle counter that drives one or more
+:class:`~repro.sim.module.Module` instances.  Ticking the clock advances
+every attached module by one cycle in registration order (a single
+synchronous clock domain, which is all DP-Box needs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """Single-domain cycle counter driving registered modules."""
+
+    def __init__(self, frequency_hz: float = 16e6):
+        self.frequency_hz = frequency_hz
+        self.cycle = 0
+        self._modules: List["Module"] = []  # noqa: F821 - forward ref
+
+    def attach(self, module) -> None:
+        """Register a module to be ticked by this clock."""
+        self._modules.append(module)
+
+    def tick(self, n: int = 1) -> None:
+        """Advance ``n`` cycles, ticking every attached module each cycle."""
+        for _ in range(n):
+            self.cycle += 1
+            for mod in self._modules:
+                mod.tick()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall time represented by the elapsed cycles."""
+        return self.cycle / self.frequency_hz

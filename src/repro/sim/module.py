@@ -1,0 +1,41 @@
+"""Base class for synchronous hardware modules."""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from .clock import Clock
+from .signal import Register
+
+__all__ = ["Module"]
+
+
+class Module(abc.ABC):
+    """A clocked module: combinational logic + registers.
+
+    Subclasses implement :meth:`_combinational`, reading register outputs
+    and scheduling register writes; :meth:`tick` runs the logic and then
+    latches every declared register, mimicking a posedge update.
+    """
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self._registers: List[Register] = []
+        clock.attach(self)
+
+    def reg(self, initial) -> Register:
+        """Declare a register owned by this module."""
+        r: Register = Register(initial)
+        self._registers.append(r)
+        return r
+
+    @abc.abstractmethod
+    def _combinational(self) -> None:
+        """One cycle of combinational logic (schedule register writes)."""
+
+    def tick(self) -> None:
+        """Run one clock cycle: logic, then latch every register."""
+        self._combinational()
+        for r in self._registers:
+            r.latch()

@@ -1,0 +1,49 @@
+"""Registers with synchronous update semantics.
+
+A :class:`Register` models a clocked flip-flop bank: writes performed
+during a cycle become visible only after :meth:`latch` (the clock edge).
+This is what keeps the DP-Box FSM honest about what can happen in a
+single hardware cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Register"]
+
+
+class Register(Generic[T]):
+    """A value visible as of the last clock edge, with a pending write."""
+
+    def __init__(self, initial: T):
+        self._q: T = initial
+        self._d: T = initial
+        self._pending = False
+
+    @property
+    def q(self) -> T:
+        """Current (latched) output of the register."""
+        return self._q
+
+    def set(self, value: T) -> None:
+        """Schedule ``value`` to be latched at the next clock edge."""
+        self._d = value
+        self._pending = True
+
+    def latch(self) -> None:
+        """Clock edge: move the pending write (if any) to the output."""
+        if self._pending:
+            self._q = self._d
+            self._pending = False
+
+    def force(self, value: T) -> None:
+        """Asynchronous load (reset/initialization paths only)."""
+        self._q = value
+        self._d = value
+        self._pending = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Register(q={self._q!r})"

@@ -1,0 +1,58 @@
+"""Integration: the exact analyzer and the samplers must tell one story."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GridHistogram, estimate_pairwise_loss
+from repro.privacy.loss import DiscreteMechanismFamily
+
+
+class TestExactPmfVsSampling:
+    @pytest.mark.parametrize("arm", ["baseline", "resampling", "thresholding"])
+    def test_conditional_distribution_matches_family_row(self, arm, request):
+        mech = request.getfixturevalue(f"small_{arm.replace('ing', 'ing')}")
+        x = 0.0
+        y = mech.privatize(np.full(50000, x))
+        hist = GridHistogram.from_samples(y, mech.delta)
+        k_x = int(mech.quantize_inputs(np.array([x]))[0])
+        if hasattr(mech, "window"):
+            mode = "resample" if arm == "resampling" else "threshold"
+            fam = DiscreteMechanismFamily.additive(
+                mech.noise_pmf, [k_x, mech.k_M], window=mech.window, mode=mode
+            )
+        else:
+            fam = DiscreteMechanismFamily.additive(mech.noise_pmf, [k_x, mech.k_M])
+        exact_row = fam.matrix[0]
+        ks = fam.output_codes
+        emp = np.array([hist.count_at(int(k)) for k in ks], dtype=float)
+        emp /= emp.sum()
+        # Aggregate into 10 coarse bins to control sampling noise.
+        for chunk in np.array_split(np.arange(ks.size), 10):
+            assert emp[chunk].sum() == pytest.approx(
+                exact_row[chunk].sum(), abs=0.015
+            ), arm
+
+
+class TestEmpiricalLossAgreesWithExact:
+    def test_guarded_empirical_below_exact_bound(self, small_resampling):
+        exact = small_resampling.ldp_report().worst_loss
+        est = estimate_pairwise_loss(
+            small_resampling,
+            0.0,
+            8.0,
+            small_resampling.delta,
+            n_samples=40000,
+            min_count=25,
+        )
+        assert not est.suggests_violation
+        # With min_count filtering, the empirical max ratio cannot exceed
+        # the exact bound by much more than sampling noise allows.
+        assert est.max_finite_loss < exact + 1.0
+
+    def test_baseline_empirical_flags_what_exact_proves(self, small_baseline):
+        exact = small_baseline.ldp_report()
+        est = estimate_pairwise_loss(
+            small_baseline, 0.0, 8.0, small_baseline.delta, n_samples=60000
+        )
+        assert exact.n_infinite_outputs > 0
+        assert est.suggests_violation

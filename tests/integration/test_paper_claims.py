@@ -1,0 +1,175 @@
+"""Integration: the paper's headline claims, end to end.
+
+Each test states a claim from the paper and verifies it with the full
+stack (exact analysis + sampling + hardware model), not module-local
+shortcuts.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DPBox,
+    DPBoxConfig,
+    DPBoxDriver,
+    GuardMode,
+    SensorSpec,
+    make_mechanism,
+)
+from repro.core import EnergyModel, SoftwareNoiser, SW_FXP_CYCLES
+from repro.datasets import load
+from repro.queries import MeanQuery, mae_trials
+
+
+class TestClaimNaiveFxpIsNotLdp:
+    """Section III-A3: naive fixed-point Laplace has infinite loss."""
+
+    def test_exact_analysis_finds_infinite_loss(self, small_baseline):
+        rep = small_baseline.ldp_report(epsilon_target=math.inf)
+        assert rep.n_infinite_outputs > 0
+
+    def test_both_failure_causes_present(self, small_baseline):
+        # Cause 1: bounded support — outputs beyond x+L impossible.
+        # Cause 2: tail holes — zero-probability bins inside the support.
+        pmf = small_baseline.noise_pmf
+        lo, hi = pmf.nonzero_bounds()
+        assert hi < 10**9  # bounded
+        interior = pmf.prob_array(lo, hi)
+        assert np.any(interior == 0.0)  # holes
+
+    def test_higher_resolution_does_not_fix_it(self, small_sensor):
+        # "as long as Bx is finite ... there always exists a large
+        # difference in the tail region".
+        rich = make_mechanism(
+            "baseline", small_sensor, 0.5, input_bits=20, output_bits=24, delta=8 / 64
+        )
+        assert not rich.is_ldp()
+
+
+class TestClaimGuardsRestoreLdp:
+    """Section III-B: resampling and thresholding guarantee n·ε-LDP."""
+
+    def test_resampling_certified(self, small_resampling):
+        rep = small_resampling.ldp_report()
+        assert rep.satisfied and rep.is_finite
+
+    def test_thresholding_certified(self, small_thresholding):
+        rep = small_thresholding.ldp_report()
+        assert rep.satisfied and rep.is_finite
+
+    def test_guards_hold_across_epsilon(self, small_sensor, small_kwargs):
+        for eps in (0.25, 0.5, 1.0):
+            for arm in ("resampling", "thresholding"):
+                mech = make_mechanism(arm, small_sensor, eps, **small_kwargs)
+                assert mech.ldp_report().satisfied, (arm, eps)
+
+    def test_guards_hold_for_hardware_log_backend(self, small_sensor):
+        # The guard guarantee must survive a CORDIC (not exact) logarithm
+        # because calibration runs on the exact-log PMF but the DP-Box
+        # datapath is close; here we calibrate directly on the CORDIC PMF.
+        from repro.rng import CordicLn
+
+        mech = make_mechanism(
+            "thresholding",
+            small_sensor,
+            0.5,
+            input_bits=12,
+            output_bits=16,
+            delta=8 / 64,
+            log_backend=CordicLn(frac_bits=24, n_iterations=24),
+        )
+        assert mech.ldp_report().satisfied
+
+
+class TestClaimUtilityPreserved:
+    """Tables II–V: guarded mechanisms match ideal utility closely."""
+
+    def test_mean_query_mae_within_2x_of_ideal(self):
+        ds = load("statlog-heart", seed=1)
+        ideal = make_mechanism("ideal", ds.sensor, 0.5)
+        base_mae = mae_trials(ideal, ds.values, MeanQuery(), n_trials=30).mean()
+        for arm in ("baseline", "resampling", "thresholding"):
+            mech = make_mechanism(arm, ds.sensor, 0.5, input_bits=14)
+            mae = mae_trials(mech, ds.values, MeanQuery(), n_trials=30).mean()
+            assert mae < 2.5 * base_mae + 1e-9, arm
+
+
+class TestClaimLatency:
+    """Section V / Fig. 11: 2 cycles + at most ~1 extra for resampling."""
+
+    def test_dpbox_threshold_always_two_cycles(self, dpbox_driver):
+        assert {dpbox_driver.noise(4.0).cycles for _ in range(30)} == {2}
+
+    def test_dpbox_resample_average_below_three(self):
+        box = DPBox(DPBoxConfig(input_bits=12, range_frac_bits=6, guard_mode=GuardMode.RESAMPLE))
+        drv = DPBoxDriver(box)
+        drv.initialize(budget=1e9)
+        drv.configure(epsilon_exponent=1, range_lower=0.0, range_upper=8.0)
+        cycles = [drv.noise(0.0).cycles for _ in range(300)]
+        assert np.mean(cycles) < 3.0  # "never adds more than a cycle on average"
+
+
+class TestClaimEnergy:
+    """Section III-D: hardware wins by 894x / 318x."""
+
+    def test_ratios(self):
+        model = EnergyModel()
+        assert model.ratio_vs_fxp_software() == pytest.approx(894, rel=0.01)
+        assert model.ratio_vs_float_software() == pytest.approx(318, rel=0.01)
+
+    def test_software_model_grounds_the_constant(self):
+        sw = SoftwareNoiser(seed=0, calibrate_to_paper=True)
+        assert sw.average_cycles(8) == pytest.approx(SW_FXP_CYCLES, rel=0.1)
+
+
+class TestClaimBudgetControl:
+    """Section VI-D: finite budget caps the averaging adversary."""
+
+    def test_attack_floor_with_and_without_budget(self, small_thresholding):
+        from repro.attacks import floor_error, run_averaging_attack_mechanism
+
+        floors_nb, floors_b = [], []
+        for _ in range(8):
+            floors_nb.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=4000
+                    )
+                )
+            )
+            floors_b.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=4000, budget=8.0
+                    )
+                )
+            )
+        assert np.mean(floors_b) > 2 * np.mean(floors_nb)
+
+
+class TestClaimRandomizedResponse:
+    """Section VI-E: threshold-zero DP-Box implements RR."""
+
+    def test_rr_channel_is_exactly_ldp(self):
+        rr = make_mechanism(
+            "rr", SensorSpec(0.0, 1.0), 2.0, input_bits=12, output_bits=16, delta=1 / 64
+        )
+        rep = rr.ldp_report(epsilon_target=rr.exact_epsilon())
+        assert rep.satisfied
+
+    def test_population_estimate_converges(self):
+        rr = make_mechanism(
+            "rr", SensorSpec(0.0, 1.0), 2.0, input_bits=12, output_bits=16, delta=1 / 64
+        )
+        rng = np.random.default_rng(0)
+        maes = []
+        for n in (100, 1000, 10000):
+            errs = []
+            for _ in range(15):
+                bits = (rng.random(n) < 0.35).astype(int)
+                est = rr.estimate_frequency(rr.privatize_bits(bits))
+                errs.append(abs(est - bits.mean()))
+            maes.append(np.mean(errs))
+        assert maes[2] < maes[0]  # Fig. 14's downward trend

@@ -1,0 +1,83 @@
+"""Property-based tests: fixed-point arithmetic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    Fxp,
+    OverflowPolicy,
+    QFormat,
+    dequantize_codes,
+    quantize_array,
+    quantize_code,
+)
+
+formats = st.builds(
+    QFormat,
+    total_bits=st.integers(min_value=3, max_value=24),
+    frac_bits=st.integers(min_value=-2, max_value=20),
+)
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(fmt=formats, value=finite_floats)
+def test_quantize_always_in_range(fmt, value):
+    code = quantize_code(value, fmt)
+    assert fmt.min_code <= code <= fmt.max_code
+
+
+@given(fmt=formats, value=finite_floats)
+def test_quantize_error_bounded_by_half_step_in_range(fmt, value):
+    clipped = min(max(value, fmt.min_value), fmt.max_value)
+    code = quantize_code(clipped, fmt)
+    assert abs(code * fmt.step - clipped) <= fmt.step / 2 + 1e-9 * abs(clipped)
+
+
+@given(fmt=formats, code=st.integers(min_value=-(2**23), max_value=2**23))
+def test_roundtrip_on_grid_is_identity(fmt, code):
+    code = max(fmt.min_code, min(fmt.max_code, code))
+    assert quantize_code(code * fmt.step, fmt) == code
+
+
+@given(fmt=formats, value=finite_floats)
+def test_wrap_is_congruent_modulo_span(fmt, value):
+    raw = int(np.sign(value) * np.floor(abs(value) / fmt.step + 0.5))
+    wrapped = quantize_code(value, fmt, overflow=OverflowPolicy.WRAP)
+    assert (wrapped - raw) % fmt.num_codes == 0
+
+
+@settings(max_examples=50)
+@given(
+    fmt=formats,
+    values=st.lists(finite_floats, min_size=1, max_size=40),
+)
+def test_vector_matches_scalar(fmt, values):
+    arr = np.array(values)
+    vec = quantize_array(arr, fmt)
+    scalar = [quantize_code(float(v), fmt) for v in values]
+    np.testing.assert_array_equal(vec, scalar)
+
+
+@given(fmt=formats, a=finite_floats, b=finite_floats)
+def test_add_commutative(fmt, a, b):
+    x = Fxp.from_float(a, fmt)
+    y = Fxp.from_float(b, fmt)
+    assert x.add(y).code == y.add(x).code
+
+
+@given(fmt=formats, a=finite_floats)
+def test_double_negation_fixed_point(fmt, a):
+    x = Fxp.from_float(a, fmt)
+    # neg saturates at min_code, so double negation is identity except
+    # when x is min_code (which maps to max_code and back to -max_code).
+    if x.code != fmt.min_code:
+        assert x.neg().neg().code == x.code
+
+
+@given(fmt=formats, codes=st.lists(st.integers(-(2**22), 2**22), min_size=1, max_size=20))
+def test_dequantize_scales_linearly(fmt, codes):
+    arr = np.array([max(fmt.min_code, min(fmt.max_code, c)) for c in codes])
+    np.testing.assert_allclose(dequantize_codes(arr, fmt), arr * fmt.step)

@@ -1,0 +1,81 @@
+"""Property-based tests: DiscretePMF transformation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import DiscretePMF
+
+
+@st.composite
+def pmfs(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    raw = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100), min_size=n, max_size=n
+        ).filter(lambda xs: sum(xs) > 0)
+    )
+    min_k = draw(st.integers(min_value=-50, max_value=50))
+    step = draw(st.sampled_from([0.25, 0.5, 1.0, 2.0]))
+    probs = np.array(raw, dtype=float) / sum(raw)
+    return DiscretePMF(step=step, min_k=min_k, probs=probs)
+
+
+@given(pmf=pmfs())
+def test_total_is_one(pmf):
+    assert abs(pmf.total - 1.0) < 1e-12
+
+
+@given(pmf=pmfs(), dk=st.integers(min_value=-100, max_value=100))
+def test_shift_preserves_probabilities(pmf, dk):
+    shifted = pmf.shifted(dk)
+    np.testing.assert_array_equal(shifted.probs, pmf.probs)
+    assert shifted.min_k == pmf.min_k + dk
+
+
+@given(pmf=pmfs(), dk=st.integers(min_value=-100, max_value=100))
+def test_shift_moves_mean_exactly(pmf, dk):
+    assert abs(pmf.shifted(dk).mean() - (pmf.mean() + dk * pmf.step)) < 1e-9
+
+
+@given(pmf=pmfs())
+def test_clamp_to_full_window_is_identity(pmf):
+    cl = pmf.clamped(pmf.min_k, pmf.max_k)
+    np.testing.assert_allclose(cl.probs, pmf.probs)
+
+
+@given(pmf=pmfs(), lo=st.integers(-60, 60), hi=st.integers(-60, 60))
+def test_clamp_preserves_mass(pmf, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    assert abs(pmf.clamped(lo, hi).total - pmf.total) < 1e-12
+
+
+@given(pmf=pmfs())
+def test_truncation_renormalizes(pmf):
+    lo, hi = pmf.nonzero_bounds()
+    tr = pmf.truncated(lo, hi)
+    assert abs(tr.total - 1.0) < 1e-12
+
+
+@given(pmf=pmfs(), k=st.integers(-120, 120))
+def test_tails_complementary(pmf, k):
+    assert abs(pmf.tail_le(k - 1) + pmf.tail_ge(k) - pmf.total) < 1e-12
+
+
+@given(pmf=pmfs(), k=st.integers(-120, 120))
+def test_tail_monotone(pmf, k):
+    assert pmf.tail_ge(k) >= pmf.tail_ge(k + 1) - 1e-15
+
+
+@given(pmf=pmfs())
+def test_tv_symmetric_and_bounded(pmf):
+    other = pmf.shifted(3)
+    tv = pmf.total_variation(other)
+    assert 0.0 <= tv <= 1.0 + 1e-12
+    assert abs(tv - other.total_variation(pmf)) < 1e-12
+
+
+@settings(max_examples=30)
+@given(pmf=pmfs())
+def test_variance_nonnegative(pmf):
+    assert pmf.variance() >= -1e-12

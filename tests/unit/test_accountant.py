@@ -1,0 +1,85 @@
+"""Budget accountant and composition."""
+
+import pytest
+
+from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.privacy import BudgetAccountant, compose_losses
+
+
+class TestCompose:
+    def test_sum(self):
+        assert compose_losses([0.5, 0.25, 0.25]) == 1.0
+
+    def test_empty_is_zero(self):
+        assert compose_losses([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose_losses([0.5, -0.1])
+
+
+class TestAccountant:
+    def test_initial_state(self):
+        acc = BudgetAccountant(2.0)
+        assert acc.spent == 0.0
+        assert acc.remaining == 2.0
+
+    def test_spend_accumulates(self):
+        acc = BudgetAccountant(2.0)
+        acc.spend(0.5)
+        acc.spend(0.25)
+        assert acc.spent == pytest.approx(0.75)
+        assert acc.remaining == pytest.approx(1.25)
+
+    def test_history(self):
+        acc = BudgetAccountant(2.0)
+        acc.spend(0.5)
+        acc.spend(0.3)
+        assert acc.history == [0.5, 0.3]
+
+    def test_overspend_raises(self):
+        acc = BudgetAccountant(1.0)
+        acc.spend(0.9)
+        with pytest.raises(BudgetExhaustedError):
+            acc.spend(0.2)
+
+    def test_overspend_leaves_state_untouched(self):
+        acc = BudgetAccountant(1.0)
+        acc.spend(0.9)
+        try:
+            acc.spend(0.2)
+        except BudgetExhaustedError:
+            pass
+        assert acc.spent == pytest.approx(0.9)
+
+    def test_can_spend(self):
+        acc = BudgetAccountant(1.0)
+        assert acc.can_spend(1.0)
+        acc.spend(0.6)
+        assert not acc.can_spend(0.5)
+        assert acc.can_spend(0.4)
+
+    def test_exact_exhaustion_allowed(self):
+        acc = BudgetAccountant(1.0)
+        acc.spend(1.0)
+        assert acc.remaining == 0.0
+
+    def test_reset(self):
+        acc = BudgetAccountant(1.0)
+        acc.spend(0.7)
+        acc.reset()
+        assert acc.remaining == 1.0
+        assert acc.history == []
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetAccountant(1.0).spend(-0.1)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetAccountant(0.0)
+
+    def test_remaining_never_negative(self):
+        acc = BudgetAccountant(1.0)
+        acc.spend(1.0)
+        assert acc.remaining == 0.0

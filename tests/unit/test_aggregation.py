@@ -1,0 +1,191 @@
+"""Aggregation substrate: reports, devices, server, fleet harness."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggregationServer, Device, Report, run_fleet
+from repro.errors import ConfigurationError
+from repro.mechanisms import SensorSpec, make_mechanism
+
+SENSOR = SensorSpec(0.0, 8.0)
+KW = dict(input_bits=12, output_bits=16, delta=8 / 64)
+
+
+def make_device(device_id="dev-1", budget=None):
+    return Device(device_id, make_mechanism("thresholding", SENSOR, 0.5, **KW), budget)
+
+
+class TestReport:
+    def test_valid(self):
+        r = Report(device_id="d", epoch=0, value=1.0, claimed_loss=0.5)
+        assert r.value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Report(device_id="", epoch=0, value=1.0, claimed_loss=0.5)
+        with pytest.raises(ConfigurationError):
+            Report(device_id="d", epoch=-1, value=1.0, claimed_loss=0.5)
+        with pytest.raises(ConfigurationError):
+            Report(device_id="d", epoch=0, value=1.0, claimed_loss=0.0)
+
+
+class TestDevice:
+    def test_report_carries_noised_value(self):
+        dev = make_device()
+        r = dev.report(4.0, epoch=0)
+        assert r.device_id == "dev-1"
+        assert r.claimed_loss == pytest.approx(1.0)  # 2·ε
+
+    def test_reports_vary(self):
+        dev = make_device()
+        values = {dev.report(4.0, epoch=0).value for _ in range(20)}
+        assert len(values) > 3
+
+    def test_budget_caps_fresh_reports(self):
+        dev = make_device(budget=3.0)
+        replies = [dev.report(4.0, epoch=e) for e in range(10)]
+        assert dev.n_fresh == 3  # 3.0 / 1.0 per report
+        assert dev.n_cached == 7
+        cached_values = {r.value for r in replies[3:]}
+        assert len(cached_values) == 1  # replayed
+
+    def test_replenish(self):
+        dev = make_device(budget=1.0)
+        dev.report(4.0, epoch=0)
+        dev.report(4.0, epoch=1)
+        assert dev.n_cached == 1
+        dev.replenish()
+        dev.report(4.0, epoch=2)
+        assert dev.n_fresh == 2
+
+    def test_budget_exhausted_without_cache_raises(self):
+        dev = make_device(budget=0.5)  # below one report's loss
+        with pytest.raises(ConfigurationError):
+            dev.report(4.0, epoch=0)
+
+    def test_no_budget_unlimited(self):
+        dev = make_device(budget=None)
+        for e in range(20):
+            dev.report(4.0, epoch=e)
+        assert dev.n_fresh == 20
+        assert dev.remaining_budget is None
+
+
+class TestServer:
+    @pytest.fixture()
+    def loaded_server(self):
+        server = AggregationServer(noise_scale=16.0)
+        rng = np.random.default_rng(0)
+        dev_values = rng.uniform(0, 8, 200)
+        mech = make_mechanism("thresholding", SENSOR, 0.5, **KW)
+        for epoch in range(3):
+            noised = mech.privatize(dev_values)
+            for i, v in enumerate(noised):
+                server.submit(
+                    Report(device_id=f"d{i}", epoch=epoch, value=float(v), claimed_loss=1.0)
+                )
+        return server, dev_values
+
+    def test_epochs_listed(self, loaded_server):
+        server, _ = loaded_server
+        assert server.epochs == [0, 1, 2]
+
+    def test_summary_counts(self, loaded_server):
+        server, _ = loaded_server
+        s = server.summarize(0)
+        assert s.n_reports == 200 and s.n_devices == 200
+
+    def test_mean_estimate_close(self, loaded_server):
+        server, dev_values = loaded_server
+        s = server.summarize(0)
+        # λ=16, N=200 → std of mean ≈ 1.6
+        assert s.mean == pytest.approx(dev_values.mean(), abs=6.0)
+
+    def test_debiased_variance_closer(self, loaded_server):
+        server, dev_values = loaded_server
+        s = server.summarize(0)
+        assert s.variance_debiased is not None
+        true_var = float(dev_values.var())
+        assert abs(s.variance_debiased - true_var) < abs(s.variance - true_var)
+
+    def test_count_above(self, loaded_server):
+        server, _ = loaded_server
+        c = server.count_above(0, threshold=4.0)
+        assert 0 <= c <= 200
+
+    def test_unknown_epoch(self, loaded_server):
+        server, _ = loaded_server
+        with pytest.raises(ConfigurationError):
+            server.reports(99)
+
+    def test_worst_case_disclosure_composition(self):
+        server = AggregationServer()
+        for epoch in range(5):
+            server.submit(
+                Report(device_id="d0", epoch=epoch, value=float(epoch), claimed_loss=0.5)
+            )
+        assert server.worst_case_disclosure("d0") == pytest.approx(2.5)
+        assert server.worst_case_disclosure("ghost") == 0.0
+
+    def test_disclosure_bound_is_conservative_for_replays(self):
+        server = AggregationServer()
+        # The same cached value replayed across epochs still counts —
+        # the server cannot verify the device's cache claims.
+        for epoch in range(4):
+            server.submit(
+                Report(device_id="d0", epoch=epoch, value=7.0, claimed_loss=1.0)
+            )
+        assert server.worst_case_disclosure("d0") == pytest.approx(4.0)
+
+
+class TestFleet:
+    def test_fleet_estimates_track_truth(self):
+        rng = np.random.default_rng(1)
+        truth = rng.normal(4.0, 0.5, size=(4, 400)).clip(0, 8)
+        result = run_fleet(
+            truth, SENSOR, epsilon=0.5, rng=np.random.default_rng(2), **KW
+        )
+        assert len(result.estimated_means) == 4
+        assert result.mean_abs_error < 2.0
+
+    def test_dropout_tolerated(self):
+        rng = np.random.default_rng(3)
+        truth = rng.normal(4.0, 0.5, size=(3, 100)).clip(0, 8)
+        result = run_fleet(
+            truth,
+            SENSOR,
+            epsilon=0.5,
+            dropout=0.5,
+            rng=np.random.default_rng(4),
+            **KW,
+        )
+        for e in result.server.epochs:
+            n = result.server.summarize(e).n_reports
+            assert 0 < n < 100
+
+    def test_device_budgets_enforced(self):
+        truth = np.full((10, 20), 4.0)
+        result = run_fleet(
+            truth,
+            SENSOR,
+            epsilon=0.5,
+            device_budget=3.0,
+            rng=np.random.default_rng(5),
+            **KW,
+        )
+        for dev in result.devices:
+            assert dev.n_fresh <= 3
+            # The device's own accountant is the authoritative bound...
+            assert dev.remaining_budget is not None
+            actual = 3.0 - dev.remaining_budget
+            assert actual <= 3.0 + 1e-9
+            # ...and the server's conservative bound can only exceed it
+            # (it cannot distinguish cached replays from fresh reports).
+            server_bound = result.server.worst_case_disclosure(dev.device_id)
+            assert server_bound >= actual - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet(np.zeros(5), SENSOR, 0.5)
+        with pytest.raises(ConfigurationError):
+            run_fleet(np.zeros((2, 3)), SENSOR, 0.5, dropout=1.0)

@@ -1,0 +1,117 @@
+"""Analysis helpers: histograms, empirical loss, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GridHistogram,
+    estimate_pairwise_loss,
+    overlap_fraction,
+    render_series,
+    render_table,
+    tail_region,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGridHistogram:
+    def test_from_samples(self):
+        h = GridHistogram.from_samples(np.array([0.0, 0.5, 0.5, 1.0]), step=0.5)
+        assert h.min_k == 0
+        np.testing.assert_array_equal(h.counts, [1, 2, 1])
+
+    def test_values(self):
+        h = GridHistogram.from_samples(np.array([1.0, 2.0]), step=1.0)
+        np.testing.assert_allclose(h.values(), [1.0, 2.0])
+
+    def test_count_at_outside(self):
+        h = GridHistogram.from_samples(np.array([0.0]), step=1.0)
+        assert h.count_at(99) == 0
+
+    def test_to_pmf_total(self):
+        h = GridHistogram.from_samples(np.array([0.0, 1.0, 1.0]), step=1.0)
+        assert h.to_pmf().total == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridHistogram.from_samples(np.array([]), step=1.0)
+
+
+class TestTailRegion:
+    def test_upper_tail_contains_small_mass(self):
+        rng = np.random.default_rng(0)
+        h = GridHistogram.from_samples(rng.normal(0, 10, 20000), step=1.0)
+        lo, hi = tail_region(h, tail_fraction=0.05, side="upper")
+        mass = sum(h.count_at(k) for k in range(lo, hi + 1)) / h.counts.sum()
+        assert mass <= 0.05 + 0.01
+
+    def test_lower_tail(self):
+        rng = np.random.default_rng(1)
+        h = GridHistogram.from_samples(rng.normal(0, 10, 20000), step=1.0)
+        lo, hi = tail_region(h, tail_fraction=0.05, side="lower")
+        assert lo == h.min_k and hi < 0
+
+    def test_validation(self):
+        h = GridHistogram.from_samples(np.array([0.0]), step=1.0)
+        with pytest.raises(ConfigurationError):
+            tail_region(h, tail_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            tail_region(h, side="middle")
+
+
+class TestOverlap:
+    def test_identical_full_overlap(self):
+        h = GridHistogram.from_samples(np.array([0.0, 1.0, 2.0]), step=1.0)
+        assert overlap_fraction(h, h) == 1.0
+
+    def test_disjoint_zero_overlap(self):
+        a = GridHistogram.from_samples(np.array([0.0]), step=1.0)
+        b = GridHistogram.from_samples(np.array([5.0]), step=1.0)
+        assert overlap_fraction(a, b) == 0.0
+
+    def test_windowed(self):
+        a = GridHistogram.from_samples(np.array([0.0, 5.0]), step=1.0)
+        b = GridHistogram.from_samples(np.array([0.0, 9.0]), step=1.0)
+        assert overlap_fraction(a, b, window=(0, 0)) == 1.0
+
+
+class TestEmpiricalLoss:
+    def test_guarded_mechanism_bounded(self, small_thresholding):
+        est = estimate_pairwise_loss(
+            small_thresholding, 0.0, 8.0, small_thresholding.delta, n_samples=30000
+        )
+        assert not est.suggests_violation
+        # Sampling noise inflates ratios; stay within ~2x of the bound.
+        assert est.max_finite_loss < 2 * small_thresholding.claimed_loss_bound
+
+    def test_baseline_violation_detected(self, small_baseline):
+        est = estimate_pairwise_loss(
+            small_baseline, 0.0, 8.0, small_baseline.delta, n_samples=60000
+        )
+        assert est.suggests_violation
+
+    def test_validation(self, small_baseline):
+        with pytest.raises(ConfigurationError):
+            estimate_pairwise_loss(small_baseline, 0.0, 8.0, 0.1, n_samples=10)
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_render_series(self):
+        text = render_series("n", [1, 2], [("y", [0.1, 0.2]), ("z", [3, 4])])
+        assert "n" in text and "y" in text and "z" in text
+        assert len(text.splitlines()) == 4

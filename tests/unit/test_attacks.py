@@ -1,0 +1,126 @@
+"""Adversary models: averaging attacker and tail distinguisher."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    distinguishing_outputs,
+    floor_error,
+    run_averaging_attack,
+    run_averaging_attack_mechanism,
+    run_distinguisher,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAveragingMechanismLevel:
+    def test_no_budget_error_decays(self, small_thresholding):
+        # Averaged over repeats: any single early estimate can be lucky.
+        early, late = [], []
+        for _ in range(8):
+            trace = run_averaging_attack_mechanism(
+                small_thresholding, 4.0, 8.0, n_requests=8000
+            )
+            early.append(trace.relative_errors[2])
+            late.append(floor_error(trace))
+        assert np.mean(late) < np.mean(early)
+
+    def test_budget_floors_error(self, small_thresholding):
+        # Averaged over repeats: a single budget-limited floor is itself a
+        # random variable and can occasionally land near the truth.
+        nb, wb = [], []
+        for _ in range(10):
+            nb.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=8000
+                    )
+                )
+            )
+            wb.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=8000, budget=10.0
+                    )
+                )
+            )
+        assert np.mean(wb) > np.mean(nb)
+
+    def test_bigger_budget_lower_floor(self, small_thresholding):
+        small_b = run_averaging_attack_mechanism(
+            small_thresholding, 4.0, 8.0, n_requests=4000, budget=5.0
+        )
+        # Averaged over repeats to tame single-trace variance.
+        floors_small, floors_big = [], []
+        for _ in range(10):
+            floors_small.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=4000, budget=5.0
+                    )
+                )
+            )
+            floors_big.append(
+                floor_error(
+                    run_averaging_attack_mechanism(
+                        small_thresholding, 4.0, 8.0, n_requests=4000, budget=200.0
+                    )
+                )
+            )
+        assert np.mean(floors_big) < np.mean(floors_small)
+        _ = small_b
+
+    def test_cached_count(self, small_thresholding):
+        trace = run_averaging_attack_mechanism(
+            small_thresholding, 4.0, 8.0, n_requests=100, budget=3.0, per_query_loss=1.0
+        )
+        assert trace.n_cached == 97
+
+    def test_checkpoints_ascending(self, small_thresholding):
+        trace = run_averaging_attack_mechanism(
+            small_thresholding, 4.0, 8.0, n_requests=500
+        )
+        assert np.all(np.diff(trace.checkpoints) > 0)
+        assert trace.checkpoints[-1] == 500
+
+    def test_validation(self, small_thresholding):
+        with pytest.raises(ConfigurationError):
+            run_averaging_attack_mechanism(small_thresholding, 4.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            run_averaging_attack_mechanism(
+                small_thresholding, 4.0, 8.0, budget=1.0, per_query_loss=0.0
+            )
+
+
+class TestAveragingHardwareLevel:
+    def test_attack_on_dpbox_is_floored_by_cache(self, dpbox_driver):
+        trace = run_averaging_attack(dpbox_driver, 4.0, 8.0, n_requests=300)
+        # Budget 100 at ~0.5+/query exhausts well before 300 requests.
+        assert trace.n_cached > 0
+        assert trace.estimates.size == trace.checkpoints.size
+
+
+class TestDistinguisher:
+    def test_baseline_has_certain_outputs(self, small_baseline):
+        only1, only2, both = distinguishing_outputs(small_baseline, 0.0, 8.0)
+        assert only1.size > 0 and only2.size > 0 and both.size > 0
+
+    def test_guarded_has_none(self, small_thresholding, small_resampling):
+        for mech in (small_thresholding, small_resampling):
+            only1, only2, _ = distinguishing_outputs(mech, 0.0, 8.0)
+            assert only1.size == 0 and only2.size == 0
+
+    def test_report_consistency(self, small_baseline):
+        rep = run_distinguisher(small_baseline, 0.0, 8.0, n_samples=6000)
+        assert rep.certain_rate_x1 > 0
+        assert 0 <= rep.observed_certain_fraction <= 1
+        assert 0 <= rep.bayes_advantage <= 0.5
+
+    def test_same_hypothesis_rejected(self, small_baseline):
+        with pytest.raises(ConfigurationError):
+            distinguishing_outputs(small_baseline, 4.0, 4.0 + 1e-6)
+
+    def test_observed_matches_exact_rate(self, small_baseline):
+        rep = run_distinguisher(small_baseline, 0.0, 8.0, n_samples=40000)
+        expected = 0.5 * (rep.certain_rate_x1 + rep.certain_rate_x2)
+        assert rep.observed_certain_fraction == pytest.approx(expected, abs=0.005)

@@ -1,0 +1,110 @@
+"""Budget engine: Algorithm 1 semantics, caching, replenishment."""
+
+import pytest
+
+from repro.core import BudgetEngine, Segment, SegmentTable
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+
+@pytest.fixture()
+def table():
+    return SegmentTable(
+        k_m=0,
+        k_M=10,
+        segments=(Segment(0, 0.5), Segment(4, 0.75), Segment(10, 1.0)),
+    )
+
+
+class TestCharging:
+    def test_in_range_charge(self, table):
+        eng = BudgetEngine(table, budget=2.0)
+        d = eng.submit(5)
+        assert d.charged == 0.5
+        assert not d.from_cache
+        assert eng.remaining == pytest.approx(1.5)
+
+    def test_far_output_charged_more(self, table):
+        eng = BudgetEngine(table, budget=2.0)
+        assert eng.submit(13).charged == 0.75  # offset 3 <= 4
+        assert eng.submit(-8).charged == 1.0  # offset 8 <= 10
+
+    def test_adaptive_charging_beats_flat_worst_case(self, table):
+        # Algorithm 1's point: central outputs cost less, so the budget
+        # lasts longer than worst-case counting would allow.
+        eng = BudgetEngine(table, budget=2.0)
+        replies = [eng.submit(5) for _ in range(4)]
+        assert all(not r.from_cache for r in replies)  # 4 > 2.0/1.0 worst case
+
+
+class TestCaching:
+    def test_cache_replays_last_fresh_output(self, table):
+        eng = BudgetEngine(table, budget=1.0)
+        first = eng.submit(3)
+        second = eng.submit(7)
+        third = eng.submit(9)  # budget (1.0) cannot cover another 0.5
+        assert not first.from_cache and not second.from_cache
+        assert third.from_cache
+        assert third.k_out == second.k_out
+        assert third.charged == 0.0
+
+    def test_cache_counts(self, table):
+        eng = BudgetEngine(table, budget=1.0)
+        for k in (3, 7, 9, 2):
+            eng.submit(k)
+        assert eng.n_fresh_replies == 2
+        assert eng.n_cached_replies == 2
+
+    def test_no_cache_raises(self, table):
+        eng = BudgetEngine(table, budget=1.0, cache_on_exhaustion=False)
+        eng.submit(3)
+        eng.submit(7)
+        with pytest.raises(BudgetExhaustedError):
+            eng.submit(9)
+
+    def test_exhausted_before_any_output_raises(self, table):
+        eng = BudgetEngine(table, budget=0.1)
+        with pytest.raises(BudgetExhaustedError):
+            eng.submit(3)  # 0.5 > 0.1 and nothing cached yet
+
+
+class TestReplenishment:
+    def test_replenish_restores_budget(self, table):
+        eng = BudgetEngine(table, budget=1.0, replenish_period_cycles=100)
+        eng.submit(3)
+        eng.submit(7)
+        assert not eng.accountant.can_spend(0.5)
+        eng.advance_cycles(100)
+        assert eng.accountant.can_spend(0.5)
+        assert eng.n_replenishments == 1
+
+    def test_partial_period_no_replenish(self, table):
+        eng = BudgetEngine(table, budget=1.0, replenish_period_cycles=100)
+        eng.submit(3)
+        eng.advance_cycles(99)
+        assert eng.n_replenishments == 0
+
+    def test_multiple_periods_in_one_advance(self, table):
+        eng = BudgetEngine(table, budget=1.0, replenish_period_cycles=10)
+        eng.advance_cycles(35)
+        assert eng.n_replenishments == 3
+
+    def test_cycles_carry_over(self, table):
+        eng = BudgetEngine(table, budget=1.0, replenish_period_cycles=10)
+        eng.advance_cycles(9)
+        eng.advance_cycles(1)
+        assert eng.n_replenishments == 1
+
+    def test_no_period_no_replenish(self, table):
+        eng = BudgetEngine(table, budget=1.0)
+        eng.advance_cycles(10**6)
+        assert eng.n_replenishments == 0
+
+
+class TestValidation:
+    def test_budget_positive(self, table):
+        with pytest.raises(ConfigurationError):
+            BudgetEngine(table, budget=0.0)
+
+    def test_period_positive(self, table):
+        with pytest.raises(ConfigurationError):
+            BudgetEngine(table, budget=1.0, replenish_period_cycles=0)

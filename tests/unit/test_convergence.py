@@ -1,0 +1,97 @@
+"""Analytic error predictions vs measured behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    devices_for_target_mae,
+    predicted_mean_mae,
+    predicted_rr_std,
+    variance_bias,
+)
+from repro.errors import ConfigurationError
+from repro.rng import IdealLaplace
+
+
+class TestMeanMae:
+    def test_scaling_with_n(self):
+        assert predicted_mean_mae(10.0, 400) == pytest.approx(
+            predicted_mean_mae(10.0, 100) / 2
+        )
+
+    def test_matches_simulation(self):
+        lam, n = 8.0, 500
+        rng = np.random.default_rng(0)
+        lap = IdealLaplace(lam)
+        errors = [abs(lap.sample(n, rng).mean()) for _ in range(400)]
+        assert np.mean(errors) == pytest.approx(predicted_mean_mae(lam, n), rel=0.1)
+
+    def test_devices_for_target_inverse(self):
+        lam = 16.0
+        n = devices_for_target_mae(lam, target_mae=0.5)
+        assert predicted_mean_mae(lam, n) <= 0.5
+        assert predicted_mean_mae(lam, max(n - 1, 1)) > 0.5 or n == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_mean_mae(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            devices_for_target_mae(1.0, 0.0)
+
+
+class TestVarianceBias:
+    def test_formula(self):
+        assert variance_bias(3.0) == 18.0
+
+    def test_matches_simulation(self):
+        lam = 5.0
+        rng = np.random.default_rng(1)
+        noise = IdealLaplace(lam).sample(200000, rng)
+        assert np.var(noise) == pytest.approx(variance_bias(lam), rel=0.05)
+
+
+class TestRRStd:
+    def test_matches_simulation(self):
+        p, n, truth = 0.8, 2000, 0.3
+        rng = np.random.default_rng(2)
+        ests = []
+        for _ in range(400):
+            bits = rng.random(n) < truth
+            keep = rng.random(n) < p
+            reported = np.where(keep, bits, ~bits)
+            est = (reported.mean() - (1 - p)) / (2 * p - 1)
+            ests.append(est)
+        measured = float(np.std(ests))
+        predicted = predicted_rr_std(p, n)
+        assert measured <= predicted * 1.1  # conservative bound holds
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_rr_std(0.5, 100)
+        with pytest.raises(ConfigurationError):
+            predicted_rr_std(0.8, 0)
+
+
+class TestEndToEndPrediction:
+    def test_fleet_mae_tracks_prediction(self):
+        """The theory predicts the measured fleet accuracy (within CLT
+        slack and guard-truncation effects that only shrink the noise)."""
+        from repro.aggregation import run_fleet
+        from repro.mechanisms import SensorSpec
+
+        sensor = SensorSpec(0.0, 8.0)
+        eps, n_dev = 0.5, 800
+        rng = np.random.default_rng(3)
+        truth = rng.uniform(2, 6, size=(6, n_dev))
+        result = run_fleet(
+            truth,
+            sensor,
+            epsilon=eps,
+            rng=np.random.default_rng(4),
+            input_bits=12,
+            output_bits=16,
+            delta=8 / 64,
+        )
+        predicted = predicted_mean_mae(sensor.d / eps, n_dev)
+        assert result.mean_abs_error < 2.5 * predicted
+        assert result.mean_abs_error > predicted / 4

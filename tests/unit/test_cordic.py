@@ -1,0 +1,101 @@
+"""CORDIC logarithm: schedule, accuracy, scalar/vector equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import CordicLn, cordic_iteration_schedule
+
+
+class TestSchedule:
+    def test_contains_repeats_at_4(self):
+        sched = cordic_iteration_schedule(8)
+        assert sched.count(4) == 2
+
+    def test_contains_repeats_at_13(self):
+        sched = cordic_iteration_schedule(20)
+        assert sched.count(13) == 2
+
+    def test_monotone_nondecreasing(self):
+        sched = cordic_iteration_schedule(30)
+        assert all(b >= a for a, b in zip(sched, sched[1:]))
+
+    def test_length(self):
+        assert len(cordic_iteration_schedule(17)) == 17
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            cordic_iteration_schedule(0)
+
+
+class TestMantissaLn:
+    @pytest.fixture(scope="class")
+    def unit(self):
+        return CordicLn(frac_bits=24, n_iterations=24)
+
+    @pytest.mark.parametrize("w", [1.0, 1.1, 1.25, 1.5, 1.75, 1.999])
+    def test_accuracy(self, unit, w):
+        code = int(round(w * (1 << 24)))
+        code = min(code, 2 * (1 << 24) - 1)
+        got = unit.ln_mantissa_code(code) * 2.0**-24
+        assert got == pytest.approx(math.log(code * 2.0**-24), abs=5e-6)
+
+    def test_ln_one_is_nearly_zero(self, unit):
+        # The iterative datapath leaves a few-LSB residual at w = 1; the
+        # range reducer special-cases exact powers of two (see
+        # test_full_scale_code_maps_to_zero).
+        assert abs(unit.ln_mantissa_code(1 << 24)) <= 16
+
+    def test_rejects_out_of_domain(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.ln_mantissa_code((1 << 24) - 1)  # < 1.0
+        with pytest.raises(ConfigurationError):
+            unit.ln_mantissa_code(2 << 24)  # >= 2.0
+
+
+class TestUniformLn:
+    @pytest.fixture(scope="class")
+    def unit(self):
+        return CordicLn(frac_bits=24, n_iterations=24)
+
+    def test_full_scale_code_maps_to_zero(self, unit):
+        assert unit.ln_uniform_code(1 << 10, input_bits=10) == 0
+
+    def test_smallest_code(self, unit):
+        got = unit.ln_uniform(1, input_bits=10)
+        assert got == pytest.approx(-10 * math.log(2.0), abs=1e-5)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 100, 511, 512, 513, 1023, 1024])
+    def test_accuracy_across_alphabet(self, unit, m):
+        got = unit.ln_uniform(m, input_bits=10)
+        assert got == pytest.approx(math.log(m / 1024.0), abs=5e-6)
+
+    def test_rejects_out_of_alphabet(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.ln_uniform_code(0, input_bits=10)
+        with pytest.raises(ConfigurationError):
+            unit.ln_uniform_code(1025, input_bits=10)
+
+
+class TestVectorized:
+    def test_matches_scalar_everywhere(self):
+        unit = CordicLn(frac_bits=20, n_iterations=18)
+        codes = np.arange(1, (1 << 10) + 1, dtype=np.int64)
+        vec = unit.ln_uniform_codes(codes, input_bits=10)
+        scalar = np.array([unit.ln_uniform_code(int(m), 10) for m in codes])
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_max_abs_error_small(self):
+        unit = CordicLn(frac_bits=24, n_iterations=24)
+        assert unit.max_abs_error(input_bits=12) < 1e-5
+
+    def test_fewer_iterations_worse(self):
+        coarse = CordicLn(frac_bits=24, n_iterations=6)
+        fine = CordicLn(frac_bits=24, n_iterations=24)
+        assert coarse.max_abs_error(10) > fine.max_abs_error(10)
+
+    def test_rejects_frac_bits_too_small(self):
+        with pytest.raises(ConfigurationError):
+            CordicLn(frac_bits=2)

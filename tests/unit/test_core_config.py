@@ -1,0 +1,81 @@
+"""DP-Box configuration and command encodings."""
+
+import pytest
+
+from repro.core import Command, DPBoxConfig, GuardMode, validate_epsilon_exponent
+from repro.errors import ConfigurationError
+
+
+class TestCommands:
+    def test_three_bit_encodings(self):
+        for cmd in Command:
+            assert 0 <= int(cmd) < 8
+
+    def test_encodings_distinct(self):
+        assert len({int(c) for c in Command}) == len(Command)
+
+    def test_all_seven_commands_present(self):
+        assert len(Command) == 7
+
+
+class TestGuardMode:
+    def test_toggle(self):
+        assert GuardMode.RESAMPLE.toggled() is GuardMode.THRESHOLD
+        assert GuardMode.THRESHOLD.toggled() is GuardMode.RESAMPLE
+
+    def test_double_toggle_identity(self):
+        for mode in GuardMode:
+            assert mode.toggled().toggled() is mode
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = DPBoxConfig()
+        assert cfg.output_bits == 20  # the paper's datapath width
+
+    def test_delta_for_range(self):
+        cfg = DPBoxConfig(range_frac_bits=5)
+        assert cfg.delta_for_range(10.0) == pytest.approx(10 / 32)
+
+    def test_delta_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig().delta_for_range(0.0)
+
+    def test_segment_levels_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(segment_levels=(2.0, 1.0))
+
+    def test_segment_levels_capped_by_loss_multiple(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(loss_multiple=2.0, segment_levels=(1.0, 3.0))
+
+    def test_loss_multiple_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(loss_multiple=1.0)
+
+    def test_bit_width_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(input_bits=1)
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(output_bits=2)
+
+    def test_negative_fixed_draws_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DPBoxConfig(fixed_resample_draws=-1)
+
+    def test_frozen(self):
+        cfg = DPBoxConfig()
+        with pytest.raises(Exception):
+            cfg.input_bits = 5
+
+
+class TestEpsilonExponent:
+    def test_valid_range(self):
+        for nm in range(0, 9):
+            validate_epsilon_exponent(nm)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            validate_epsilon_exponent(-1)
+        with pytest.raises(ConfigurationError):
+            validate_epsilon_exponent(9)

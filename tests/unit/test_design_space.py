@@ -1,0 +1,68 @@
+"""Datapath design-space exploration (Section III-D sizing claims)."""
+
+import pytest
+
+from repro.core import design_point, minimum_input_bits
+from repro.errors import CalibrationError, ConfigurationError
+
+
+class TestDesignPoint:
+    def test_feasible_point(self):
+        p = design_point(10.0, 0.5, input_bits=14, range_frac_bits=6)
+        assert p.threshold > 0
+        assert p.worst_loss_bound == 1.0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(CalibrationError):
+            design_point(10.0, 0.0625, input_bits=6, range_frac_bits=6)
+
+    def test_resample_reports_acceptance(self):
+        p = design_point(10.0, 0.5, input_bits=14, range_frac_bits=6, mode="resample")
+        assert p.edge_acceptance is not None
+        assert 0.5 < p.edge_acceptance <= 1.0
+
+    def test_threshold_mode_no_acceptance(self):
+        p = design_point(10.0, 0.5, input_bits=14, range_frac_bits=6)
+        assert p.edge_acceptance is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            design_point(0.0, 0.5, input_bits=12)
+
+
+class TestMinimumInputBits:
+    def test_monotone_in_epsilon(self):
+        """Section III-D's direction: smaller eps needs wider datapaths."""
+        widths = [
+            minimum_input_bits(10.0, eps, range_frac_bits=6).input_bits
+            for eps in (1.0, 0.25, 0.0625)
+        ]
+        assert widths == sorted(widths)
+        assert widths[-1] > widths[0]
+
+    def test_returned_point_is_minimal(self):
+        p = minimum_input_bits(10.0, 0.25, range_frac_bits=6)
+        with pytest.raises(CalibrationError):
+            design_point(10.0, 0.25, input_bits=p.input_bits - 1, range_frac_bits=6)
+
+    def test_acceptance_floor_costs_bits(self):
+        cheap = minimum_input_bits(10.0, 0.5, range_frac_bits=6, mode="resample")
+        efficient = minimum_input_bits(
+            10.0, 0.5, range_frac_bits=6, mode="resample", min_acceptance=0.95
+        )
+        assert efficient.input_bits >= cheap.input_bits
+        assert efficient.edge_acceptance is not None
+        assert efficient.edge_acceptance >= 0.95
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(CalibrationError):
+            minimum_input_bits(10.0, 0.01, range_frac_bits=6, max_bits=8)
+
+    def test_acceptance_floor_needs_resample_mode(self):
+        with pytest.raises(ConfigurationError):
+            minimum_input_bits(10.0, 0.5, min_acceptance=0.9, mode="threshold")
+
+    def test_finer_sensor_resolution_needs_more_bits(self):
+        coarse = minimum_input_bits(10.0, 0.25, range_frac_bits=5).input_bits
+        fine = minimum_input_bits(10.0, 0.25, range_frac_bits=8).input_bits
+        assert fine >= coarse

@@ -1,0 +1,45 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExhaustedError,
+    CalibrationError,
+    ConfigurationError,
+    FixedPointError,
+    HardwareProtocolError,
+    OverflowPolicyError,
+    PrivacyError,
+    PrivacyViolationError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            FixedPointError,
+            OverflowPolicyError,
+            PrivacyError,
+            PrivacyViolationError,
+            BudgetExhaustedError,
+            CalibrationError,
+            HardwareProtocolError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_privacy_subtree(self):
+        assert issubclass(PrivacyViolationError, PrivacyError)
+        assert issubclass(BudgetExhaustedError, PrivacyError)
+        assert issubclass(CalibrationError, PrivacyError)
+
+    def test_fixed_point_subtree(self):
+        assert issubclass(OverflowPolicyError, FixedPointError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise BudgetExhaustedError("out of budget")

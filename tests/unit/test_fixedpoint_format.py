@@ -1,0 +1,96 @@
+"""QFormat: ranges, steps, representability."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import DPBOX_NOISE_FORMAT, QFormat
+
+
+class TestConstruction:
+    def test_basic_signed(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        assert fmt.signed
+        assert fmt.int_bits == 3
+
+    def test_unsigned_int_bits(self):
+        fmt = QFormat(total_bits=8, frac_bits=4, signed=False)
+        assert fmt.int_bits == 4
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(total_bits=0, frac_bits=0)
+
+    def test_rejects_one_bit_signed(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(total_bits=1, frac_bits=0, signed=True)
+
+    def test_one_bit_unsigned_allowed(self):
+        fmt = QFormat(total_bits=1, frac_bits=0, signed=False)
+        assert fmt.max_code == 1
+
+    def test_frozen(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        with pytest.raises(Exception):
+            fmt.total_bits = 10
+
+
+class TestRanges:
+    def test_signed_code_range(self):
+        fmt = QFormat(total_bits=8, frac_bits=0)
+        assert fmt.min_code == -128
+        assert fmt.max_code == 127
+
+    def test_unsigned_code_range(self):
+        fmt = QFormat(total_bits=8, frac_bits=0, signed=False)
+        assert fmt.min_code == 0
+        assert fmt.max_code == 255
+
+    def test_step(self):
+        assert QFormat(total_bits=8, frac_bits=4).step == 1 / 16
+
+    def test_negative_frac_bits_coarse_grid(self):
+        fmt = QFormat(total_bits=8, frac_bits=-2)
+        assert fmt.step == 4.0
+
+    def test_value_range(self):
+        fmt = QFormat(total_bits=4, frac_bits=2)
+        assert fmt.min_value == -2.0
+        assert fmt.max_value == 1.75
+
+    def test_num_codes(self):
+        assert QFormat(total_bits=10, frac_bits=0).num_codes == 1024
+
+
+class TestRepresentable:
+    def test_on_grid_in_range(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        assert fmt.representable(0.25)
+
+    def test_off_grid(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        assert not fmt.representable(0.3)
+
+    def test_out_of_range(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        assert not fmt.representable(100.0)
+
+    def test_extremes_representable(self):
+        fmt = QFormat(total_bits=8, frac_bits=4)
+        assert fmt.representable(fmt.min_value)
+        assert fmt.representable(fmt.max_value)
+
+
+class TestDescribe:
+    def test_signed_notation(self):
+        assert QFormat(total_bits=20, frac_bits=12).describe() == "sQ7.12"
+
+    def test_unsigned_notation(self):
+        assert QFormat(total_bits=8, frac_bits=8, signed=False).describe() == "uQ0.8"
+
+
+class TestDpboxFormat:
+    def test_is_20_bit(self):
+        assert DPBOX_NOISE_FORMAT.total_bits == 20
+
+    def test_signed(self):
+        assert DPBOX_NOISE_FORMAT.signed

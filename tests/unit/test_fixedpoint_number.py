@@ -1,0 +1,133 @@
+"""Fxp scalar arithmetic: quantization, saturation, wrap, shifts."""
+
+import pytest
+
+from repro.errors import FixedPointError, OverflowPolicyError
+from repro.fixedpoint import Fxp, OverflowPolicy, QFormat, RoundingMode, quantize_code
+
+FMT = QFormat(total_bits=8, frac_bits=4)
+
+
+class TestQuantizeCode:
+    def test_exact_value(self):
+        assert quantize_code(0.5, FMT) == 8
+
+    def test_round_to_nearest(self):
+        assert quantize_code(0.49, FMT) == 8
+
+    def test_ties_away_from_zero_positive(self):
+        # 0.03125 = half step above 0 -> rounds to 1 LSB
+        assert quantize_code(FMT.step / 2, FMT) == 1
+
+    def test_ties_away_from_zero_negative(self):
+        assert quantize_code(-FMT.step / 2, FMT) == -1
+
+    def test_floor_mode(self):
+        assert quantize_code(0.49, FMT, rounding=RoundingMode.FLOOR) == 7
+
+    def test_saturates_high(self):
+        assert quantize_code(1000.0, FMT) == FMT.max_code
+
+    def test_saturates_low(self):
+        assert quantize_code(-1000.0, FMT) == FMT.min_code
+
+    def test_error_policy_raises(self):
+        with pytest.raises(OverflowPolicyError):
+            quantize_code(1000.0, FMT, overflow=OverflowPolicy.ERROR)
+
+    def test_wrap_policy(self):
+        # max_value + one step wraps to min_value
+        code = quantize_code(FMT.max_value + FMT.step, FMT, overflow=OverflowPolicy.WRAP)
+        assert code == FMT.min_code
+
+
+class TestConstruction:
+    def test_roundtrip(self):
+        x = Fxp.from_float(1.25, FMT)
+        assert x.to_float() == 1.25
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(FixedPointError):
+            Fxp(code=1000, fmt=FMT)
+
+    def test_requantize_coarser(self):
+        fine = QFormat(total_bits=12, frac_bits=8)
+        x = Fxp.from_float(0.30078125, fine)  # 77/256
+        y = x.requantize(FMT)
+        assert y.to_float() == pytest.approx(0.3125)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Fxp.from_float(1.0, FMT)
+        b = Fxp.from_float(2.0, FMT)
+        assert a.add(b).to_float() == 3.0
+
+    def test_add_saturates(self):
+        a = Fxp.from_float(FMT.max_value, FMT)
+        b = Fxp.from_float(1.0, FMT)
+        assert a.add(b).to_float() == FMT.max_value
+
+    def test_add_wraps(self):
+        a = Fxp.from_float(FMT.max_value, FMT)
+        b = Fxp(1, FMT)
+        assert a.add(b, overflow=OverflowPolicy.WRAP).to_float() == FMT.min_value
+
+    def test_sub(self):
+        a = Fxp.from_float(1.0, FMT)
+        b = Fxp.from_float(2.5, FMT)
+        assert a.sub(b).to_float() == -1.5
+
+    def test_mul(self):
+        a = Fxp.from_float(1.5, FMT)
+        b = Fxp.from_float(2.0, FMT)
+        assert a.mul(b).to_float() == 3.0
+
+    def test_mul_requantizes(self):
+        a = Fxp.from_float(FMT.step, FMT)
+        b = Fxp.from_float(FMT.step, FMT)
+        # step*step = step²; rounds to 0 on the step grid
+        assert a.mul(b).to_float() == 0.0
+
+    def test_format_mismatch_rejected(self):
+        other = QFormat(total_bits=8, frac_bits=2)
+        with pytest.raises(FixedPointError):
+            Fxp.from_float(1.0, FMT).add(Fxp.from_float(1.0, other))
+
+    def test_shift_left(self):
+        x = Fxp.from_float(0.5, FMT)
+        assert x.shift(2).to_float() == 2.0
+
+    def test_shift_right_floors(self):
+        x = Fxp(-3, FMT)  # -3 >> 1 = -2 (floor)
+        assert x.shift(-1).code == -2
+
+    def test_shift_left_saturates(self):
+        x = Fxp.from_float(FMT.max_value, FMT)
+        assert x.shift(4).code == FMT.max_code
+
+    def test_neg(self):
+        assert Fxp.from_float(1.5, FMT).neg().to_float() == -1.5
+
+    def test_neg_min_saturates(self):
+        x = Fxp(FMT.min_code, FMT)
+        assert x.neg().code == FMT.max_code
+
+    def test_abs_negative(self):
+        assert Fxp.from_float(-2.0, FMT).abs().to_float() == 2.0
+
+    def test_abs_positive_identity(self):
+        x = Fxp.from_float(2.0, FMT)
+        assert x.abs() is x
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a = Fxp.from_float(1.0, FMT)
+        b = Fxp.from_float(2.0, FMT)
+        assert a < b and b > a and a <= a and b >= b
+
+    def test_cross_format_comparison_rejected(self):
+        other = QFormat(total_bits=8, frac_bits=2)
+        with pytest.raises(FixedPointError):
+            _ = Fxp.from_float(1.0, FMT) < Fxp.from_float(2.0, other)

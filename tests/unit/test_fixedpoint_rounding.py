@@ -1,0 +1,56 @@
+"""Rounding modes."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import RoundingMode, round_scaled
+
+
+class TestNearest:
+    def test_half_away_positive(self):
+        assert round_scaled(2.5, RoundingMode.NEAREST) == 3.0
+
+    def test_half_away_negative(self):
+        assert round_scaled(-2.5, RoundingMode.NEAREST) == -3.0
+
+    def test_plain(self):
+        assert round_scaled(2.4, RoundingMode.NEAREST) == 2.0
+
+
+class TestNearestEven:
+    def test_ties_to_even_up(self):
+        assert round_scaled(1.5, RoundingMode.NEAREST_EVEN) == 2.0
+
+    def test_ties_to_even_down(self):
+        assert round_scaled(2.5, RoundingMode.NEAREST_EVEN) == 2.0
+
+
+class TestDirected:
+    def test_floor_negative(self):
+        assert round_scaled(-1.2, RoundingMode.FLOOR) == -2.0
+
+    def test_ceil_negative(self):
+        assert round_scaled(-1.2, RoundingMode.CEIL) == -1.0
+
+    def test_truncate_negative(self):
+        assert round_scaled(-1.8, RoundingMode.TRUNCATE) == -1.0
+
+    def test_truncate_positive(self):
+        assert round_scaled(1.8, RoundingMode.TRUNCATE) == 1.0
+
+
+class TestArrayBehaviour:
+    def test_array_in_array_out(self):
+        out = round_scaled(np.array([0.4, 0.6, -0.5]), RoundingMode.NEAREST)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [0.0, 1.0, -1.0])
+
+    def test_scalar_in_scalar_out(self):
+        out = round_scaled(0.4)
+        assert isinstance(out, float)
+
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_integers_are_fixed_points(self, mode):
+        np.testing.assert_array_equal(
+            round_scaled(np.array([-3.0, 0.0, 7.0]), mode), [-3.0, 0.0, 7.0]
+        )

@@ -1,0 +1,82 @@
+"""Vectorized quantization must match the scalar path bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverflowPolicyError
+from repro.fixedpoint import (
+    Fxp,
+    OverflowPolicy,
+    QFormat,
+    dequantize_codes,
+    quantization_error,
+    quantize_array,
+    quantize_code,
+    saturate_codes,
+)
+
+FMT = QFormat(total_bits=8, frac_bits=4)
+
+
+class TestScalarEquivalence:
+    def test_matches_scalar_on_grid_sweep(self):
+        values = np.linspace(FMT.min_value - 2, FMT.max_value + 2, 701)
+        vec = quantize_array(values, FMT)
+        scalar = np.array([quantize_code(float(v), FMT) for v in values])
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_matches_scalar_wrap(self):
+        values = np.array([FMT.max_value + FMT.step, FMT.min_value - FMT.step])
+        vec = quantize_array(values, FMT, overflow=OverflowPolicy.WRAP)
+        scalar = [
+            quantize_code(float(v), FMT, overflow=OverflowPolicy.WRAP) for v in values
+        ]
+        np.testing.assert_array_equal(vec, scalar)
+
+
+class TestSaturateCodes:
+    def test_clips(self):
+        out = saturate_codes(np.array([1000, -1000, 5]), FMT)
+        np.testing.assert_array_equal(out, [FMT.max_code, FMT.min_code, 5])
+
+    def test_error_policy(self):
+        with pytest.raises(OverflowPolicyError):
+            saturate_codes(np.array([1000]), FMT, OverflowPolicy.ERROR)
+
+    def test_dtype_int64(self):
+        assert saturate_codes(np.array([1.0, 2.0]), FMT).dtype == np.int64
+
+
+class TestDequantize:
+    def test_roundtrip(self):
+        codes = np.arange(FMT.min_code, FMT.max_code + 1)
+        values = dequantize_codes(codes, FMT)
+        np.testing.assert_array_equal(quantize_array(values, FMT), codes)
+
+    def test_scaling(self):
+        np.testing.assert_allclose(dequantize_codes(np.array([16]), FMT), [1.0])
+
+
+class TestQuantizationError:
+    def test_bounded_by_half_step(self):
+        values = np.random.default_rng(0).uniform(FMT.min_value, FMT.max_value, 1000)
+        err = quantization_error(values, FMT)
+        assert np.all(np.abs(err) <= FMT.step / 2 + 1e-12)
+
+    def test_zero_on_grid(self):
+        values = dequantize_codes(np.arange(-5, 6), FMT)
+        np.testing.assert_allclose(quantization_error(values, FMT), 0.0, atol=1e-15)
+
+    def test_roundtrip_value_consistency(self):
+        # value + (-error) reconstructs the quantized value
+        values = np.array([0.11, 0.26, -0.33])
+        err = quantization_error(values, FMT)
+        recon = values + err
+        np.testing.assert_allclose(
+            recon, dequantize_codes(quantize_array(values, FMT), FMT)
+        )
+
+    def test_fxp_agrees(self):
+        v = 0.27
+        err = quantization_error(np.array([v]), FMT)[0]
+        assert Fxp.from_float(v, FMT).to_float() == pytest.approx(v + err)

@@ -1,0 +1,78 @@
+"""FxpMechanismBase: grids, quantization, verification codes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mechanisms import FxpBaselineMechanism, SensorSpec
+
+
+@pytest.fixture(scope="module")
+def mech():
+    return FxpBaselineMechanism(
+        SensorSpec(0.0, 8.0), 0.5, input_bits=12, output_bits=16, delta=8 / 64
+    )
+
+
+class TestGrid:
+    def test_range_endpoints_snap(self, mech):
+        assert mech.k_m == 0
+        assert mech.k_M == 64
+
+    def test_default_delta_is_d_over_128(self):
+        m = FxpBaselineMechanism(SensorSpec(0.0, 8.0), 0.5, input_bits=12)
+        assert m.delta == pytest.approx(8.0 / 128)
+
+    def test_collapsing_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FxpBaselineMechanism(
+                SensorSpec(0.0, 0.01), 0.5, input_bits=12, delta=8.0
+            )
+
+
+class TestQuantizeInputs:
+    def test_round_to_nearest(self, mech):
+        # delta = 0.125; 1.06 -> code 8 (1.0), 1.07 -> code 9 (1.125)
+        codes = mech.quantize_inputs(np.array([1.06, 1.07]))
+        np.testing.assert_array_equal(codes, [8, 9])
+
+    def test_clamped_to_range_codes(self, mech):
+        codes = mech.quantize_inputs(np.array([0.0, 8.0]))
+        np.testing.assert_array_equal(codes, [0, 64])
+
+    def test_out_of_range_rejected(self, mech):
+        with pytest.raises(ConfigurationError):
+            mech.quantize_inputs(np.array([9.0]))
+
+    def test_shape_preserved(self, mech):
+        codes = mech.quantize_inputs(np.full((2, 3), 4.0))
+        assert codes.shape == (2, 3)
+
+
+class TestVerificationCodes:
+    def test_includes_endpoints(self, mech):
+        codes = mech.verification_codes()
+        assert codes[0] == 0 and codes[-1] == 64
+
+    def test_sorted_unique(self, mech):
+        codes = list(mech.verification_codes())
+        assert codes == sorted(set(codes))
+
+    def test_configurable_density(self):
+        dense = FxpBaselineMechanism(
+            SensorSpec(0.0, 8.0),
+            0.5,
+            input_bits=12,
+            output_bits=16,
+            delta=8 / 64,
+            n_verify_inputs=17,
+        )
+        assert len(dense.verification_codes()) == 17
+
+
+class TestNoisePmfCache:
+    def test_cached_identity(self, mech):
+        assert mech.noise_pmf is mech.noise_pmf
+
+    def test_claimed_bound_default_epsilon(self, mech):
+        assert mech.claimed_loss_bound == 0.5

@@ -1,0 +1,82 @@
+"""Ideal Laplace distribution: analytic functions and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import IdealLaplace
+
+
+@pytest.fixture(scope="module")
+def lap():
+    return IdealLaplace(lam=20.0)
+
+
+class TestAnalytic:
+    def test_pdf_peak(self, lap):
+        assert lap.pdf(np.array(0.0)) == pytest.approx(1 / 40.0)
+
+    def test_pdf_symmetric(self, lap):
+        assert lap.pdf(np.array(7.0)) == pytest.approx(lap.pdf(np.array(-7.0)))
+
+    def test_pdf_integrates_to_one(self, lap):
+        x = np.linspace(-400, 400, 400001)
+        assert np.trapezoid(lap.pdf(x), x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_limits(self, lap):
+        assert lap.cdf(np.array(-1e6)) == pytest.approx(0.0)
+        assert lap.cdf(np.array(0.0)) == pytest.approx(0.5)
+        assert lap.cdf(np.array(1e6)) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self, lap):
+        x = np.linspace(-100, 100, 1001)
+        assert np.all(np.diff(lap.cdf(x)) >= 0)
+
+    def test_inverse_cdf_roundtrip(self, lap):
+        u = np.linspace(0.01, 0.99, 99)
+        np.testing.assert_allclose(lap.cdf(lap.inverse_cdf(u)), u, atol=1e-12)
+
+    def test_inverse_cdf_domain(self, lap):
+        with pytest.raises(ConfigurationError):
+            lap.inverse_cdf(np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            lap.inverse_cdf(np.array([1.0]))
+
+    def test_interval_prob(self, lap):
+        # Pr[|X| <= lam] = 1 - e^-1
+        assert lap.interval_prob(-20, 20) == pytest.approx(1 - np.exp(-1))
+
+    def test_log_pdf_consistent(self, lap):
+        x = np.array([-5.0, 0.0, 13.0])
+        np.testing.assert_allclose(np.exp(lap.log_pdf(x)), lap.pdf(x))
+
+    def test_std(self, lap):
+        assert lap.std() == pytest.approx(np.sqrt(2) * 20)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            IdealLaplace(lam=0.0)
+
+
+class TestSampling:
+    def test_moments(self, lap):
+        rng = np.random.default_rng(0)
+        s = lap.sample(200000, rng)
+        assert abs(s.mean()) < 0.3
+        assert s.std() == pytest.approx(lap.std(), rel=0.02)
+
+    def test_median_near_zero(self, lap):
+        rng = np.random.default_rng(1)
+        s = lap.sample(100000, rng)
+        assert abs(np.median(s)) < 0.3
+
+    def test_tail_mass(self, lap):
+        rng = np.random.default_rng(2)
+        s = lap.sample(200000, rng)
+        # Pr[X > lam] = e^-1 / 2
+        assert np.mean(s > 20.0) == pytest.approx(np.exp(-1) / 2, abs=0.005)
+
+    def test_deterministic_with_rng(self, lap):
+        a = lap.sample(10, np.random.default_rng(3))
+        b = lap.sample(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

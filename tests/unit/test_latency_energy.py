@@ -1,0 +1,153 @@
+"""Latency statistics and the area/power/energy model (Sections III-D, V)."""
+
+import pytest
+
+from repro.core import (
+    BASE_NOISING_CYCLES,
+    BUDGET_LOGIC_OVERHEAD,
+    DPBOX_BASELINE,
+    DPBOX_RELAXED,
+    HW_BOX_ACTIVE_CYCLES,
+    HW_MCU_CYCLES,
+    SW_FLOAT_CYCLES,
+    SW_FXP_CYCLES,
+    EnergyModel,
+    LatencyStats,
+    NoisingResult,
+    SynthesisPoint,
+    expected_latency_cycles,
+)
+from repro.errors import ConfigurationError
+from repro.mechanisms import ResamplingMechanism, SensorSpec
+
+
+def _result(cycles, draws=1):
+    return NoisingResult(
+        value=0.0, cycles=cycles, draws=draws, charged=0.1, from_cache=False
+    )
+
+
+class TestLatencyStats:
+    def test_mean_and_max(self):
+        stats = LatencyStats.from_results([_result(2), _result(2), _result(5)])
+        assert stats.mean_cycles == pytest.approx(3.0)
+        assert stats.max_cycles == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyStats.from_results([])
+
+    def test_base_cycles_constant(self):
+        assert BASE_NOISING_CYCLES == 2  # paper Section V
+
+    def test_expected_latency_analytic(self):
+        mech = ResamplingMechanism(
+            SensorSpec(0.0, 8.0), 0.5, input_bits=12, output_bits=16, delta=8 / 64
+        )
+        exp = expected_latency_cycles(mech, 0.0)
+        assert 2.0 <= exp < 3.0  # Fig. 11: never more than +1 cycle on average
+
+
+class TestSynthesisPoints:
+    def test_paper_baseline_numbers(self):
+        assert DPBOX_BASELINE.gates == 10431
+        assert DPBOX_BASELINE.critical_path_ns == pytest.approx(58.66)
+        assert DPBOX_BASELINE.power_uw == pytest.approx(158.3)
+
+    def test_relaxed_variant_numbers(self):
+        assert DPBOX_RELAXED.gates == 9621
+        assert DPBOX_RELAXED.power_uw == pytest.approx(252.0)
+
+    def test_max_frequency_exceeds_16mhz(self):
+        # Section V: the critical path is adequate for ULP frequencies.
+        assert DPBOX_BASELINE.max_frequency_hz > 16e6
+
+    def test_energy_per_cycle(self):
+        # 158.3 µW / 16 MHz ≈ 9.89 pJ
+        assert DPBOX_BASELINE.energy_per_cycle_pj == pytest.approx(9.89, rel=0.01)
+
+    def test_budget_logic_overhead(self):
+        with_budget = DPBOX_BASELINE.gates_with_budget_logic()
+        assert with_budget == pytest.approx(10431 * 1.11, abs=1)
+        assert BUDGET_LOGIC_OVERHEAD == 0.11
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisPoint(name="bad", gates=0, critical_path_ns=10, power_uw=1)
+
+
+class TestEnergyModel:
+    def test_reproduces_894x_ratio(self):
+        model = EnergyModel()
+        assert model.ratio_vs_fxp_software() == pytest.approx(894, rel=0.01)
+
+    def test_reproduces_318x_ratio(self):
+        model = EnergyModel()
+        assert model.ratio_vs_float_software() == pytest.approx(318, rel=0.01)
+
+    def test_ratios_consistent_with_cycle_counts(self):
+        # Both ratios share one denominator, so their quotient equals the
+        # software cycle-count quotient.
+        model = EnergyModel()
+        assert model.ratio_vs_fxp_software() / model.ratio_vs_float_software() == (
+            pytest.approx(SW_FXP_CYCLES / SW_FLOAT_CYCLES)
+        )
+
+    def test_resampling_reduces_ratio(self):
+        model = EnergyModel()
+        assert model.ratio_vs_fxp_software(box_cycles=10) < model.ratio_vs_fxp_software()
+
+    def test_paper_cycle_constants(self):
+        assert SW_FXP_CYCLES == 4043
+        assert SW_FLOAT_CYCLES == 1436
+        assert HW_MCU_CYCLES == 4
+        assert HW_BOX_ACTIVE_CYCLES == 2
+
+    def test_latency_seconds(self):
+        model = EnergyModel()
+        assert model.latency_seconds(16) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(mcu_energy_per_cycle_pj=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel().software_energy_pj(0)
+
+
+class TestPipelinedVariants:
+    def test_identity_at_one_stage(self):
+        assert DPBOX_BASELINE.pipelined(1) is DPBOX_BASELINE
+
+    def test_critical_path_shrinks(self):
+        p2 = DPBOX_BASELINE.pipelined(2)
+        assert p2.critical_path_ns < DPBOX_BASELINE.critical_path_ns
+
+    def test_area_grows(self):
+        p3 = DPBOX_BASELINE.pipelined(3)
+        assert p3.gates > DPBOX_BASELINE.gates
+
+    def test_power_grows(self):
+        assert DPBOX_BASELINE.pipelined(2).power_uw > DPBOX_BASELINE.power_uw
+
+    def test_monotone_over_stages(self):
+        cps = [DPBOX_BASELINE.pipelined(s).critical_path_ns for s in (1, 2, 3, 4)]
+        assert cps == sorted(cps, reverse=True)
+
+    def test_stage_validation(self):
+        with pytest.raises(ConfigurationError):
+            DPBOX_BASELINE.pipelined(0)
+
+
+class TestCollectLatency:
+    def test_alias_of_from_results(self):
+        from repro.core import collect_latency
+
+        stats = collect_latency([_result(2), _result(4)])
+        assert stats.mean_cycles == pytest.approx(3.0)
+        assert stats.n == 2
+
+    def test_p99(self):
+        results = [_result(2)] * 99 + [_result(50)]
+        stats = LatencyStats.from_results(results)
+        assert stats.p99_cycles >= 2.0
+        assert stats.max_cycles == 50

@@ -1,0 +1,74 @@
+"""LFSR correctness: periods, equivalence, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import FibonacciLFSR, GaloisLFSR, MAXIMAL_TAPS
+
+
+def _period(lfsr, limit):
+    start = lfsr.state
+    for i in range(1, limit + 1):
+        lfsr.step()
+        if lfsr.state == start:
+            return i
+    return None
+
+
+class TestFibonacci:
+    @pytest.mark.parametrize("width", [3, 4, 5, 7, 8])
+    def test_maximal_period(self, width):
+        lfsr = FibonacciLFSR.maximal(width, seed=1)
+        assert _period(lfsr, 2**width) == 2**width - 1
+
+    def test_never_reaches_zero_state(self):
+        lfsr = FibonacciLFSR.maximal(5, seed=3)
+        for _ in range(2**5):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_deterministic(self):
+        a = FibonacciLFSR.maximal(8, seed=17)
+        b = FibonacciLFSR.maximal(8, seed=17)
+        assert a.sequence(50) == b.sequence(50)
+
+    def test_next_bits_msb_first(self):
+        a = FibonacciLFSR.maximal(8, seed=17)
+        b = FibonacciLFSR.maximal(8, seed=17)
+        bits = a.sequence(8)
+        value = b.next_bits(8)
+        assert value == int("".join(map(str, bits)), 2)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLFSR(8, (8, 6, 5, 4), seed=0)
+
+    def test_rejects_bad_taps(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLFSR(8, (9,), seed=1)
+
+    def test_unknown_maximal_width(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLFSR.maximal(6)
+
+
+class TestGalois:
+    @pytest.mark.parametrize("width", [3, 4, 5, 7])
+    def test_maximal_period(self, width):
+        lfsr = GaloisLFSR.from_taps(width, MAXIMAL_TAPS[width], seed=1)
+        assert _period(lfsr, 2**width) == 2**width - 1
+
+    def test_balanced_output(self):
+        lfsr = GaloisLFSR.from_taps(8, MAXIMAL_TAPS[8], seed=1)
+        n = 2**8 - 1
+        ones = sum(lfsr.step() for _ in range(n))
+        # Maximal-length sequences have exactly 2^(w-1) ones per period.
+        assert ones == 2**7
+
+    def test_rejects_zero_mask(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8, 0, seed=1)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(8, 0b10111001, seed=0)

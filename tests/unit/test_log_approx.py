@@ -1,0 +1,72 @@
+"""Piecewise-polynomial logarithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import PiecewisePolyLn
+
+
+class TestMantissa:
+    @pytest.fixture(scope="class")
+    def unit(self):
+        return PiecewisePolyLn(n_segments=8, degree=2, frac_bits=24)
+
+    def test_accuracy(self, unit):
+        w = np.linspace(1.0, 2.0, 513)[:-1]
+        got = unit.ln_mantissa(w)
+        np.testing.assert_allclose(got, np.log(w), atol=1e-4)
+
+    def test_domain_enforced(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.ln_mantissa(np.array([0.9]))
+        with pytest.raises(ConfigurationError):
+            unit.ln_mantissa(np.array([2.0]))
+
+    def test_more_segments_more_accurate(self):
+        coarse = PiecewisePolyLn(n_segments=2, degree=2)
+        fine = PiecewisePolyLn(n_segments=16, degree=2)
+        assert fine.max_abs_error(10) < coarse.max_abs_error(10)
+
+    def test_higher_degree_more_accurate(self):
+        lin = PiecewisePolyLn(n_segments=8, degree=1)
+        quad = PiecewisePolyLn(n_segments=8, degree=3)
+        assert quad.max_abs_error(10) < lin.max_abs_error(10)
+
+
+class TestUniformLn:
+    @pytest.fixture(scope="class")
+    def unit(self):
+        return PiecewisePolyLn()
+
+    def test_full_scale_is_zero(self, unit):
+        assert unit.ln_uniform(1 << 10, 10) == 0.0
+
+    def test_power_of_two_exact_multiples_of_ln2(self, unit):
+        got = unit.ln_uniform(256, 10)  # 2^-2
+        assert got == pytest.approx(-2 * math.log(2.0), abs=1e-6)
+
+    @pytest.mark.parametrize("m", [1, 3, 7, 100, 767, 1023])
+    def test_accuracy(self, unit, m):
+        assert unit.ln_uniform(m, 10) == pytest.approx(
+            math.log(m / 1024.0), abs=2e-4
+        )
+
+    def test_alphabet_validation(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.ln_uniform_codes(np.array([0]), 10)
+
+    def test_max_abs_error(self, unit):
+        assert unit.max_abs_error(12) < 2e-4
+
+
+class TestConstruction:
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ConfigurationError):
+            PiecewisePolyLn(n_segments=0)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ConfigurationError):
+            PiecewisePolyLn(degree=0)

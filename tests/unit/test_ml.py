@@ -1,0 +1,135 @@
+"""ML substrate: halfspace data, SVM, logistic regression, harness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_halfspace_dataset
+from repro.errors import ConfigurationError
+from repro.ml import (
+    LinearSVM,
+    LogisticRegression,
+    accuracy,
+    table6_sweep,
+    train_private_svm,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_halfspace_dataset(3000, dim=2, margin=0.05, seed=11)
+
+
+class TestHalfspaceData:
+    def test_features_in_unit_box(self, data):
+        assert data.features.min() >= -1.0 and data.features.max() <= 1.0
+
+    def test_labels_pm_one(self, data):
+        assert set(np.unique(data.labels)) == {-1, 1}
+
+    def test_separable_with_margin(self, data):
+        scores = data.features @ data.weight + data.bias
+        assert np.all(np.abs(scores) >= 0.05 - 1e-12)
+        assert np.all(np.sign(scores) == data.labels)
+
+    def test_split(self, data):
+        train, test = data.split(1000)
+        assert train.n == 1000 and test.n == data.n - 1000
+
+    def test_split_validation(self, data):
+        with pytest.raises(ConfigurationError):
+            data.split(data.n)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_halfspace_dataset(1)
+
+
+class TestLinearSVM:
+    def test_learns_separable_data(self, data):
+        train, test = data.split(2000)
+        model = LinearSVM(seed=0).fit(train.features, train.labels)
+        assert model.score(test.features, test.labels) > 0.97
+
+    def test_predictions_pm_one(self, data):
+        model = LinearSVM(seed=0).fit(data.features[:500], data.labels[:500])
+        assert set(np.unique(model.predict(data.features[:100]))) <= {-1, 1}
+
+    def test_unfitted_raises(self, data):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().predict(data.features)
+
+    def test_label_validation(self, data):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().fit(data.features[:10], np.zeros(10))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().fit(np.zeros((5, 2)), np.ones(4))
+
+    def test_deterministic(self, data):
+        a = LinearSVM(seed=3).fit(data.features[:500], data.labels[:500])
+        b = LinearSVM(seed=3).fit(data.features[:500], data.labels[:500])
+        np.testing.assert_allclose(a.weight, b.weight)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM(regularization=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearSVM(epochs=0)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self, data):
+        train, test = data.split(2000)
+        model = LogisticRegression().fit(train.features, train.labels)
+        assert model.score(test.features, test.labels) > 0.95
+
+    def test_unfitted_raises(self, data):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression().predict(data.features)
+
+    def test_label_validation(self, data):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression().fit(data.features[:10], np.zeros(10))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, -1]), np.array([1, -1])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 1]), np.array([1, -1])) == 0.5
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            accuracy(np.array([1]), np.array([1, -1]))
+
+
+class TestPrivateTraining:
+    def test_clean_training_high_accuracy(self, data):
+        r = train_private_svm(data, n_train=2000, epsilon=None)
+        assert r.test_accuracy > 0.97
+
+    def test_noised_training_degrades(self, data):
+        # Mean over seeds: a single private run can get lucky on 2-D data.
+        clean = train_private_svm(data, n_train=2000, epsilon=None)
+        private = np.mean(
+            [
+                train_private_svm(data, n_train=2000, epsilon=0.25, seed=s).test_accuracy
+                for s in range(3)
+            ]
+        )
+        assert private < clean.test_accuracy - 0.01
+
+    def test_larger_epsilon_helps(self, data):
+        weak = train_private_svm(data, n_train=2000, epsilon=0.5)
+        strong = train_private_svm(data, n_train=2000, epsilon=4.0)
+        assert strong.test_accuracy > weak.test_accuracy
+
+    def test_sweep_grid_shape(self, data):
+        grid = table6_sweep(data, [500, 1000], [1.0, None])
+        assert set(grid) == {1.0, None}
+        assert set(grid[1.0]) == {500, 1000}
+        for accs in grid.values():
+            for v in accs.values():
+                assert 0.0 <= v <= 1.0

@@ -1,0 +1,144 @@
+"""Multi-sensor DP-Box with shared budget."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, GuardMode, MultiSensorDPBox
+from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.mechanisms import SensorSpec
+
+
+def make_box(budget=5.0, **kwargs):
+    return MultiSensorDPBox(
+        [
+            ChannelConfig("temp", SensorSpec(0.0, 40.0), 0.5, input_bits=12),
+            ChannelConfig(
+                "power",
+                SensorSpec(0.0, 4000.0),
+                0.25,
+                guard_mode=GuardMode.RESAMPLE,
+                input_bits=12,
+            ),
+        ],
+        budget=budget,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_channel_names(self):
+        assert make_box().channel_names == ["temp", "power"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSensorDPBox(
+                [
+                    ChannelConfig("a", SensorSpec(0, 1), 0.5, input_bits=12),
+                    ChannelConfig("a", SensorSpec(0, 2), 0.5, input_bits=12),
+                ],
+                budget=1.0,
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSensorDPBox([], budget=1.0)
+
+    def test_unknown_channel(self):
+        with pytest.raises(ConfigurationError):
+            make_box().request("humidity", 0.5)
+
+    def test_channel_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig("x", SensorSpec(0, 1), epsilon=0.0)
+
+
+class TestSharedBudget:
+    def test_both_channels_draw_one_budget(self):
+        box = make_box(budget=2.0)
+        r1 = box.request("temp", 20.0)
+        r2 = box.request("power", 1000.0)
+        assert not r1.from_cache and not r2.from_cache
+        assert box.total_disclosed_loss() == pytest.approx(r1.charged + r2.charged)
+
+    def test_exhaustion_affects_all_channels(self):
+        box = make_box(budget=2.0)
+        # Give the second channel one fresh (cacheable) reply first.
+        first_power = box.request("power", 1000.0)
+        assert not first_power.from_cache
+        # Burn the rest of the shared budget on the first channel...
+        replies = [box.request("temp", 20.0) for _ in range(20)]
+        assert any(r.from_cache for r in replies)
+        remaining = box.remaining_budget
+        # ...and the other channel sees the same depleted budget.
+        power = [box.request("power", 1000.0) for _ in range(20)]
+        assert sum(r.charged for r in power) <= remaining + 1e-9
+        assert any(r.from_cache for r in power)
+
+    def test_total_loss_never_exceeds_budget(self):
+        box = make_box(budget=3.0)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            ch = "temp" if rng.random() < 0.5 else "power"
+            x = 20.0 if ch == "temp" else 1000.0
+            box.request(ch, x)
+        assert box.total_disclosed_loss() <= 3.0 + 1e-9
+
+    def test_cache_is_per_channel(self):
+        box = make_box(budget=4.0)
+        p_first = box.request("power", 1000.0)
+        t_first = box.request("temp", 20.0)
+        assert not p_first.from_cache and not t_first.from_cache
+        # Burn the budget, then both channels reply from their own caches.
+        for _ in range(30):
+            box.request("temp", 20.0)
+            box.request("power", 1000.0)
+        t_cached = box.request("temp", 20.0)
+        p_cached = box.request("power", 1000.0)
+        assert t_cached.from_cache and p_cached.from_cache
+        assert t_cached.channel == "temp" and p_cached.channel == "power"
+        # Cached values come from each channel's own history (different
+        # grids make cross-channel replay detectable).
+        assert t_cached.value != p_cached.value
+
+    def test_no_cache_raises(self):
+        box = make_box(budget=0.3, cache_on_exhaustion=False)
+        with pytest.raises(BudgetExhaustedError):
+            for _ in range(10):
+                box.request("temp", 20.0)
+
+    def test_replenish(self):
+        box = make_box(budget=1.2)
+        for _ in range(8):
+            box.request("temp", 20.0)
+        spent_before = 1.2 - box.remaining_budget
+        assert spent_before > 0  # at least the first request charged
+        box.replenish()
+        assert box.remaining_budget == 1.2
+        # Max segment charge is loss_multiple·ε = 1.0 < 1.2, so the next
+        # request is always affordable after replenishment.
+        assert not box.request("temp", 20.0).from_cache
+
+
+class TestCrossSensorComposition:
+    def test_shared_budget_halves_per_sensor_disclosure(self):
+        """Two sensors measuring the same quantity: with a shared budget
+        the adversary's total collected loss about it is B, not 2B."""
+        sensors = [
+            ChannelConfig(f"s{i}", SensorSpec(0.0, 10.0), 0.5, input_bits=12)
+            for i in range(2)
+        ]
+        shared = MultiSensorDPBox(sensors, budget=4.0)
+        for _ in range(20):
+            shared.request("s0", 5.0)
+            shared.request("s1", 5.0)
+        assert shared.total_disclosed_loss() <= 4.0 + 1e-9
+
+        # Per-sensor budgets of the same size leak twice as much.
+        separate = [
+            MultiSensorDPBox([sensors[i]], budget=4.0) for i in range(2)
+        ]
+        for _ in range(20):
+            separate[0].request("s0", 5.0)
+            separate[1].request("s1", 5.0)
+        total_separate = sum(b.total_disclosed_loss() for b in separate)
+        assert total_separate > shared.total_disclosed_loss() * 1.5

@@ -1,0 +1,126 @@
+"""DiscretePMF algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import DiscretePMF
+
+
+@pytest.fixture()
+def tri():
+    """A little triangular PMF on codes -1..1 with step 0.5."""
+    return DiscretePMF(step=0.5, min_k=-1, probs=np.array([0.25, 0.5, 0.25]))
+
+
+class TestConstruction:
+    def test_from_counts_exact(self):
+        pmf = DiscretePMF.from_counts(1.0, 0, np.array([1, 3]), denom=4)
+        np.testing.assert_allclose(pmf.probs, [0.25, 0.75])
+
+    def test_from_counts_wrong_denominator(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePMF.from_counts(1.0, 0, np.array([1, 2]), denom=4)
+
+    def test_from_counts_negative(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePMF.from_counts(1.0, 0, np.array([-1, 5]), denom=4)
+
+    def test_from_samples(self):
+        pmf = DiscretePMF.from_samples(0.5, np.array([0.0, 0.5, 0.5, -0.5]))
+        assert pmf.min_k == -1
+        np.testing.assert_allclose(pmf.probs, [0.25, 0.25, 0.5])
+
+    def test_rejects_negative_probs(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePMF(1.0, 0, np.array([0.5, -0.1]))
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ConfigurationError):
+            DiscretePMF(0.0, 0, np.array([1.0]))
+
+
+class TestIntrospection:
+    def test_support_values(self, tri):
+        np.testing.assert_allclose(tri.support_values(), [-0.5, 0.0, 0.5])
+
+    def test_prob_at_inside(self, tri):
+        assert tri.prob_at(0) == 0.5
+
+    def test_prob_at_outside_zero(self, tri):
+        assert tri.prob_at(100) == 0.0
+
+    def test_prob_array_padding(self, tri):
+        arr = tri.prob_array(-3, 3)
+        np.testing.assert_allclose(arr, [0, 0, 0.25, 0.5, 0.25, 0, 0])
+
+    def test_tails(self, tri):
+        assert tri.tail_ge(0) == pytest.approx(0.75)
+        assert tri.tail_le(0) == pytest.approx(0.75)
+        assert tri.tail_ge(5) == 0.0
+        assert tri.tail_le(-5) == 0.0
+
+    def test_nonzero_bounds(self):
+        pmf = DiscretePMF(1.0, 0, np.array([0.0, 1.0, 0.0]))
+        assert pmf.nonzero_bounds() == (1, 1)
+
+    def test_moments(self, tri):
+        assert tri.mean() == pytest.approx(0.0)
+        assert tri.variance() == pytest.approx(0.125)
+
+
+class TestTransforms:
+    def test_shifted(self, tri):
+        sh = tri.shifted(4)
+        assert sh.min_k == 3
+        assert sh.mean() == pytest.approx(2.0)
+
+    def test_truncated_renormalizes(self, tri):
+        tr = tri.truncated(0, 1)
+        assert tr.total == pytest.approx(1.0)
+        np.testing.assert_allclose(tr.probs, [2 / 3, 1 / 3])
+
+    def test_truncated_empty_window_rejected(self, tri):
+        with pytest.raises(ConfigurationError):
+            tri.truncated(10, 20)
+
+    def test_clamped_accumulates_atoms(self, tri):
+        cl = tri.clamped(0, 0)
+        np.testing.assert_allclose(cl.probs, [1.0])
+
+    def test_clamped_partial(self, tri):
+        cl = tri.clamped(-1, 0)
+        np.testing.assert_allclose(cl.probs, [0.25, 0.75])
+        assert cl.total == pytest.approx(1.0)
+
+    def test_clamped_preserves_mass(self, tri):
+        assert tri.clamped(-5, 5).total == pytest.approx(tri.total)
+
+    def test_normalized(self):
+        pmf = DiscretePMF(1.0, 0, np.array([1.0, 3.0]))
+        np.testing.assert_allclose(pmf.normalized().probs, [0.25, 0.75])
+
+
+class TestSamplingAndDistance:
+    def test_sample_values_on_grid(self, tri):
+        rng = np.random.default_rng(0)
+        s = tri.sample(1000, rng)
+        assert set(np.unique(s)) <= {-0.5, 0.0, 0.5}
+
+    def test_sample_frequencies(self, tri):
+        rng = np.random.default_rng(1)
+        s = tri.sample(20000, rng)
+        assert np.mean(s == 0.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_tv_zero_to_self(self, tri):
+        assert tri.total_variation(tri) == 0.0
+
+    def test_tv_disjoint_is_one(self):
+        a = DiscretePMF(1.0, 0, np.array([1.0]))
+        b = DiscretePMF(1.0, 5, np.array([1.0]))
+        assert a.total_variation(b) == pytest.approx(1.0)
+
+    def test_tv_step_mismatch(self, tri):
+        other = DiscretePMF(1.0, 0, np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            tri.total_variation(other)

@@ -1,0 +1,64 @@
+"""Pointwise loss conventions and LossReport semantics."""
+
+import math
+
+import pytest
+
+from repro.privacy import LossReport, pointwise_loss
+
+
+class TestPointwiseLoss:
+    def test_finite_ratio(self):
+        assert pointwise_loss(0.2, 0.1) == pytest.approx(math.log(2))
+
+    def test_equal_probs_zero(self):
+        assert pointwise_loss(0.3, 0.3) == 0.0
+
+    def test_both_zero_is_zero(self):
+        assert pointwise_loss(0.0, 0.0) == 0.0
+
+    def test_denominator_zero_is_inf(self):
+        assert pointwise_loss(0.1, 0.0) == math.inf
+
+    def test_numerator_zero_is_neg_inf(self):
+        assert pointwise_loss(0.0, 0.1) == -math.inf
+
+
+class TestLossReport:
+    def test_satisfied_true(self):
+        rep = LossReport(worst_loss=0.4, epsilon_target=0.5)
+        assert rep.satisfied is True
+
+    def test_satisfied_false(self):
+        rep = LossReport(worst_loss=0.6, epsilon_target=0.5)
+        assert rep.satisfied is False
+
+    def test_satisfied_none_without_target(self):
+        assert LossReport(worst_loss=0.6).satisfied is None
+
+    def test_satisfied_boundary_tolerance(self):
+        rep = LossReport(worst_loss=0.5 + 1e-14, epsilon_target=0.5)
+        assert rep.satisfied is True
+
+    def test_infinite_not_satisfied(self):
+        rep = LossReport(worst_loss=math.inf, epsilon_target=10.0)
+        assert rep.satisfied is False
+        assert not rep.is_finite
+
+    def test_describe_violation_mentions_infinite(self):
+        rep = LossReport(
+            worst_loss=math.inf,
+            epsilon_target=1.0,
+            argmax_output=42.0,
+            n_infinite_outputs=3,
+        )
+        text = rep.describe()
+        assert "violated" in text and "3" in text
+
+    def test_describe_ok(self):
+        text = LossReport(worst_loss=0.4, epsilon_target=0.5).describe()
+        assert "OK" in text
+
+    def test_describe_exceeded(self):
+        text = LossReport(worst_loss=0.9, epsilon_target=0.5).describe()
+        assert "EXCEEDED" in text

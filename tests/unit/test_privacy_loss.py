@@ -1,0 +1,146 @@
+"""Exact loss analysis: hand-computable families, modes, segments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy import DiscreteMechanismFamily, input_grid_codes
+from repro.rng import DiscretePMF
+
+
+@pytest.fixture()
+def geometric_noise():
+    """Two-sided geometric-ish noise on codes -2..2 (hand-checkable)."""
+    probs = np.array([1, 2, 4, 2, 1], dtype=float)
+    return DiscretePMF(step=1.0, min_k=-2, probs=probs / probs.sum())
+
+
+class TestInputGrid:
+    def test_endpoints_included(self):
+        codes = input_grid_codes(0.0, 8.0, 1.0, n_points=5)
+        assert codes[0] == 0 and codes[-1] == 8
+
+    def test_off_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            input_grid_codes(0.1, 8.0, 1.0)
+
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            input_grid_codes(5.0, 5.0, 1.0)
+
+    def test_two_points_minimum(self):
+        with pytest.raises(ConfigurationError):
+            input_grid_codes(0.0, 8.0, 1.0, n_points=1)
+
+
+class TestBaselineFamily:
+    def test_hand_computed_loss(self, geometric_noise):
+        # Inputs 0 and 1; worst reachable-by-both ratio is 4:1 (log 4)...
+        # but outputs reachable by only one input make the loss infinite.
+        fam = DiscreteMechanismFamily.additive(geometric_noise, [0, 1])
+        rep = fam.worst_case_loss()
+        assert rep.worst_loss == math.inf
+        # y = -2 is only reachable from x=0; y = 3 only from x=1.
+        assert rep.n_infinite_outputs == 2
+
+    def test_profile_nan_for_unreachable(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-5, 5), mode="baseline"
+        )
+        profile = fam.loss_profile()
+        values = fam.output_values()
+        assert np.isnan(profile[values == -5.0][0])
+
+    def test_finite_interior_ratio(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(geometric_noise, [0, 1])
+        profile = fam.loss_profile()
+        vals = fam.output_values()
+        # At y=0: p(y|0)=4/10, p(y|1)=2/10 -> loss ln2.
+        idx = np.where(vals == 0.0)[0][0]
+        assert profile[idx] == pytest.approx(math.log(2))
+
+    def test_rows_sum_to_one_enforced(self, geometric_noise):
+        with pytest.raises(ConfigurationError):
+            DiscreteMechanismFamily(
+                delta=1.0,
+                input_codes=np.array([0, 1]),
+                out_min_k=0,
+                matrix=np.array([[0.5, 0.4], [0.5, 0.5]]),
+            )
+
+    def test_needs_two_inputs(self, geometric_noise):
+        with pytest.raises(ConfigurationError):
+            DiscreteMechanismFamily.additive(geometric_noise, [3])
+
+
+class TestResampleFamily:
+    def test_common_window_no_infinite_loss(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="resample"
+        )
+        rep = fam.worst_case_loss()
+        assert rep.is_finite
+
+    def test_hand_computed_resample_loss(self, geometric_noise):
+        # window [-1, 2]: x=0 keeps mass {2,4,2,1}/9, x=1 keeps {1,2,4,2}/9.
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="resample"
+        )
+        rep = fam.worst_case_loss()
+        # worst ratio at y=-1: (2/9)/(1/9) = 2 (and symmetric at y=2).
+        assert rep.worst_loss == pytest.approx(math.log(2))
+
+    def test_rows_renormalized(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="resample"
+        )
+        np.testing.assert_allclose(fam.matrix.sum(axis=1), 1.0)
+
+    def test_window_required(self, geometric_noise):
+        with pytest.raises(ConfigurationError):
+            DiscreteMechanismFamily.additive(geometric_noise, [0, 1], mode="resample")
+
+
+class TestThresholdFamily:
+    def test_atoms_accumulate(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="threshold"
+        )
+        # For x=0 the lower atom collects p(-2)+p(-1) = 3/10.
+        vals = fam.output_values()
+        low = fam.matrix[0][vals == -1.0][0]
+        assert low == pytest.approx(0.3)
+
+    def test_hand_computed_threshold_loss(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="threshold"
+        )
+        rep = fam.worst_case_loss()
+        # Lower atom: x=0 gives 3/10, x=1 gives 1/10 -> ln 3 (worst).
+        assert rep.worst_loss == pytest.approx(math.log(3))
+
+    def test_mass_preserved(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-1, 2), mode="threshold"
+        )
+        np.testing.assert_allclose(fam.matrix.sum(axis=1), 1.0)
+
+
+class TestSegments:
+    def test_loss_by_segment_partitions(self, geometric_noise):
+        fam = DiscreteMechanismFamily.additive(
+            geometric_noise, [0, 1], window=(-2, 3), mode="threshold"
+        )
+        losses = fam.loss_by_segment([0])
+        assert len(losses) == 2
+        profile = fam.loss_profile()
+        finite = profile[~np.isnan(profile)]
+        assert max(losses) == pytest.approx(float(np.max(finite)))
+
+    def test_unknown_mode_rejected(self, geometric_noise):
+        with pytest.raises(ConfigurationError):
+            DiscreteMechanismFamily.additive(
+                geometric_noise, [0, 1], window=(0, 1), mode="clip"
+            )

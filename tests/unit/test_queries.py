@@ -1,0 +1,135 @@
+"""Statistical queries and the MAE harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queries import (
+    CountingQuery,
+    MeanQuery,
+    MedianQuery,
+    VarianceQuery,
+    mae_trials,
+    measure_utility,
+)
+from repro.queries import PAPER_QUERIES
+
+
+class TestQueries:
+    def test_mean(self):
+        assert MeanQuery().evaluate(np.array([1.0, 2.0, 3.0])) == 2.0
+
+    def test_median(self):
+        assert MedianQuery().evaluate(np.array([5.0, 1.0, 3.0])) == 3.0
+
+    def test_variance(self):
+        assert VarianceQuery().evaluate(np.array([1.0, 3.0])) == 1.0
+
+    def test_counting_with_threshold(self):
+        q = CountingQuery(threshold=2.0)
+        assert q.evaluate(np.array([1.0, 2.0, 3.0, 4.0])) == 2.0
+
+    def test_counting_default_midrange(self):
+        q = CountingQuery()
+        assert q.evaluate(np.array([0.0, 1.0, 10.0])) == 1.0  # midrange 5
+
+    def test_counting_with_threshold_copy(self):
+        q = CountingQuery().with_threshold(1.5)
+        assert q.threshold == 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeanQuery().evaluate(np.array([]))
+
+    def test_absolute_error(self):
+        q = MeanQuery()
+        assert q.absolute_error(np.array([2.0]), np.array([5.0])) == 3.0
+
+    def test_paper_queries_tuple(self):
+        names = [q.name for q in PAPER_QUERIES]
+        assert names == ["mean", "median", "variance", "counting"]
+
+
+class TestMaeHarness:
+    def test_mae_trials_shape(self, small_ideal):
+        data = np.random.default_rng(0).uniform(0, 8, 200)
+        errs = mae_trials(small_ideal, data, MeanQuery(), n_trials=7)
+        assert errs.shape == (7,)
+        assert np.all(errs >= 0)
+
+    def test_measure_utility_all_queries(self, small_ideal):
+        data = np.random.default_rng(1).uniform(0, 8, 300)
+        res = measure_utility(small_ideal, data, PAPER_QUERIES, n_trials=5)
+        assert set(res) == {"mean", "median", "variance", "counting"}
+        for r in res.values():
+            assert r.mae >= 0 and r.n_trials == 5
+
+    def test_relative_error_normalization(self, small_ideal):
+        data = np.random.default_rng(2).uniform(0, 8, 300)
+        res = measure_utility(small_ideal, data, [MeanQuery()], n_trials=5)
+        r = res["mean"]
+        spread = data.max() - data.min()
+        assert r.relative_error == pytest.approx(r.mae / spread)
+
+    def test_counting_relative_error_normalized_by_n(self, small_ideal):
+        data = np.random.default_rng(3).uniform(0, 8, 300)
+        res = measure_utility(small_ideal, data, [CountingQuery()], n_trials=5)
+        assert res["counting"].relative_error == pytest.approx(
+            res["counting"].mae / 300
+        )
+
+    def test_cell_format(self, small_ideal):
+        data = np.random.default_rng(4).uniform(0, 8, 100)
+        res = measure_utility(small_ideal, data, [MeanQuery()], n_trials=3)
+        cell = res["mean"].cell()
+        assert "±" in cell and "%" in cell
+
+    def test_mae_shrinks_with_data_size(self, small_ideal):
+        rng = np.random.default_rng(5)
+        small = rng.uniform(0, 8, 50)
+        big = rng.uniform(0, 8, 5000)
+        mae_small = mae_trials(small_ideal, small, MeanQuery(), n_trials=15).mean()
+        mae_big = mae_trials(small_ideal, big, MeanQuery(), n_trials=15).mean()
+        assert mae_big < mae_small
+
+    def test_trials_validation(self, small_ideal):
+        with pytest.raises(ConfigurationError):
+            mae_trials(small_ideal, np.array([1.0]), MeanQuery(), n_trials=0)
+
+
+class TestQuantileQuery:
+    def test_median_special_case(self):
+        from repro.queries import MedianQuery, QuantileQuery
+
+        data = np.random.default_rng(0).uniform(0, 10, 501)
+        assert QuantileQuery(0.5).evaluate(data) == pytest.approx(
+            MedianQuery().evaluate(data)
+        )
+
+    def test_known_quantiles(self):
+        from repro.queries import QuantileQuery
+
+        data = np.arange(101, dtype=float)
+        assert QuantileQuery(0.25).evaluate(data) == pytest.approx(25.0)
+        assert QuantileQuery(0.9).evaluate(data) == pytest.approx(90.0)
+
+    def test_name_embeds_q(self):
+        from repro.queries import QuantileQuery
+
+        assert QuantileQuery(0.9).name == "quantile-0.9"
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+        from repro.queries import QuantileQuery
+
+        with pytest.raises(ConfigurationError):
+            QuantileQuery(0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileQuery(1.0)
+
+    def test_in_utility_harness(self, small_ideal):
+        from repro.queries import QuantileQuery, measure_utility
+
+        data = np.random.default_rng(1).uniform(0, 8, 400)
+        res = measure_utility(small_ideal, data, [QuantileQuery(0.9)], n_trials=5)
+        assert res["quantile-0.9"].mae >= 0

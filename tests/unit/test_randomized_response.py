@@ -1,0 +1,92 @@
+"""Classic randomized response and the debiasing estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy import (
+    RandomizedResponse,
+    debias_frequency,
+    rr_epsilon_from_keep_prob,
+    rr_keep_prob_from_epsilon,
+)
+
+
+class TestEpsilonMapping:
+    def test_roundtrip(self):
+        for eps in (0.1, 0.5, 1.0, 2.0):
+            p = rr_keep_prob_from_epsilon(eps)
+            assert rr_epsilon_from_keep_prob(p) == pytest.approx(eps)
+
+    def test_known_value(self):
+        # eps = ln 3 <-> p = 3/4
+        assert rr_keep_prob_from_epsilon(math.log(3)) == pytest.approx(0.75)
+
+    def test_keep_prob_bounds(self):
+        with pytest.raises(ConfigurationError):
+            rr_epsilon_from_keep_prob(0.5)
+        with pytest.raises(ConfigurationError):
+            rr_epsilon_from_keep_prob(1.0)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ConfigurationError):
+            rr_keep_prob_from_epsilon(0.0)
+
+
+class TestDebias:
+    def test_identity_at_truth(self):
+        # If observed equals the expected noisy frequency, debias recovers f.
+        p = 0.8
+        for f in (0.0, 0.3, 0.5, 1.0):
+            observed = p * f + (1 - p) * (1 - f)
+            assert debias_frequency(observed, p) == pytest.approx(f)
+
+    def test_clipping(self):
+        assert debias_frequency(0.0, 0.9) == 0.0
+        assert debias_frequency(1.0, 0.9) == 1.0
+
+    def test_invalid_keep_prob(self):
+        with pytest.raises(ConfigurationError):
+            debias_frequency(0.5, 0.4)
+
+
+class TestMechanism:
+    def test_flip_rate_matches_epsilon(self):
+        rr = RandomizedResponse(epsilon=1.0, rng=np.random.default_rng(0))
+        bits = np.zeros(50000, dtype=int)
+        noisy = rr.privatize(bits)
+        flip_rate = noisy.mean()
+        assert flip_rate == pytest.approx(1 - rr.keep_prob, abs=0.01)
+
+    def test_estimator_consistent(self):
+        rr = RandomizedResponse(epsilon=1.0, rng=np.random.default_rng(1))
+        true_f = 0.3
+        bits = (np.random.default_rng(2).random(100000) < true_f).astype(int)
+        est = rr.estimate_frequency(rr.privatize(bits))
+        assert est == pytest.approx(true_f, abs=0.02)
+
+    def test_estimator_improves_with_n(self):
+        rng = np.random.default_rng(3)
+        errors = []
+        for n in (200, 20000):
+            rr = RandomizedResponse(epsilon=1.0, rng=np.random.default_rng(4))
+            trial_errs = []
+            for _ in range(30):
+                bits = (rng.random(n) < 0.4).astype(int)
+                est = rr.estimate_frequency(rr.privatize(bits))
+                trial_errs.append(abs(est - bits.mean()))
+            errors.append(np.mean(trial_errs))
+        assert errors[1] < errors[0]
+
+    def test_rejects_non_binary(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        with pytest.raises(ConfigurationError):
+            rr.privatize(np.array([0, 1, 2]))
+
+    def test_is_eps_ldp_exactly(self):
+        # The 2x2 channel ratio equals e^eps by construction.
+        rr = RandomizedResponse(epsilon=0.7)
+        p = rr.keep_prob
+        assert math.log(p / (1 - p)) == pytest.approx(0.7)

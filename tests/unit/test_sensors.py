@@ -1,0 +1,157 @@
+"""Sensor front end: ADC, signal models, composed node."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors import (
+    ADC,
+    SensorNode,
+    heart_rate,
+    occupancy,
+    power_draw,
+    temperature_walk,
+)
+
+
+class TestADC:
+    @pytest.fixture(scope="class")
+    def adc(self):
+        return ADC(n_bits=10, v_min=0.0, v_max=10.0)
+
+    def test_lsb(self, adc):
+        assert adc.lsb == pytest.approx(10 / 1024)
+
+    def test_codes_in_alphabet(self, adc):
+        codes = adc.sample(np.linspace(-5, 15, 101))
+        assert codes.min() >= 0 and codes.max() <= 1023
+
+    def test_saturation(self, adc):
+        assert adc.sample(np.array([-100.0]))[0] == 0
+        assert adc.sample(np.array([100.0]))[0] == 1023
+
+    def test_quantization_error_bounded(self, adc):
+        v = np.random.default_rng(0).uniform(0.01, 9.99, 2000)
+        err = adc.digitize(v) - v
+        assert np.abs(err).max() <= adc.lsb * 0.5 + 1e-12
+
+    def test_monotone(self, adc):
+        v = np.linspace(0, 10, 500)
+        codes = adc.sample(v)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_offset_error_shifts_codes(self):
+        clean = ADC(n_bits=10, v_min=0.0, v_max=10.0)
+        offset = ADC(n_bits=10, v_min=0.0, v_max=10.0, offset=0.5)
+        v = np.full(10, 5.0)
+        assert offset.sample(v).mean() > clean.sample(v).mean()
+
+    def test_gain_error_scales(self):
+        gained = ADC(n_bits=10, v_min=0.0, v_max=10.0, gain_error=0.1)
+        assert gained.digitize(np.array([5.0]))[0] == pytest.approx(5.5, abs=0.02)
+
+    def test_input_noise(self):
+        noisy = ADC(n_bits=12, v_min=0.0, v_max=10.0, noise_std=0.2)
+        rng = np.random.default_rng(1)
+        reads = noisy.digitize(np.full(4000, 5.0), rng)
+        assert reads.std() == pytest.approx(0.2, rel=0.1)
+
+    def test_to_physical_validation(self, adc):
+        with pytest.raises(ConfigurationError):
+            adc.to_physical(np.array([5000]))
+
+    def test_sensor_spec(self, adc):
+        spec = adc.sensor_spec
+        assert (spec.m, spec.M) == (0.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ADC(n_bits=0, v_min=0, v_max=1)
+        with pytest.raises(ConfigurationError):
+            ADC(n_bits=8, v_min=1, v_max=1)
+        with pytest.raises(ConfigurationError):
+            ADC(n_bits=8, v_min=0, v_max=1, noise_std=-1)
+
+
+class TestSignals:
+    def test_temperature_bounded(self):
+        t = temperature_walk(2000, lo=15, hi=30, seed=0)
+        assert t.min() >= 15 and t.max() <= 30
+
+    def test_temperature_deterministic(self):
+        np.testing.assert_array_equal(
+            temperature_walk(100, seed=5), temperature_walk(100, seed=5)
+        )
+
+    def test_temperature_mean_reverting(self):
+        t = temperature_walk(20000, start=29.0, lo=15, hi=30, seed=1)
+        assert abs(t[-5000:].mean() - 22.5) < 3.0
+
+    def test_heart_rate_physiological(self):
+        hr = heart_rate(5000, seed=2)
+        assert hr.min() >= 35 and hr.max() <= 205
+
+    def test_heart_rate_has_bursts(self):
+        hr = heart_rate(5000, exercise_prob=0.02, seed=3)
+        assert hr.max() > 100  # at least one exercise episode
+
+    def test_heart_rate_circadian_shape(self):
+        hr = heart_rate(288 * 4, exercise_prob=0.0, circadian_amplitude=10, seed=4)
+        day = hr.reshape(4, 288).mean(axis=0)
+        assert day[144] > day[0]  # midday above midnight
+
+    def test_power_nonnegative_and_spiky(self):
+        p = power_draw(5000, seed=5)
+        assert p.min() >= 0
+        assert p.max() > 800  # appliances fired
+
+    def test_occupancy_binary_markov(self):
+        occ = occupancy(5000, seed=6)
+        assert set(np.unique(occ)) <= {0, 1}
+        transitions = np.count_nonzero(np.diff(occ) != 0)
+        assert 0 < transitions < 2000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            temperature_walk(0)
+        with pytest.raises(ConfigurationError):
+            temperature_walk(10, start=40.0)
+        with pytest.raises(ConfigurationError):
+            occupancy(10, p_arrive=0.0)
+
+
+class TestSensorNode:
+    @pytest.fixture(scope="class")
+    def node(self):
+        adc = ADC(n_bits=10, v_min=35.0, v_max=205.0)
+        return SensorNode(
+            adc, epsilon=0.5, input_bits=12, output_bits=16, delta=170 / 64
+        )
+
+    def test_node_is_private(self, node):
+        assert node.is_private()
+
+    def test_raw_vs_private(self, node):
+        hr = heart_rate(200, seed=7)
+        raw = node.read_raw(hr)
+        private = node.read_private(hr)
+        assert np.abs(raw - hr).max() <= node.adc.lsb
+        # Private readings carry real noise.
+        assert np.abs(private - hr).mean() > 10 * node.adc.lsb
+
+    def test_digitization_enforces_declared_range(self, node):
+        wild = np.array([-100.0, 500.0])
+        raw = node.read_raw(wild)
+        assert raw.min() >= 35.0 and raw.max() <= 205.0
+        node.read_private(wild)  # must not raise: physics clamps first
+
+    def test_mechanism_range_must_match_adc(self):
+        from repro.mechanisms import SensorSpec, make_mechanism
+
+        adc = ADC(n_bits=10, v_min=0.0, v_max=10.0)
+        wrong = make_mechanism(
+            "thresholding", SensorSpec(0.0, 8.0), 0.5, input_bits=12,
+            output_bits=16, delta=8 / 64,
+        )
+        with pytest.raises(ConfigurationError):
+            SensorNode(adc, epsilon=0.5, mechanism=wrong)

@@ -1,0 +1,98 @@
+"""Hardware-sim substrate: clock, registers, modules."""
+
+import pytest
+
+from repro.sim import Clock, Module, Register
+
+
+class Counter(Module):
+    """Tiny module: increments a register every cycle."""
+
+    def __init__(self, clock):
+        super().__init__(clock)
+        self.count = self.reg(0)
+
+    def _combinational(self):
+        self.count.set(self.count.q + 1)
+
+
+class TestClock:
+    def test_tick_advances_cycle(self):
+        clk = Clock()
+        clk.tick(5)
+        assert clk.cycle == 5
+
+    def test_elapsed_seconds(self):
+        clk = Clock(frequency_hz=1e6)
+        clk.tick(1000)
+        assert clk.elapsed_seconds == pytest.approx(1e-3)
+
+    def test_ticks_attached_modules(self):
+        clk = Clock()
+        c = Counter(clk)
+        clk.tick(3)
+        assert c.count.q == 3
+
+    def test_multiple_modules_same_clock(self):
+        clk = Clock()
+        a, b = Counter(clk), Counter(clk)
+        clk.tick(2)
+        assert (a.count.q, b.count.q) == (2, 2)
+
+
+class TestRegister:
+    def test_write_invisible_until_latch(self):
+        r = Register(0)
+        r.set(5)
+        assert r.q == 0
+        r.latch()
+        assert r.q == 5
+
+    def test_latch_without_pending_keeps_value(self):
+        r = Register(7)
+        r.latch()
+        assert r.q == 7
+
+    def test_last_write_wins(self):
+        r = Register(0)
+        r.set(1)
+        r.set(2)
+        r.latch()
+        assert r.q == 2
+
+    def test_force_is_immediate(self):
+        r = Register(0)
+        r.force(9)
+        assert r.q == 9
+
+    def test_force_clears_pending(self):
+        r = Register(0)
+        r.set(5)
+        r.force(9)
+        r.latch()
+        assert r.q == 9
+
+
+class TestModuleSemantics:
+    def test_register_updates_once_per_cycle(self):
+        clk = Clock()
+        c = Counter(clk)
+        clk.tick()
+        assert c.count.q == 1
+
+    def test_combinational_sees_pre_edge_values(self):
+        clk = Clock()
+
+        class Probe(Module):
+            def __init__(self, clock):
+                super().__init__(clock)
+                self.r = self.reg(0)
+                self.seen = []
+
+            def _combinational(self):
+                self.seen.append(self.r.q)
+                self.r.set(self.r.q + 1)
+
+        p = Probe(clk)
+        clk.tick(3)
+        assert p.seen == [0, 1, 2]

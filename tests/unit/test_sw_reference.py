@@ -1,0 +1,71 @@
+"""Software noising reference: functionality + cycle accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import MSP430CostTable, SoftwareNoiser, SW_FXP_CYCLES, paper_cycle_counts
+from repro.errors import ConfigurationError
+
+
+class TestCostTable:
+    def test_scaled(self):
+        t = MSP430CostTable().scaled(2.0)
+        assert t.alu32 == pytest.approx(8.0)
+
+    def test_scale_positive(self):
+        with pytest.raises(ConfigurationError):
+            MSP430CostTable().scaled(0.0)
+
+
+class TestFunctionality:
+    def test_noised_output_is_integer_code(self):
+        sw = SoftwareNoiser(seed=1)
+        noised, _ = sw.noise_value(100, lam_shift=2, delta_shift=8)
+        assert isinstance(noised, int)
+
+    def test_noise_distribution_symmetric(self):
+        sw = SoftwareNoiser(seed=2)
+        samples = np.array(
+            [sw.noise_value(0, lam_shift=1, delta_shift=10)[0] for _ in range(4000)]
+        )
+        assert abs(np.mean(samples)) < np.std(samples) / 10
+        assert np.mean(samples > 0) == pytest.approx(0.5, abs=0.05)
+
+    def test_deterministic_by_seed(self):
+        a = SoftwareNoiser(seed=3)
+        b = SoftwareNoiser(seed=3)
+        assert [a.noise_value(5, 1, 8)[0] for _ in range(10)] == [
+            b.noise_value(5, 1, 8)[0] for _ in range(10)
+        ]
+
+    def test_larger_lam_shift_wider_noise(self):
+        narrow = SoftwareNoiser(seed=4)
+        wide = SoftwareNoiser(seed=4)
+        sn = [narrow.noise_value(0, 0, 10)[0] for _ in range(800)]
+        sw_ = [wide.noise_value(0, 3, 10)[0] for _ in range(800)]
+        assert np.std(sw_) > 4 * np.std(sn)
+
+
+class TestCycleAccounting:
+    def test_raw_estimate_within_2x_of_paper(self):
+        sw = SoftwareNoiser(seed=5)
+        avg = sw.average_cycles(16)
+        assert SW_FXP_CYCLES / 2 <= avg <= SW_FXP_CYCLES * 2
+
+    def test_calibrated_matches_paper(self):
+        sw = SoftwareNoiser(seed=6, calibrate_to_paper=True)
+        assert sw.average_cycles(16) == pytest.approx(SW_FXP_CYCLES, rel=0.05)
+
+    def test_cycles_monotone_in_cordic_iterations(self):
+        short = SoftwareNoiser(seed=7, cordic_iterations=8)
+        long = SoftwareNoiser(seed=7, cordic_iterations=32)
+        assert long.average_cycles(8) > short.average_cycles(8)
+
+    def test_paper_cycle_counts(self):
+        fxp, flt = paper_cycle_counts()
+        assert (fxp, flt) == (4043, 1436)
+
+    def test_per_call_cycles_positive(self):
+        sw = SoftwareNoiser(seed=8)
+        _, cycles = sw.noise_value(0, 1, 8)
+        assert cycles > 0

@@ -1,0 +1,117 @@
+"""taus88: bit-exactness, lane equivalence, alphabet, basic uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import Taus88, VectorTaus88, taus88_seed_streams
+
+
+class TestReferenceSequence:
+    def test_matches_canonical_recurrence(self):
+        """Re-derive three steps by hand from the published recurrence."""
+        gen = Taus88.from_state(12345, 67890, 13579)
+        s1, s2, s3 = 12345, 67890, 13579
+        m32 = 0xFFFFFFFF
+        expected = []
+        for _ in range(3):
+            b = (((s1 << 13) & m32) ^ s1) >> 19
+            s1 = (((s1 & 4294967294) << 12) & m32) ^ b
+            b = (((s2 << 2) & m32) ^ s2) >> 25
+            s2 = (((s2 & 4294967288) << 4) & m32) ^ b
+            b = (((s3 << 3) & m32) ^ s3) >> 11
+            s3 = (((s3 & 4294967280) << 17) & m32) ^ b
+            expected.append(s1 ^ s2 ^ s3)
+        assert [gen.next_u32() for _ in range(3)] == expected
+
+    def test_outputs_are_32_bit(self):
+        gen = Taus88(seed=1)
+        for _ in range(100):
+            assert 0 <= gen.next_u32() <= 0xFFFFFFFF
+
+    def test_deterministic_by_seed(self):
+        assert [Taus88(seed=9).next_u32() for _ in range(1)] == [
+            Taus88(seed=9).next_u32() for _ in range(1)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [Taus88(seed=1).next_u32() for _ in range(4)]
+        b = [Taus88(seed=2).next_u32() for _ in range(4)]
+        assert a != b
+
+    def test_seed_constraints_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Taus88.from_state(1, 67890, 13579)  # s1 < 2
+
+
+class TestUniformCodes:
+    def test_alphabet_never_zero(self):
+        gen = Taus88(seed=3)
+        codes = [gen.uniform_code(8) for _ in range(2000)]
+        assert min(codes) >= 1
+        assert max(codes) <= 256
+
+    def test_full_scale_code_occurs(self):
+        gen = Taus88(seed=3)
+        codes = {gen.uniform_code(4) for _ in range(5000)}
+        assert 16 in codes  # the remapped all-zeros code
+
+    def test_uniform_in_unit_interval(self):
+        gen = Taus88(seed=4)
+        us = [gen.uniform(16) for _ in range(5000)]
+        assert 0 < min(us) <= max(us) <= 1.0
+        assert abs(np.mean(us) - 0.5) < 0.02
+
+    def test_bits_validation(self):
+        gen = Taus88(seed=5)
+        with pytest.raises(ConfigurationError):
+            gen.uniform_code(0)
+        with pytest.raises(ConfigurationError):
+            gen.uniform_code(33)
+
+
+class TestVectorEquivalence:
+    def test_lane0_matches_scalar(self):
+        scalar = Taus88(seed=42)
+        vec = VectorTaus88(seed=42, n_lanes=8)
+        expected = [scalar.next_u32() for _ in range(5)]
+        got = [int(vec._step()[0]) for _ in range(5)]
+        assert got == expected
+
+    def test_next_u32_round_robin_count(self):
+        vec = VectorTaus88(seed=1, n_lanes=4)
+        out = vec.next_u32(10)
+        assert out.shape == (10,)
+
+    def test_uniform_codes_alphabet(self):
+        vec = VectorTaus88(seed=1, n_lanes=16)
+        codes = vec.uniform_codes(10000, 10)
+        assert codes.min() >= 1 and codes.max() <= 1024
+
+    def test_uniformity_chi2ish(self):
+        vec = VectorTaus88(seed=7, n_lanes=64)
+        codes = vec.uniform_codes(64000, 4)  # 16 bins
+        counts = np.bincount(codes - 1, minlength=16)
+        expected = 64000 / 16
+        chi2 = np.sum((counts - expected) ** 2 / expected)
+        assert chi2 < 50  # df=15; overwhelmingly below for uniform data
+
+    def test_lanes_are_distinct_streams(self):
+        vec = VectorTaus88(seed=1, n_lanes=4)
+        first_round = vec._step()
+        assert len(set(int(v) for v in first_round)) == 4
+
+
+class TestSeedStreams:
+    def test_shape(self):
+        assert taus88_seed_streams(0, 7).shape == (7, 3)
+
+    def test_minimums_enforced(self):
+        seeds = taus88_seed_streams(0, 100)
+        assert (seeds[:, 0] >= 2).all()
+        assert (seeds[:, 1] >= 8).all()
+        assert (seeds[:, 2] >= 16).all()
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ConfigurationError):
+            taus88_seed_streams(0, 0)

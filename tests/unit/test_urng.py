@@ -1,0 +1,86 @@
+"""Uniform code sources: interface contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import ExhaustiveSource, NumpySource, TauswortheSource
+
+
+@pytest.mark.parametrize("source_cls", [TauswortheSource, NumpySource])
+class TestCommonContract:
+    def test_codes_in_alphabet(self, source_cls):
+        src = source_cls()
+        codes = src.uniform_codes(5000, 6)
+        assert codes.min() >= 1 and codes.max() <= 64
+
+    def test_codes_dtype(self, source_cls):
+        src = source_cls()
+        assert src.uniform_codes(10, 8).dtype == np.int64
+
+    def test_random_bits_binary(self, source_cls):
+        src = source_cls()
+        bits = src.random_bits(2000)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_random_bits_balanced(self, source_cls):
+        src = source_cls()
+        bits = src.random_bits(20000)
+        assert abs(bits.mean() - 0.5) < 0.02
+
+    def test_uniforms_in_half_open_interval(self, source_cls):
+        src = source_cls()
+        us = src.uniforms(5000, 10)
+        assert us.min() > 0 and us.max() <= 1.0
+
+
+class TestNumpySource:
+    def test_seeded_reproducible(self):
+        a = NumpySource(seed=5).uniform_codes(100, 12)
+        b = NumpySource(seed=5).uniform_codes(100, 12)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bits_validation(self):
+        with pytest.raises(ConfigurationError):
+            NumpySource(seed=0).uniform_codes(10, 0)
+
+
+class TestExhaustiveSource:
+    def test_full_sweep_covers_alphabet_once(self):
+        src = ExhaustiveSource()
+        codes = src.uniform_codes(2**8, 8)
+        assert sorted(codes) == list(range(1, 257))
+
+    def test_wraps_to_fresh_sweep(self):
+        src = ExhaustiveSource()
+        first = src.uniform_codes(2**6, 6)
+        second = src.uniform_codes(2**6, 6)
+        np.testing.assert_array_equal(first, second)
+
+    def test_partial_then_continue(self):
+        src = ExhaustiveSource()
+        a = src.uniform_codes(10, 6)
+        b = src.uniform_codes(10, 6)
+        np.testing.assert_array_equal(a, np.arange(1, 11))
+        np.testing.assert_array_equal(b, np.arange(11, 21))
+
+    def test_bits_alternate(self):
+        src = ExhaustiveSource()
+        bits = src.random_bits(6)
+        np.testing.assert_array_equal(bits, [0, 1, 0, 1, 0, 1])
+
+    def test_bit_block(self):
+        src = ExhaustiveSource(bit_block=3)
+        np.testing.assert_array_equal(src.random_bits(8), [0, 0, 0, 1, 1, 1, 0, 0])
+
+    def test_bit_block_continues_across_calls(self):
+        src = ExhaustiveSource(bit_block=2)
+        np.testing.assert_array_equal(src.random_bits(3), [0, 0, 1])
+        np.testing.assert_array_equal(src.random_bits(3), [1, 0, 0])
+
+    def test_double_sweep_pairs_codes_with_both_signs(self):
+        src = ExhaustiveSource(bit_block=16)
+        codes = src.uniform_codes(32, 4)
+        bits = src.random_bits(32)
+        pairs = set(zip(codes.tolist(), bits.tolist()))
+        assert len(pairs) == 32  # every (code, sign) exactly once

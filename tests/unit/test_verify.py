@@ -1,0 +1,67 @@
+"""LDP verification wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import verify_additive_mechanism, verify_family
+from repro.privacy.loss import DiscreteMechanismFamily
+from repro.rng import DiscretePMF
+
+
+@pytest.fixture(scope="module")
+def noise():
+    probs = np.array([1, 2, 4, 2, 1], dtype=float)
+    return DiscretePMF(step=1.0, min_k=-2, probs=probs / probs.sum())
+
+
+class TestVerifyAdditive:
+    def test_baseline_fails(self, noise):
+        rep = verify_additive_mechanism(noise, 0.0, 2.0, epsilon=10.0)
+        assert rep.satisfied is False
+        assert not rep.is_finite
+
+    def test_resample_passes_with_loose_target(self, noise):
+        rep = verify_additive_mechanism(
+            noise, 0.0, 1.0, epsilon=2.0, mode="resample", threshold=1.0
+        )
+        assert rep.is_finite
+        assert rep.satisfied is True
+
+    def test_threshold_mode(self, noise):
+        rep = verify_additive_mechanism(
+            noise, 0.0, 1.0, epsilon=5.0, mode="threshold", threshold=1.0
+        )
+        assert rep.is_finite
+
+    def test_guarded_without_threshold_raises(self, noise):
+        with pytest.raises(ValueError):
+            verify_additive_mechanism(noise, 0.0, 1.0, epsilon=1.0, mode="resample")
+
+    def test_explicit_window(self, noise):
+        rep = verify_additive_mechanism(
+            noise, 0.0, 1.0, epsilon=5.0, mode="threshold", window=(-1, 2)
+        )
+        assert rep.is_finite
+
+    def test_explicit_input_codes(self, noise):
+        rep = verify_additive_mechanism(
+            noise, 0.0, 2.0, epsilon=10.0, input_codes=[0, 2]
+        )
+        assert not rep.is_finite
+
+    def test_report_points_at_worst_pair(self, noise):
+        rep = verify_additive_mechanism(
+            noise, 0.0, 1.0, epsilon=0.1, mode="resample", threshold=1.0
+        )
+        assert rep.argmax_inputs is not None
+        assert set(rep.argmax_inputs) <= {0.0, 1.0}
+
+
+class TestVerifyFamily:
+    def test_target_propagates(self, noise):
+        fam = DiscreteMechanismFamily.additive(
+            noise, [0, 1], window=(-1, 2), mode="resample"
+        )
+        rep = verify_family(fam, epsilon=0.01)
+        assert rep.epsilon_target == 0.01
+        assert rep.satisfied is False

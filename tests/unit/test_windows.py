@@ -1,0 +1,104 @@
+"""Windowed budget accountants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.privacy.windows import FixedWindowAccountant, SlidingWindowAccountant
+
+
+class TestFixedWindow:
+    def test_spend_within_window(self):
+        acc = FixedWindowAccountant(budget=1.0, window=100)
+        assert acc.try_spend(0.6)
+        assert not acc.try_spend(0.6)
+        assert acc.remaining == pytest.approx(0.4)
+
+    def test_reset_at_boundary(self):
+        acc = FixedWindowAccountant(budget=1.0, window=100)
+        acc.try_spend(1.0)
+        acc.advance(99)
+        assert acc.remaining == 0.0
+        acc.advance(1)  # crosses the boundary
+        assert acc.remaining == 1.0
+
+    def test_boundary_straddle_reaches_2x(self):
+        """The documented weakness: 2B inside one sliding interval."""
+        acc = FixedWindowAccountant(budget=1.0, window=100)
+        acc.advance(99)
+        assert acc.try_spend(1.0)  # end of window 0
+        acc.advance(2)
+        assert acc.try_spend(1.0)  # start of window 1
+        # Total 2.0 within ticks [99, 101] — an interval of length 2.
+
+    def test_multiple_windows(self):
+        acc = FixedWindowAccountant(budget=0.5, window=10)
+        total = 0.0
+        for _ in range(10):
+            if acc.try_spend(0.5):
+                total += 0.5
+            acc.advance(10)
+        assert total == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedWindowAccountant(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            FixedWindowAccountant(1.0, 0)
+        acc = FixedWindowAccountant(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            acc.try_spend(-0.1)
+        with pytest.raises(ConfigurationError):
+            acc.advance(-1)
+
+
+class TestSlidingWindow:
+    def test_charges_expire(self):
+        acc = SlidingWindowAccountant(budget=1.0, window=100)
+        assert acc.try_spend(1.0)
+        assert not acc.try_spend(0.1)
+        acc.advance(100)
+        assert acc.try_spend(1.0)
+
+    def test_no_interval_exceeds_budget(self):
+        """The strict guarantee, checked exhaustively on a random trace."""
+        rng = np.random.default_rng(0)
+        acc = SlidingWindowAccountant(budget=1.0, window=50)
+        events = []  # (time, loss) actually charged
+        for _ in range(400):
+            acc.advance(int(rng.integers(0, 5)))
+            loss = float(rng.uniform(0, 0.4))
+            if acc.try_spend(loss):
+                events.append((acc.now, loss))
+        times = np.array([t for t, _ in events])
+        losses = np.array([l for _, l in events])
+        for t, _ in events:
+            in_window = (times > t - 50) & (times <= t)
+            assert losses[in_window].sum() <= 1.0 + 1e-9
+
+    def test_partial_expiry(self):
+        acc = SlidingWindowAccountant(budget=1.0, window=10)
+        acc.try_spend(0.5)
+        acc.advance(5)
+        acc.try_spend(0.5)
+        acc.advance(6)  # first charge (t=0) expired, second (t=5) not
+        assert acc.spent_in_window_ending_now() == pytest.approx(0.5)
+        assert acc.try_spend(0.5)
+
+    def test_stricter_than_fixed(self):
+        """Sliding refuses the boundary-straddle that fixed allows."""
+        fixed = FixedWindowAccountant(budget=1.0, window=100)
+        sliding = SlidingWindowAccountant(budget=1.0, window=100)
+        for acc in (fixed, sliding):
+            acc.advance(99)
+            assert acc.try_spend(1.0)
+            acc.advance(2)
+        assert fixed.try_spend(1.0)
+        assert not sliding.try_spend(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowAccountant(1.0, -5)
+        acc = SlidingWindowAccountant(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            acc.try_spend(-1.0)
