@@ -60,6 +60,8 @@ def run_fleet(
         raise ConfigurationError("true_values must be (n_epochs, n_devices)")
     if not 0.0 <= dropout < 1.0:
         raise ConfigurationError("dropout must be in [0, 1)")
+    # dplint: allow[DPL001] -- dropout/straggler simulation randomness only;
+    # release noise comes from each Device's mechanism source.
     rng = rng or np.random.default_rng()
     n_epochs, n_devices = true_values.shape
     mechanism_kwargs.setdefault("input_bits", 14)

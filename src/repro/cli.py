@@ -8,6 +8,7 @@ A thin operational layer over the library for quick experiments:
 * ``datasets``  — list the Table-I evaluation datasets
 * ``latency``   — measure DP-Box noising latency for a configuration
 * ``selftest``  — run the integrity BIST (URNG health, CORDIC, noise shape)
+* ``lint``      — dplint DP-safety static analysis (rules DPL001-DPL005)
 
 Every command prints plain text; exit code 0 means the operation
 succeeded (for ``verify``: the mechanism was *analyzed*, whatever the
@@ -28,11 +29,12 @@ from .datasets import PAPER_DATASETS, load
 from .errors import ReproError
 from .mechanisms import SensorSpec, make_mechanism
 from .privacy import (
+    BudgetAccountant,
     calibrate_threshold_exact,
     paper_resampling_threshold,
     paper_thresholding_threshold,
 )
-from .rng import FxpLaplaceConfig, FxpLaplaceRng
+from .rng import FxpLaplaceConfig, FxpLaplaceRng, audited_generator
 
 __all__ = ["main", "build_parser"]
 
@@ -79,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_mech_args(p_noise)
     p_noise.add_argument("values", nargs="+", type=float)
     p_noise.add_argument("--seed", type=int, default=None)
+    p_noise.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="privacy budget for this invocation; the per-value loss is the "
+        "mechanism's claimed bound (default: exactly enough for the "
+        "requested values)",
+    )
 
     sub.add_parser("datasets", help="list the Table-I evaluation datasets")
 
@@ -93,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bist = sub.add_parser("selftest", help="run the integrity BIST")
     p_bist.add_argument("--seed", type=int, default=12345)
+
+    p_lint = sub.add_parser(
+        "lint", help="DP-safety static analysis (dplint, see docs/lint.md)"
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -155,7 +172,7 @@ def _cmd_noise(args: argparse.Namespace) -> int:
     sensor = SensorSpec(args.range[0], args.range[1])
     kwargs = {} if args.arm == "ideal" else {"input_bits": args.input_bits}
     if args.arm == "ideal" and args.seed is not None:
-        kwargs["rng"] = np.random.default_rng(args.seed)
+        kwargs["rng"] = audited_generator(args.seed)
     elif args.arm != "ideal" and args.seed is not None:
         from .rng import NumpySource
 
@@ -163,9 +180,26 @@ def _cmd_noise(args: argparse.Namespace) -> int:
     mech = make_mechanism(
         args.arm, sensor, args.epsilon, loss_multiple=args.loss_multiple, **kwargs
     )
-    noisy = mech.privatize(np.asarray(args.values, dtype=float))
+    # Every release is debited against an explicit budget (composition,
+    # paper Section II-A); a budget too small for the request is refused
+    # before anything is privatized.
+    per_value_loss = mech.claimed_loss_bound
+    budget = (
+        args.budget
+        if args.budget is not None
+        else per_value_loss * len(args.values)
+    )
+    accountant = BudgetAccountant(budget)
+    noisy = []
+    for raw in args.values:
+        accountant.spend(per_value_loss)
+        noisy.append(float(mech.privatize(np.asarray([raw]))[0]))
     for raw, out in zip(args.values, noisy):
         print(f"{raw:g} -> {out:g}")
+    print(
+        f"budget        : spent {accountant.spent:g} of {accountant.budget:g} "
+        f"({len(args.values)} release(s) at {per_value_loss:g} each)"
+    )
     return 0
 
 
@@ -203,7 +237,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         range_lower=args.range[0],
         range_upper=args.range[1],
     )
-    rng = np.random.default_rng(0)
+    rng = audited_generator(0)
     xs = rng.uniform(args.range[0], args.range[1], args.samples)
     stats = LatencyStats.from_results([driver.noise(float(x)) for x in xs])
     print(f"mode          : {args.mode}")
@@ -223,6 +257,12 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 _COMMANDS = {
     "verify": _cmd_verify,
     "calibrate": _cmd_calibrate,
@@ -230,6 +270,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "latency": _cmd_latency,
     "selftest": _cmd_selftest,
+    "lint": _cmd_lint,
 }
 
 

@@ -86,6 +86,9 @@ class _Channel:
         self.cached_code: Optional[int] = None
 
     def draw_code(self, x: float) -> int:
+        # dplint: allow[DPL004] -- sole caller MultiSensorDPBox.request
+        # charges the shared budget via the channel's segment table before
+        # any draw is released or cached.
         y = float(self.mechanism.privatize(np.asarray([x]))[0])
         return int(round(y / self.mechanism.delta))
 

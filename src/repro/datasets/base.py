@@ -77,6 +77,7 @@ class SensorDataset:
         """A uniform random subsample (without replacement if possible)."""
         if n < 1:
             raise ConfigurationError("subsample size must be positive")
+        # dplint: allow[DPL001] -- simulation-only subsampling of raw data.
         rng = rng or np.random.default_rng()
         replace = n > self.n
         idx = rng.choice(self.n, size=n, replace=replace)

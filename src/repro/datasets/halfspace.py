@@ -78,6 +78,7 @@ def make_halfspace_dataset(
         raise ConfigurationError("dim must be >= 1")
     if margin < 0:
         raise ConfigurationError("margin must be nonnegative")
+    # dplint: allow[DPL001] -- synthetic ML dataset generation only.
     rng = np.random.default_rng(seed)
     w = rng.normal(size=dim)
     w /= np.linalg.norm(w)

@@ -157,6 +157,7 @@ def load(
     n = cfg.entries if entries is None else int(entries)
     if n < 1:
         raise ConfigurationError("entries must be positive")
+    # dplint: allow[DPL001] -- deterministic dataset materialization only.
     rng = np.random.default_rng(np.random.SeedSequence([seed, hash(name) & 0x7FFFFFFF]))
     values = cfg.generator()(n, cfg.lo, cfg.hi, cfg.mean, cfg.std, rng=rng)
     return SensorDataset(

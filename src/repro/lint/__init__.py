@@ -1,0 +1,59 @@
+"""dplint — AST-based DP-safety static analysis for this codebase.
+
+The paper's core claim is that LDP guarantees die at the implementation
+layer without any test failing: bounded/holed fixed-point noise,
+unaudited randomness, and data-dependent guard loops all break ε-LDP
+structurally.  This package mechanically enforces the invariants the
+paper proves, as lint rules over the source tree:
+
+========  ======================  ==========================================
+rule      name                    paper invariant
+========  ======================  ==========================================
+DPL001    unaudited-randomness    release noise must come from the audited
+                                  URNG abstraction (Section III-A)
+DPL002    float-in-fxp-path       fixed-point datapaths stay on integer
+                                  codes (Section III-A4, finite precision)
+DPL003    secret-dependent-branch guard control flow must not depend on the
+                                  secret (Section VI-D timing channel)
+DPL004    release-without-        every release debits the budget
+          accounting              (Section II-A composition, Fig. 13)
+DPL005    unvalidated-epsilon     constructors reject eps <= 0
+                                  (Section II-B calibration)
+========  ======================  ==========================================
+
+Usage: ``python -m repro lint [paths] [--format json|text]`` or the
+``repro-lint`` console script; see ``docs/lint.md`` for the suppression
+(``# dplint: allow[DPL001] -- why``) and baseline workflows.
+"""
+
+from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .engine import (
+    BAD_SUPPRESSION_RULE,
+    LintConfig,
+    LintEngine,
+    LintResult,
+    SYNTAX_ERROR_RULE,
+)
+from .findings import Finding, Severity
+from .paths import PathPolicy
+from .registry import FileContext, Rule, all_rule_ids, get_rules, register
+from .suppress import SuppressionIndex
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "BAD_SUPPRESSION_RULE",
+    "SYNTAX_ERROR_RULE",
+    "LintConfig",
+    "LintEngine",
+    "LintResult",
+    "Finding",
+    "Severity",
+    "PathPolicy",
+    "FileContext",
+    "Rule",
+    "all_rule_ids",
+    "get_rules",
+    "register",
+    "SuppressionIndex",
+]

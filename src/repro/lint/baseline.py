@@ -1,0 +1,132 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline is a committed JSON document mapping finding fingerprints to
+occurrence counts (a fingerprint can legitimately appear twice when two
+identical lines in one file violate the same rule).  A lint run filters
+findings against it and fails only on *new* ones; ``--write-baseline``
+regenerates it from the current findings, which is how a finding gets
+grandfathered in the first place.
+
+Entries keep human-readable context (rule, path, message) next to the
+fingerprint so baseline diffs are reviewable, but only the fingerprint
+and count participate in matching.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "dplint-baseline.json"
+
+
+class Baseline:
+    """Set of grandfathered finding fingerprints with multiplicities."""
+
+    def __init__(self, counts: Dict[str, int], context: List[dict] = None):
+        self._counts = dict(counts)
+        self._context = list(context or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Counter = Counter()
+        context: List[dict] = []
+        for f in sorted(findings, key=Finding.sort_key):
+            counts[f.fingerprint] += 1
+            context.append(
+                {
+                    "fingerprint": f.fingerprint,
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "message": f.message,
+                }
+            )
+        return cls(dict(counts), context)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        p = pathlib.Path(path)
+        try:
+            doc = json.loads(p.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ConfigurationError(f"baseline file not found: {path}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"baseline file {path} is not valid JSON: {exc}")
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline file {path} has unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = doc.get("entries", [])
+        counts: Counter = Counter()
+        for entry in entries:
+            fp = entry.get("fingerprint")
+            if not isinstance(fp, str):
+                raise ConfigurationError(f"baseline file {path}: malformed entry")
+            counts[fp] += int(entry.get("count", 1))
+        return cls(dict(counts), entries)
+
+    # ------------------------------------------------------------------
+    def write(self, path: str) -> None:
+        merged: Dict[str, dict] = {}
+        for entry in self._context:
+            fp = entry["fingerprint"]
+            if fp in merged:
+                merged[fp]["count"] += 1
+            else:
+                merged[fp] = {
+                    "fingerprint": fp,
+                    "rule": entry.get("rule", "?"),
+                    "path": entry.get("path", "?"),
+                    "message": entry.get("message", ""),
+                    "count": 1,
+                }
+        # Entries whose context was lost (hand-edited files) still match.
+        for fp, count in self._counts.items():
+            if fp not in merged:
+                merged[fp] = {"fingerprint": fp, "rule": "?", "path": "?",
+                              "message": "", "count": count}
+        doc = {
+            "version": BASELINE_VERSION,
+            "tool": "dplint",
+            "entries": sorted(
+                merged.values(), key=lambda e: (e["path"], e["rule"], e["fingerprint"])
+            ),
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, n_baselined).
+
+        Consumes baseline multiplicities in file order, so ``k`` baselined
+        occurrences absorb at most ``k`` identical findings.
+        """
+        remaining = Counter(self._counts)
+        fresh: List[Finding] = []
+        absorbed = 0
+        for f in sorted(findings, key=Finding.sort_key):
+            if remaining.get(f.fingerprint, 0) > 0:
+                remaining[f.fingerprint] -= 1
+                absorbed += 1
+            else:
+                fresh.append(f)
+        return fresh, absorbed
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

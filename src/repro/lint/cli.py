@@ -1,0 +1,139 @@
+"""Command-line front end for dplint.
+
+Reachable two ways with identical semantics:
+
+* ``python -m repro lint [paths...] [options]`` — the repro CLI
+  subcommand (:mod:`repro.cli` delegates here), and
+* ``repro-lint [paths...] [options]`` — the console entry point
+  registered in ``pyproject.toml``.
+
+Exit codes: 0 — clean (no non-baselined findings); 1 — findings; 2 —
+usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintConfig, LintEngine, LintResult
+from .registry import get_rules
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install dplint's options on a parser (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file of grandfathered findings "
+        f"(e.g. {DEFAULT_BASELINE_NAME}); matching findings do not fail "
+        "the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write all current findings to PATH as the new baseline "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [f.render_text() for f in result.findings]
+    counts = result.counts_by_rule()
+    summary = (
+        f"dplint: {len(result.findings)} finding(s) in {result.n_files} "
+        f"file(s) ({result.n_suppressed} suppressed, "
+        f"{result.n_baselined} baselined)"
+    )
+    if counts:
+        summary += " — " + ", ".join(f"{k}: {v}" for k, v in counts.items())
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in get_rules():
+        lines.append(f"{rule.rule_id}  {rule.name} [{rule.severity.value}]")
+        lines.append(f"    {rule.description}")
+        if rule.paper_ref:
+            lines.append(f"    paper: {rule.paper_ref}")
+    return "\n".join(lines)
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rule_ids = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    config = LintConfig(rule_ids=rule_ids, baseline_path=args.baseline)
+    engine = LintEngine(config)
+    result = engine.run(args.paths)
+    if args.write_baseline:
+        Baseline.from_findings(result.all_findings).write(args.write_baseline)
+        print(
+            f"dplint: wrote {len(result.all_findings)} finding(s) to "
+            f"baseline {args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(_render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="DP-safety static analysis for the repro codebase "
+        "(rules DPL001-DPL005; see docs/lint.md)",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint_command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""The dplint engine: file discovery, parsing, rule dispatch, filtering.
+
+Pipeline per file: read → parse (`ast`) → run every selected rule →
+drop findings suppressed by ``# dplint: allow[...]`` comments → (at the
+run level) subtract the committed baseline.  Unparsable files and
+suppressions naming unknown rule ids surface as findings themselves
+(``DPL900`` / ``DPL901``) so they cannot silently disable analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .baseline import Baseline
+from .findings import Finding, Severity
+from .paths import PathPolicy
+from .registry import FileContext, Rule, all_rule_ids, get_rules
+from .suppress import SuppressionIndex
+
+__all__ = ["LintConfig", "LintResult", "LintEngine", "SYNTAX_ERROR_RULE",
+           "BAD_SUPPRESSION_RULE"]
+
+#: Pseudo-rule id for files the parser rejects.
+SYNTAX_ERROR_RULE = "DPL900"
+#: Pseudo-rule id for suppressions naming unknown rules.
+BAD_SUPPRESSION_RULE = "DPL901"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclasses.dataclass
+class LintConfig:
+    """Options of one lint run."""
+
+    rule_ids: Optional[Sequence[str]] = None
+    baseline_path: Optional[str] = None
+    #: Root that findings' paths are reported relative to (default: cwd).
+    root: Optional[str] = None
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of a lint run."""
+
+    findings: List[Finding]
+    n_files: int
+    n_suppressed: int
+    n_baselined: int
+    #: Every finding before baseline subtraction (for --write-baseline).
+    all_findings: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "dplint",
+            "files": self.n_files,
+            "suppressed": self.n_suppressed,
+            "baselined": self.n_baselined,
+            "counts": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class LintEngine:
+    """Runs the registered rules over a set of paths."""
+
+    def __init__(self, config: Optional[LintConfig] = None):
+        self.config = config or LintConfig()
+        self.rules: List[Rule] = get_rules(self.config.rule_ids)
+        self.policy = PathPolicy()
+        self._known_ids = set(all_rule_ids()) | {
+            SYNTAX_ERROR_RULE,
+            BAD_SUPPRESSION_RULE,
+        }
+
+    # ------------------------------------------------------------------
+    # File discovery
+    # ------------------------------------------------------------------
+    def discover(self, paths: Iterable[str]) -> List[str]:
+        files: List[str] = []
+        for raw in paths:
+            p = pathlib.Path(raw)
+            if not p.exists():
+                raise ConfigurationError(f"lint path does not exist: {raw}")
+            if p.is_file():
+                if p.suffix == ".py":
+                    files.append(str(p))
+                continue
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = [
+                    d
+                    for d in sorted(dirnames)
+                    if d not in _SKIP_DIRS
+                    and not d.startswith(".")
+                    and not d.endswith(".egg-info")
+                ]
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        files.append(os.path.join(dirpath, fn))
+        return sorted(set(files))
+
+    def _display_path(self, path: str) -> str:
+        root = self.config.root or os.getcwd()
+        try:
+            rel = os.path.relpath(path, root)
+        except ValueError:  # pragma: no cover - windows drive mismatch
+            return path
+        return rel.replace(os.sep, "/") if not rel.startswith("..") else path
+
+    # ------------------------------------------------------------------
+    # Per-file analysis
+    # ------------------------------------------------------------------
+    def lint_source(self, display_path: str, source: str) -> List[Finding]:
+        """Run the rules over one in-memory module (suppression-aware)."""
+        self._last_suppressed = 0
+        try:
+            tree = ast.parse(source, filename=display_path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule_id=SYNTAX_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    path=display_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    source_line="",
+                )
+            ]
+        suppressions = SuppressionIndex.from_source(source)
+        ctx = FileContext(display_path, source, tree, self.policy)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if suppressions.is_suppressed(finding.rule_id, finding.line):
+                    self._last_suppressed += 1
+                else:
+                    findings.append(finding)
+        unknown = suppressions.declared_ids() - self._known_ids
+        for rid in sorted(unknown):
+            findings.append(
+                Finding(
+                    rule_id=BAD_SUPPRESSION_RULE,
+                    severity=Severity.ERROR,
+                    path=display_path,
+                    line=1,
+                    col=0,
+                    message=f"suppression names unknown rule id {rid!r}",
+                    source_line="",
+                )
+            )
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str]) -> LintResult:
+        files = self.discover(paths)
+        all_findings: List[Finding] = []
+        n_suppressed = 0
+        for path in files:
+            display = self._display_path(path)
+            source = pathlib.Path(path).read_text(encoding="utf-8")
+            found = self.lint_source(display, source)
+            n_suppressed += self._last_suppressed
+            all_findings.extend(found)
+        all_findings.sort(key=Finding.sort_key)
+        if self.config.baseline_path:
+            baseline = Baseline.load(self.config.baseline_path)
+            fresh, absorbed = baseline.filter(all_findings)
+        else:
+            fresh, absorbed = list(all_findings), 0
+        return LintResult(
+            findings=fresh,
+            n_files=len(files),
+            n_suppressed=n_suppressed,
+            n_baselined=absorbed,
+            all_findings=all_findings,
+        )

@@ -1,0 +1,71 @@
+"""Finding and severity model for the dplint static-analysis pass.
+
+A :class:`Finding` is one rule violation pinned to a file/line/column.
+Its :attr:`~Finding.fingerprint` deliberately hashes the *content* of the
+offending line rather than its number, so baselined findings survive
+unrelated edits that merely shift code up or down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Dict
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both severities fail a lint run; the distinction exists so reports
+    can separate proven invariant violations (``ERROR``) from heuristic
+    hazards that need a human judgement call (``WARNING``).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped text of the offending source line (fingerprint input).
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + line *content*."""
+        payload = f"{self.rule_id}|{self.path}|{self.source_line.strip()}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,81 @@
+"""Path policy: which parts of the tree carry which privacy obligations.
+
+The paper's invariants are *path-sensitive*: ``np.random`` inside a
+dataset synthesizer is simulation plumbing, but the same call inside a
+mechanism is an unaudited randomness source feeding a release.  Rules ask
+the :class:`PathPolicy` for a file's tags instead of hard-coding paths.
+
+Tags
+----
+``release``
+    Code on the privatized-release path: ``mechanisms/``, ``rng/``,
+    ``core/``, ``privacy/``, ``aggregation/`` and the CLI.  Randomness,
+    float usage and accounting rules apply here.
+``simulation``
+    Evaluation/simulation scaffolding (``datasets/``, ``sensors/``,
+    ``sim/``, ``analysis/``, ``attacks/``, ``ml/``, ``queries/``,
+    benchmarks, examples, tests).  Hazard rules stay silent; the code may
+    still carry ``# dplint: allow[...]`` annotations as documentation.
+``audited-rng``
+    The audited randomness implementations themselves (``rng/urng.py``,
+    ``rng/tausworthe.py``, ``rng/lfsr.py``).  DPL001 exempts them: they
+    are the abstraction everything else must route through.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import FrozenSet
+
+__all__ = ["PathPolicy", "RELEASE_DIRS", "SIMULATION_DIRS", "AUDITED_RNG_FILES"]
+
+RELEASE_DIRS = frozenset(
+    {"mechanisms", "rng", "core", "privacy", "aggregation"}
+)
+SIMULATION_DIRS = frozenset(
+    {
+        "datasets",
+        "sensors",
+        "sim",
+        "analysis",
+        "attacks",
+        "ml",
+        "queries",
+        "benchmarks",
+        "examples",
+        "tests",
+        "fixedpoint",
+    }
+)
+#: Files allowed to construct raw generators: the audited abstraction.
+AUDITED_RNG_FILES = frozenset({"urng.py", "tausworthe.py", "lfsr.py"})
+#: Top-level release files (not inside a release directory).
+RELEASE_FILES = frozenset({"cli.py"})
+
+
+class PathPolicy:
+    """Classifies repository paths into privacy-obligation tags."""
+
+    def tags(self, path: str) -> FrozenSet[str]:
+        parts = pathlib.PurePath(path).parts
+        name = parts[-1] if parts else ""
+        dirs = set(parts[:-1])
+        tags = set()
+        if dirs & SIMULATION_DIRS:
+            tags.add("simulation")
+        elif dirs & RELEASE_DIRS or name in RELEASE_FILES:
+            tags.add("release")
+        if name in AUDITED_RNG_FILES and "rng" in dirs:
+            tags.add("audited-rng")
+        return frozenset(tags)
+
+    # Convenience predicates -------------------------------------------
+    def is_release(self, path: str) -> bool:
+        return "release" in self.tags(path)
+
+    def is_audited_rng(self, path: str) -> bool:
+        return "audited-rng" in self.tags(path)
+
+    def in_dir(self, path: str, dirname: str) -> bool:
+        """Whether ``path`` sits under a directory called ``dirname``."""
+        return dirname in pathlib.PurePath(path).parts[:-1]

@@ -1,0 +1,150 @@
+"""Rule plugin registry and the per-file analysis context.
+
+A rule is a class with a unique ``rule_id`` (``DPL###``), a severity, a
+one-line description and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.  Registration happens at
+import time via the :func:`register` decorator; the engine materializes
+rules through :func:`get_rules` so tests can run single rules in
+isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Type
+
+from ..errors import ConfigurationError
+from .findings import Finding, Severity
+from .paths import PathPolicy
+
+__all__ = ["FileContext", "Rule", "register", "get_rules", "all_rule_ids"]
+
+
+class FileContext:
+    """Everything a rule needs to analyze one source file."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        policy: Optional[PathPolicy] = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.policy = policy or PathPolicy()
+        self.tags: FrozenSet[str] = self.policy.tags(path)
+
+    # ------------------------------------------------------------------
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_dir(self, dirname: str) -> bool:
+        return self.policy.in_dir(self.path, dirname)
+
+    @property
+    def is_release(self) -> bool:
+        return "release" in self.tags
+
+    @property
+    def is_audited_rng(self) -> bool:
+        return "audited-rng" in self.tags
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            source_line=self.source_line(lineno),
+        )
+
+
+class Rule:
+    """Base class for dplint rules."""
+
+    rule_id: str = "DPL000"
+    name: str = "unnamed"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: Which paper invariant the rule encodes (for --list-rules and docs).
+    paper_ref: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared AST helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """``a.b.c`` for Name/Attribute chains, else None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    @staticmethod
+    def functions(tree: ast.Module) -> Iterator[ast.AST]:
+        """All function/async-function definitions, any nesting depth."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def names_in(node: ast.AST) -> Iterator[str]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rid = cls.rule_id
+    if rid in _REGISTRY and _REGISTRY[rid] is not cls:
+        raise ConfigurationError(f"duplicate rule id {rid!r}")
+    _REGISTRY[rid] = cls
+    return cls
+
+
+def _ensure_builtin_rules_loaded() -> None:
+    # Importing the subpackage triggers @register on every builtin rule.
+    from . import rules  # noqa: F401
+
+
+def all_rule_ids() -> List[str]:
+    _ensure_builtin_rules_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rules(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the requested rules (all registered rules by default)."""
+    _ensure_builtin_rules_loaded()
+    if ids is None:
+        selected = sorted(_REGISTRY)
+    else:
+        selected = list(ids)
+        unknown = [rid for rid in selected if rid not in _REGISTRY]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[rid]() for rid in selected]

@@ -1,0 +1,22 @@
+"""Builtin dplint rules.
+
+Importing this package registers every builtin rule with
+:mod:`repro.lint.registry`.  Each module holds one rule so the encoding
+of each paper invariant can be read (and reviewed) in isolation.
+"""
+
+from . import (  # noqa: F401
+    dpl001_randomness,
+    dpl002_float,
+    dpl003_branch,
+    dpl004_accounting,
+    dpl005_epsilon,
+)
+
+__all__ = [
+    "dpl001_randomness",
+    "dpl002_float",
+    "dpl003_branch",
+    "dpl004_accounting",
+    "dpl005_epsilon",
+]

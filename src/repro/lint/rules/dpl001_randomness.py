@@ -1,0 +1,78 @@
+"""DPL001 — unaudited randomness on the release path.
+
+Paper invariant (Section III-A; Holohan & Braghin, "Secure Random
+Sampling in Differential Privacy"): every bit of randomness that reaches
+a privatized release must come from the audited URNG abstraction
+(:mod:`repro.rng.urng` / :mod:`repro.rng.tausworthe`), whose discrete
+code alphabet is exactly what the exact-PMF certification enumerates.  A
+stray ``random.random()`` or ``np.random.default_rng()`` on the release
+path produces noise the analyzer never sees — the guarantee silently
+stops covering the implementation.
+
+The rule fires on ``import random``, ``from random import ...`` and any
+call into ``random.*`` / ``np.random.*`` / ``numpy.random.*`` inside
+release-path files.  Simulation paths (``datasets/``, ``sensors/``,
+benchmarks, ...) and the audited RNG modules themselves are exempt.
+Release-path construction of generators should go through
+:func:`repro.rng.urng.audited_generator` (or inject a seeded generator at
+construction), which keeps every construction site greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnauditedRandomness"]
+
+_BANNED_CALL_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+
+@register
+class UnauditedRandomness(Rule):
+    rule_id = "DPL001"
+    name = "unaudited-randomness"
+    severity = Severity.ERROR
+    description = (
+        "random/np.random used on a release path instead of the audited "
+        "URNG abstraction (repro.rng.urng / repro.rng.tausworthe)"
+    )
+    paper_ref = "Section III-A; PAPERS.md: Secure Random Sampling in DP"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_release or ctx.is_audited_rng:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "numpy.random"
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of unaudited randomness module "
+                            f"{alias.name!r} on a release path",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "random" or mod.startswith("numpy.random"):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"from-import of unaudited randomness module {mod!r} "
+                        "on a release path",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = self.dotted_name(node.func)
+                if dotted and dotted.startswith(_BANNED_CALL_PREFIXES):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to {dotted}() on a release path; route "
+                        "randomness through repro.rng.urng.audited_generator "
+                        "or an injected UniformCodeSource",
+                    )

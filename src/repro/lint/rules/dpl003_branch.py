@@ -1,0 +1,150 @@
+"""DPL003 — secret-dependent control flow in mechanisms.
+
+Paper invariant (Section VI-D / Fig. 12): the resampling guard's redraw
+count depends on the *sensor value*, so execution time becomes a side
+channel — :mod:`repro.attacks.timing` implements the distinguisher.  Any
+``if``/``while`` whose condition is data-dependent on a secret input
+re-creates that channel in software.
+
+The rule runs a lightweight intraprocedural taint analysis over every
+function in ``mechanisms/``: parameters with secret-ish names (``x``,
+``values``, ``bits``, ``categories``, ...) seed the taint set;
+assignments, augmented assignments and ``for`` targets propagate it (to a
+fixpoint); any ``if``/``while`` test mentioning a tainted name is
+flagged.  Branches whose body consists solely of ``raise`` are skipped:
+input validation intentionally rejects out-of-contract secrets and is a
+different (documented) channel.  Inherent channels — the resampling loop
+itself — carry ``# dplint: allow[DPL003]`` annotations pointing at the
+paper's discussion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, Rule, register
+
+__all__ = ["SecretDependentBranch", "SECRET_PARAM_NAMES"]
+
+#: Parameter names treated as secret sensor data.
+SECRET_PARAM_NAMES = frozenset(
+    {
+        "x",
+        "xs",
+        "value",
+        "values",
+        "reading",
+        "readings",
+        "bits",
+        "categories",
+        "data",
+        "raw",
+        "raw_value",
+        "physical",
+        "k_x",
+        "secret",
+    }
+)
+
+_MAX_TAINT_PASSES = 10
+
+
+def _assigned_names(target: ast.AST) -> Iterator[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _mentions(node: ast.AST, tainted: Set[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id in tainted for sub in ast.walk(node)
+    )
+
+
+def _raise_only(body) -> bool:
+    return all(isinstance(stmt, ast.Raise) for stmt in body)
+
+
+@register
+class SecretDependentBranch(Rule):
+    rule_id = "DPL003"
+    name = "secret-dependent-branch"
+    severity = Severity.WARNING
+    description = (
+        "if/while condition depends on a secret sensor input — a timing "
+        "side channel like the paper's resampling loop (Fig. 12)"
+    )
+    paper_ref = "Section VI-D / Fig. 12; repro.attacks.timing"
+
+    def _taint(self, func: ast.AST) -> Set[str]:
+        args = func.args
+        params = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        tainted: Set[str] = {
+            a.arg for a in params if a.arg in SECRET_PARAM_NAMES
+        }
+        if not tainted:
+            return tainted
+        for _ in range(_MAX_TAINT_PASSES):
+            before = len(tainted)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    if _mentions(node.value, tainted):
+                        for tgt in node.targets:
+                            tainted.update(_assigned_names(tgt))
+                elif isinstance(node, ast.AugAssign):
+                    if _mentions(node.value, tainted) or _mentions(
+                        node.target, tainted
+                    ):
+                        tainted.update(_assigned_names(node.target))
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if _mentions(node.value, tainted):
+                        tainted.update(_assigned_names(node.target))
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if _mentions(node.iter, tainted):
+                        tainted.update(_assigned_names(node.target))
+                elif isinstance(node, (ast.NamedExpr,)):
+                    if _mentions(node.value, tainted):
+                        tainted.update(_assigned_names(node.target))
+            if len(tainted) == before:
+                break
+        return tainted
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dir("mechanisms"):
+            return
+        for func in self.functions(ctx.tree):
+            tainted = self._taint(func)
+            if not tainted:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.If, ast.While)):
+                    continue
+                if _raise_only(node.body):
+                    continue  # validation-reject pattern, documented channel
+                if _mentions(node.test, tainted):
+                    names = sorted(
+                        {
+                            sub.id
+                            for sub in ast.walk(node.test)
+                            if isinstance(sub, ast.Name) and sub.id in tainted
+                        }
+                    )
+                    kind = "if" if isinstance(node, ast.If) else "while"
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{kind}-condition in {func.name!r} depends on "
+                        f"secret-derived value(s) {', '.join(names)} — "
+                        "data-dependent control flow is a timing channel "
+                        "(paper Fig. 12); make the dataflow constant-shape "
+                        "or annotate the inherent channel",
+                    )

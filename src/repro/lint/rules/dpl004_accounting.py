@@ -1,0 +1,80 @@
+"""DPL004 — mechanism release without budget accounting.
+
+Paper invariant (Section II-A, Algorithm 1, Fig. 13): sequential
+composition means every privatized release *must* debit the privacy
+budget, or an averaging adversary reconstructs the secret to arbitrary
+precision by querying repeatedly.  DP-Box enforces this in hardware; the
+software orchestration layers have to enforce it by construction.
+
+The rule checks orchestration code (``aggregation/``, ``core/`` and the
+CLI): any function that calls ``.privatize(...)`` (or the
+``privatize_with_counts`` / ``privatize_bits`` variants) must, in the
+same function, interact with an accountant — ``spend``, ``try_spend``,
+``can_spend``, ``charge``, ``debit`` or ``record_loss``.  Helpers that
+privatize below an enclosing guard annotate the call with
+``# dplint: allow[DPL004]`` naming the guard.  Mechanism internals
+(``mechanisms/``) and evaluation harnesses are out of scope — they are
+the mechanism, not a release site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, Rule, register
+
+__all__ = ["ReleaseWithoutAccounting"]
+
+_RELEASE_CALLS = frozenset(
+    {"privatize", "privatize_with_counts", "privatize_bits"}
+)
+_ACCOUNTING_CALLS = frozenset(
+    {"spend", "try_spend", "can_spend", "charge", "debit", "record_loss"}
+)
+
+
+@register
+class ReleaseWithoutAccounting(Rule):
+    rule_id = "DPL004"
+    name = "release-without-accounting"
+    severity = Severity.ERROR
+    description = (
+        "privatized release call site without a budget/accountant "
+        "interaction in the same function (composition is unenforced)"
+    )
+    paper_ref = "Section II-A / Algorithm 1 / Fig. 13 averaging attack"
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        import pathlib
+
+        name = pathlib.PurePath(ctx.path).parts[-1]
+        return ctx.in_dir("aggregation") or ctx.in_dir("core") or name == "cli.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for func in self.functions(ctx.tree):
+            release_sites = []
+            accounted = False
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in _RELEASE_CALLS:
+                        release_sites.append(node)
+                    elif node.func.attr in _ACCOUNTING_CALLS:
+                        accounted = True
+            if accounted:
+                continue
+            for site in release_sites:
+                callee = self.dotted_name(site.func) or site.func.attr
+                yield ctx.finding(
+                    self,
+                    site,
+                    f"release call {callee}() in {func.name!r} is not "
+                    "guarded by a budget decrement (spend/try_spend/"
+                    "can_spend); unaccounted releases defeat composition "
+                    "(paper Fig. 13)",
+                )

@@ -1,0 +1,147 @@
+"""DPL005 — mechanism constructor accepts ε without validating it.
+
+Paper invariant (Section II-B): ε parameterizes the noise scale
+``λ = d/ε``; ε ≤ 0 (or NaN) silently produces a mechanism whose "noise"
+is infinite-scale garbage or, worse for privacy, whose downstream
+calibration divides by zero and disables the guard.  Every constructor
+that takes an ε must reject non-positive values at the boundary, exactly
+like :class:`repro.mechanisms.base.LocalMechanism` does.
+
+The rule inspects ``__init__`` / ``__post_init__`` methods in
+``mechanisms/`` and ``privacy/`` classes whose signature (or dataclass
+fields) include ``epsilon``/``eps``.  The constructor passes if it
+
+* compares the ε name (or ``self.epsilon``) in any ``Compare`` node —
+  the ``if epsilon <= 0: raise`` idiom,
+* calls a validator whose name contains ``valid`` or ``check`` with the
+  ε in its arguments, or
+* forwards ε to ``super().__init__`` (the base class validates).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnvalidatedEpsilon"]
+
+_EPS_NAMES = frozenset({"epsilon", "eps"})
+
+
+def _param_names(func: ast.AST) -> List[str]:
+    args = func.args
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def _mentions_eps(node: ast.AST, eps_names: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in eps_names:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in eps_names:
+            return True
+    return False
+
+
+def _is_super_init(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "__init__"
+        and isinstance(call.func.value, ast.Call)
+        and isinstance(call.func.value.func, ast.Name)
+        and call.func.value.func.id == "super"
+    )
+
+
+@register
+class UnvalidatedEpsilon(Rule):
+    rule_id = "DPL005"
+    name = "unvalidated-epsilon"
+    severity = Severity.ERROR
+    description = (
+        "constructor accepts epsilon without an eps > 0 validation or "
+        "forwarding it to a validating base class"
+    )
+    paper_ref = "Section II-B (λ = d/ε noise calibration)"
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("mechanisms") or ctx.in_dir("privacy")
+
+    # ------------------------------------------------------------------
+    def _class_eps_fields(self, cls: ast.ClassDef) -> Set[str]:
+        fields: Set[str] = set()
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.target.id in _EPS_NAMES:
+                    fields.add(stmt.target.id)
+        return fields
+
+    def _validated(self, func: ast.AST, eps_names: Set[str]) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Compare) and _mentions_eps(node, eps_names):
+                return True
+            if isinstance(node, ast.Call):
+                if _is_super_init(node):
+                    fwd = list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]
+                    if any(_mentions_eps(a, eps_names) for a in fwd):
+                        return True
+                callee: Optional[str] = None
+                if isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    callee = node.func.attr
+                if callee and ("valid" in callee or "check" in callee):
+                    fwd = list(node.args) + [kw.value for kw in node.keywords]
+                    if any(_mentions_eps(a, eps_names) for a in fwd):
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            dataclass_eps = self._class_eps_fields(cls)
+            ctor_names = {
+                f.name
+                for f in cls.body
+                if isinstance(f, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if dataclass_eps and not ({"__init__", "__post_init__"} & ctor_names):
+                yield ctx.finding(
+                    self,
+                    cls,
+                    f"dataclass {cls.name} declares an "
+                    f"{'/'.join(sorted(dataclass_eps))} field with no "
+                    "__post_init__ validation at all",
+                )
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if func.name == "__init__":
+                    eps_names = {
+                        n for n in _param_names(func) if n in _EPS_NAMES
+                    }
+                elif func.name == "__post_init__":
+                    eps_names = set(dataclass_eps)
+                else:
+                    continue
+                if not eps_names:
+                    continue
+                if not self._validated(func, eps_names):
+                    yield ctx.finding(
+                        self,
+                        func,
+                        f"{cls.name}.{func.name} accepts "
+                        f"{'/'.join(sorted(eps_names))} without validating "
+                        "it (need eps > 0 / format check, a *valid*/*check* "
+                        "helper, or super().__init__ forwarding)",
+                    )

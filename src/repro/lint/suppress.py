@@ -1,0 +1,107 @@
+"""``# dplint: allow[...]`` suppression comments.
+
+Two forms are recognized:
+
+* **Line suppressions** — ``# dplint: allow[DPL001]`` (or a comma list,
+  ``allow[DPL001,DPL003]``) at the end of a line suppresses matching
+  findings on that line.  A comment-only line suppresses the next *code*
+  line instead (blank lines and the remainder of the justification
+  comment block are skipped), for code too long to annotate in place::
+
+      # dplint: allow[DPL002] -- ideal float64 reference arm; the
+      # fixed-point realization is certified separately.
+      magnitude = -self.lam * np.log(u)
+
+* **File suppressions** — ``# dplint: allow-file[DPL001]`` anywhere in
+  the first :data:`FILE_SCOPE_LINES` lines suppresses the rule for the
+  whole module (for e.g. dataset synthesizers that are all simulation
+  randomness).
+
+Anything after the closing bracket is free-form justification; writing
+one is the expected style.  Unknown rule ids inside the brackets are kept
+verbatim so the engine can report them as lint errors of their own
+(:data:`repro.lint.engine.BAD_SUPPRESSION_RULE`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+__all__ = ["SuppressionIndex", "FILE_SCOPE_LINES"]
+
+#: ``allow-file`` must appear within this many lines of the top.
+FILE_SCOPE_LINES = 15
+
+_LINE_RE = re.compile(r"#\s*dplint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*dplint:\s*allow-file\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _split_ids(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+class SuppressionIndex:
+    """All suppressions declared in one source file."""
+
+    def __init__(
+        self,
+        line_rules: Dict[int, Set[str]],
+        file_rules: Set[str],
+    ) -> None:
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+        self._used: Set[Tuple[int, str]] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        lines = source.splitlines()
+        line_rules: Dict[int, Set[str]] = {}
+        file_rules: Set[str] = set()
+        for i, text in enumerate(lines, start=1):
+            m = _FILE_RE.search(text)
+            if m and i <= FILE_SCOPE_LINES:
+                file_rules.update(_split_ids(m.group(1)))
+                continue
+            m = _LINE_RE.search(text)
+            if not m:
+                continue
+            ids = set(_split_ids(m.group(1)))
+            if text.lstrip().startswith("#"):
+                # Comment-only line: applies to the next code line, skipping
+                # blanks and the rest of the justification comment block.
+                target = i + 1
+                while target <= len(lines):
+                    nxt = lines[target - 1].strip()
+                    if nxt and not nxt.startswith("#"):
+                        break
+                    target += 1
+                line_rules.setdefault(target, set()).update(ids)
+            else:
+                line_rules.setdefault(i, set()).update(ids)
+        return cls(line_rules, file_rules)
+
+    # ------------------------------------------------------------------
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_rules:
+            self._used.add((0, rule_id))
+            return True
+        if rule_id in self._line_rules.get(line, ()):
+            self._used.add((line, rule_id))
+            return True
+        return False
+
+    def declared_ids(self) -> Set[str]:
+        """Every rule id mentioned by any suppression in the file."""
+        ids = set(self._file_rules)
+        for rules in self._line_rules.values():
+            ids.update(rules)
+        return ids
+
+    def suppression_sites(self) -> Sequence[Tuple[int, str]]:
+        """(line, rule) pairs declared; line 0 means file scope."""
+        sites = [(0, rid) for rid in sorted(self._file_rules)]
+        for line in sorted(self._line_rules):
+            sites.extend((line, rid) for rid in sorted(self._line_rules[line]))
+        return sites

@@ -127,6 +127,9 @@ class GuardedNoiseMechanism(LocalMechanism):
             lo, hi = self.window
             pending = np.flatnonzero((k_y < lo) | (k_y > hi))
             for _ in range(_MAX_ROUNDS):
+                # dplint: allow[DPL003] -- resample mode reproduces the
+                # paper's data-dependent retry loop (Fig. 12 timing channel)
+                # on purpose; repro.attacks.timing quantifies the leak.
                 if pending.size == 0:
                     break
                 k_y[pending] = flat[pending] + self.noise_rng.sample_codes(

@@ -82,6 +82,9 @@ class DpBoxRandomizedResponse(FxpMechanismBase):
 
     def privatize(self, x: np.ndarray) -> np.ndarray:
         """Privatize binary sensor values (must equal m or M)."""
+        # dplint: allow[DPL002] -- sensor readings arrive as real values;
+        # they are immediately mapped to the two integer endpoint codes
+        # k_m/k_M and all noise arithmetic below is on integer codes.
         x = np.asarray(x, dtype=float)
         is_m = np.isclose(x, self.sensor.m)
         is_M = np.isclose(x, self.sensor.M)

@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..rng.urng import audited_generator
 
 __all__ = ["KRandomizedResponse", "OneHotRappor"]
 
@@ -66,7 +67,7 @@ class KRandomizedResponse:
             raise ConfigurationError("epsilon must be positive")
         self.k = n_categories
         self.epsilon = epsilon
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or audited_generator()
         e = math.exp(epsilon)
         #: Probability of reporting the true category.
         self.keep_prob = e / (e + self.k - 1)
@@ -122,7 +123,7 @@ class OneHotRappor:
             raise ConfigurationError("epsilon must be positive")
         self.k = n_categories
         self.epsilon = epsilon
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or audited_generator()
         # A category change flips exactly two bits; each contributes
         # ln(p/(1-p)), so per-bit keep prob e^{ε/2}/(1+e^{ε/2}).
         half = math.exp(epsilon / 2.0)

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng.laplace_ideal import IdealLaplace
+from ..rng.urng import audited_generator
 
 __all__ = ["IdealLaplaceMechanismCore", "ideal_worst_case_loss"]
 
@@ -37,7 +38,7 @@ class IdealLaplaceMechanismCore:
         if self.epsilon <= 0:
             raise ConfigurationError("epsilon must be positive")
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            self.rng = audited_generator()
         self._laplace = IdealLaplace(self.d / self.epsilon)
 
     @property

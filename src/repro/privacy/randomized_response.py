@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..rng.urng import audited_generator
 
 __all__ = [
     "rr_epsilon_from_keep_prob",
@@ -66,7 +67,7 @@ class RandomizedResponse:
         if self.epsilon <= 0:
             raise ConfigurationError("epsilon must be positive")
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            self.rng = audited_generator()
         self.keep_prob = rr_keep_prob_from_epsilon(self.epsilon)
 
     def privatize(self, bits: np.ndarray) -> np.ndarray:

@@ -18,7 +18,13 @@ from .log_approx import PiecewisePolyLn
 from .pmf import DiscretePMF
 from .staircase import FxpStaircaseRng, StaircaseParams, optimal_gamma
 from .tausworthe import Taus88, VectorTaus88, taus88_seed_streams
-from .urng import ExhaustiveSource, NumpySource, TauswortheSource, UniformCodeSource
+from .urng import (
+    ExhaustiveSource,
+    NumpySource,
+    TauswortheSource,
+    UniformCodeSource,
+    audited_generator,
+)
 
 __all__ = [
     "CordicLn",
@@ -48,4 +54,5 @@ __all__ = [
     "NumpySource",
     "TauswortheSource",
     "UniformCodeSource",
+    "audited_generator",
 ]

@@ -108,6 +108,9 @@ class FxpGaussianRng(FxpInversionRng):
         return 1.0 - 2.0 ** (-(self.config.input_bits + 1))
 
     def magnitude_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        # dplint: allow[DPL002] -- float64 probit models the hardware's
+        # rational approximation (module docstring); the quantization
+        # under study is the Bu-bit input / Δ output grid around it.
         u = np.minimum(np.asarray(u, dtype=float), self._u_cap())
         # Magnitude quantile: |N(0, σ)| has CDF 2Φ(m/σ) - 1.
         return self.sigma * probit((1.0 + u) / 2.0)

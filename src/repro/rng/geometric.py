@@ -85,10 +85,14 @@ class IdealTwoSidedGeometric:
 
     def inverse_magnitude_cdf(self, u: np.ndarray) -> np.ndarray:
         """Smallest ``j`` with ``Pr[|k| <= j] >= u`` (vectorized)."""
+        # dplint: allow[DPL002] -- ideal-model quantile: this class is the
+        # continuous reference; the fixed-point realization quantizes it
+        # in FxpGeometricRng and is certified via exact_pmf enumeration.
         u = np.asarray(u, dtype=float)
         if np.any((u <= 0) | (u > 1)):
             raise ConfigurationError("uniforms must be in (0, 1]")
         one_minus = np.maximum(1.0 - u, np.finfo(float).tiny)
+        # dplint: allow[DPL002] -- same ideal-model quantile (see above).
         raw = np.log(one_minus * (1.0 + self.alpha) / 2.0) / math.log(self.alpha)
         return np.maximum(np.ceil(raw) - 1.0, 0.0)
 
@@ -115,6 +119,8 @@ class FxpGeometricRng(FxpInversionRng):
         return 1.0 - 2.0 ** (-(self.config.input_bits + 1))
 
     def magnitude_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        # dplint: allow[DPL002] -- u is the exactly representable m*2^-Bu
+        # code scaling; the privacy analysis enumerates this datapath.
         u = np.minimum(np.asarray(u, dtype=float), self._u_cap())
         return self.ideal.inverse_magnitude_cdf(u) * self.config.delta
 

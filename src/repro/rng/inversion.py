@@ -68,6 +68,9 @@ class FxpInversionRng(abc.ABC):
         return min(unsat, self.config.max_code)
 
     def _codes_from_uniform(self, m: np.ndarray) -> np.ndarray:
+        # dplint: allow[DPL002] -- u = m*2^-Bu is the paper's exact code
+        # scaling (Section III-A2); float64 represents it losslessly for
+        # Bu <= 40, so no finite-precision semantics are introduced.
         u = m.astype(float) * 2.0 ** (-self.config.input_bits)
         magnitude = self.magnitude_from_uniform(u)
         if np.any(~np.isfinite(magnitude)) or np.any(magnitude < 0):

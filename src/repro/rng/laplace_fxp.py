@@ -142,6 +142,9 @@ class FxpLaplaceRng:
     def _ln_uniform(self, m: np.ndarray) -> np.ndarray:
         bu = self.config.input_bits
         if self.log_backend is None:
+            # dplint: allow[DPL002] -- models the exact-log datapath the
+            # analytic eq.-(11) counts assume; hardware backends below
+            # (CordicLn / PiecewisePolyLn) run on integer codes.
             return np.log(m.astype(float)) - bu * math.log(2.0)
         codes = self.log_backend.ln_uniform_codes(m, bu)
         return codes * 2.0 ** (-self.log_backend.frac_bits)

@@ -174,7 +174,9 @@ class DiscretePMF:
     # ------------------------------------------------------------------
     def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Draw ``n`` real-valued samples from the PMF."""
-        rng = rng or np.random.default_rng()
+        from .urng import audited_generator
+
+        rng = rng or audited_generator()
         p = self.probs / self.total
         ks = rng.choice(np.arange(self.min_k, self.max_k + 1), size=n, p=p)
         return ks * self.step

@@ -79,16 +79,23 @@ class StaircaseParams:
         rung, the inner ``γ·d`` and outer ``(1-γ)·d`` pieces split it in
         proportion ``γ : b(1-γ)``.
         """
+        # dplint: allow[DPL002] -- ideal-model quantile: StaircaseParams is
+        # the continuous staircase reference; the Bu-bit realization in
+        # FxpStaircaseRng is certified via exact_pmf enumeration.
         u = np.asarray(u, dtype=float)
         if np.any((u <= 0) | (u > 1)):
             raise ConfigurationError("uniforms must be in (0, 1]")
+        # dplint: allow[DPL002] -- same ideal-model quantile (see above).
         b, g, d = self.b, float(self.gamma), self.sensitivity
         # Rung index: 1 - b^k <= u  =>  k = floor(ln(1-u)/ln b); clamp the
         # u -> 1 endpoint to the last fully-representable rung.
         one_minus = np.maximum(1.0 - u, np.finfo(float).tiny)
+        # dplint: allow[DPL002] -- same ideal-model quantile (see above).
         k = np.floor(np.log(one_minus) / math.log(b))
         k = np.maximum(k, 0.0)
+        # dplint: allow[DPL002] -- same ideal-model quantile (see above).
         residual = u - (1.0 - np.power(b, k))  # in [0, (1-b)·b^k)
+        # dplint: allow[DPL002] -- same ideal-model quantile (see above).
         rung_mass = (1.0 - b) * np.power(b, k)
         inner_frac = g / (g + b * (1.0 - g))
         inner_mass = rung_mass * inner_frac

@@ -25,7 +25,31 @@ import numpy as np
 from ..errors import ConfigurationError
 from .tausworthe import VectorTaus88
 
-__all__ = ["UniformCodeSource", "TauswortheSource", "NumpySource", "ExhaustiveSource"]
+__all__ = [
+    "UniformCodeSource",
+    "TauswortheSource",
+    "NumpySource",
+    "ExhaustiveSource",
+    "audited_generator",
+]
+
+
+def audited_generator(seed: Optional[int] = None) -> np.random.Generator:
+    """The audited construction point for ``numpy.random.Generator``.
+
+    Release-path code must not call ``np.random.default_rng`` directly
+    (dplint rule DPL001): scattering generator construction makes the
+    randomness supply unauditable, which is exactly the failure mode the
+    secure-sampling literature warns about (PAPERS.md, Holohan &
+    Braghin).  Routing every construction through this one function keeps
+    the supply greppable and gives a single seam where a hardware entropy
+    source or CSPRNG can be swapped in.
+
+    Float-generator randomness is only appropriate for the *ideal*
+    reference arms and analysis sampling; the fixed-point release
+    datapath consumes integer codes from a :class:`UniformCodeSource`.
+    """
+    return np.random.default_rng(seed)
 
 
 class UniformCodeSource(abc.ABC):

@@ -82,6 +82,8 @@ class ADC:
         values = np.asarray(values, dtype=float)
         distorted = (values + self.offset) * (1.0 + self.gain_error)
         if self.noise_std > 0:
+            # dplint: allow[DPL001] -- models analog front-end noise, not
+            # privacy noise; the DP mechanism sits after the ADC.
             rng = rng or np.random.default_rng()
             distorted = distorted + rng.normal(0.0, self.noise_std, values.shape)
         codes = np.floor((distorted - self.v_min) / self.lsb)

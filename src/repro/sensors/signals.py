@@ -20,6 +20,8 @@ __all__ = ["temperature_walk", "heart_rate", "power_draw", "occupancy"]
 
 
 def _rng(seed: Optional[int]) -> np.random.Generator:
+    # dplint: allow[DPL001] -- physical-signal simulation randomness only;
+    # release noise comes from the mechanism attached downstream.
     return np.random.default_rng(seed)
 
 

@@ -81,8 +81,11 @@ class TestNoise:
         )
         out = capsys.readouterr().out.strip().splitlines()
         assert code == 0
-        assert len(out) == 2
-        assert all("->" in line for line in out)
+        assert len(out) == 3
+        assert all("->" in line for line in out[:2])
+        # Every release is budget-accounted (dplint DPL004).
+        assert out[2].startswith("budget")
+        assert "2 release(s)" in out[2]
 
     def test_seed_reproducible(self, capsys):
         argv = [

@@ -1,0 +1,280 @@
+"""Engine-level dplint tests: suppression comments, baselines,
+fingerprints, discovery, output shapes and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.engine import (
+    BAD_SUPPRESSION_RULE,
+    SYNTAX_ERROR_RULE,
+    LintConfig,
+    LintEngine,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rule_ids, get_rules
+from repro.lint.suppress import SuppressionIndex
+
+MECH_PATH = "src/repro/mechanisms/m.py"
+
+VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    def make_noise(n):
+        rng = np.random.default_rng()
+        return rng.normal(size=n)
+    """
+)
+
+
+def lint(path, source, rules=None):
+    return LintEngine(LintConfig(rule_ids=rules)).lint_source(
+        path, textwrap.dedent(source)
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_all_five_rules_registered():
+    assert set(all_rule_ids()) >= {f"DPL00{i}" for i in range(1, 6)}
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ConfigurationError):
+        get_rules(["DPL001", "DPL999"])
+
+
+def test_rule_selection_limits_findings():
+    # The fixture violates DPL001 only; selecting DPL002 sees nothing.
+    assert lint(MECH_PATH, VIOLATION, ["DPL002"]) == []
+    assert len(lint(MECH_PATH, VIOLATION, ["DPL001"])) == 1
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_comment_block_binds_to_next_code_line(self):
+        idx = SuppressionIndex.from_source(
+            "# dplint: allow[DPL002] -- justification that keeps\n"
+            "# going on a second comment line\n"
+            "\n"
+            "x = float(y)\n"
+        )
+        assert idx.is_suppressed("DPL002", 4)
+        assert not idx.is_suppressed("DPL002", 2)
+        assert not idx.is_suppressed("DPL001", 4)
+
+    def test_same_line_form(self):
+        idx = SuppressionIndex.from_source("x = float(y)  # dplint: allow[DPL002]\n")
+        assert idx.is_suppressed("DPL002", 1)
+
+    def test_comma_list(self):
+        idx = SuppressionIndex.from_source(
+            "x = 1  # dplint: allow[DPL001, DPL003]\n"
+        )
+        assert idx.is_suppressed("DPL001", 1)
+        assert idx.is_suppressed("DPL003", 1)
+        assert not idx.is_suppressed("DPL002", 1)
+
+    def test_file_scope_within_header(self):
+        src = '"""doc"""\n# dplint: allow-file[DPL001] -- all simulation\n' + VIOLATION
+        assert lint(MECH_PATH, src, ["DPL001"]) == []
+
+    def test_file_scope_ignored_past_header(self):
+        filler = "\n" * 20
+        src = filler + "# dplint: allow-file[DPL001] -- too late\n" + VIOLATION
+        findings = lint(MECH_PATH, src, ["DPL001"])
+        assert [f.rule_id for f in findings] == ["DPL001"]
+
+    def test_unknown_suppressed_id_reported(self):
+        src = "x = 1  # dplint: allow[DPL042]\n"
+        findings = lint(MECH_PATH, src)
+        assert [f.rule_id for f in findings] == [BAD_SUPPRESSION_RULE]
+        assert "DPL042" in findings[0].message
+
+    def test_suppression_counted(self):
+        engine = LintEngine(LintConfig(rule_ids=["DPL001"]))
+        src = VIOLATION.replace(
+            "rng = np.random.default_rng()",
+            "rng = np.random.default_rng()  # dplint: allow[DPL001] -- why",
+        )
+        assert engine.lint_source(MECH_PATH, src) == []
+        assert engine._last_suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Syntax errors
+# ----------------------------------------------------------------------
+def test_unparsable_file_reports_dpl900():
+    findings = lint(MECH_PATH, "def broken(:\n")
+    assert [f.rule_id for f in findings] == [SYNTAX_ERROR_RULE]
+    assert findings[0].severity is Severity.ERROR
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and baselines
+# ----------------------------------------------------------------------
+def make_finding(line=5, path=MECH_PATH, rule="DPL001", content="x = f()"):
+    return Finding(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=0,
+        message="m",
+        source_line=content,
+    )
+
+
+class TestBaseline:
+    def test_fingerprint_survives_line_shift(self):
+        a = make_finding(line=5, content="  x = f()  ")
+        b = make_finding(line=50, content="x = f()")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_rule_path_content(self):
+        base = make_finding()
+        assert base.fingerprint != make_finding(rule="DPL002").fingerprint
+        assert base.fingerprint != make_finding(path="other.py").fingerprint
+        assert base.fingerprint != make_finding(content="y = g()").fingerprint
+
+    def test_round_trip_absorbs_known_findings(self, tmp_path):
+        findings = [make_finding()]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).write(str(path))
+        loaded = Baseline.load(str(path))
+        fresh, absorbed = loaded.filter(findings)
+        assert fresh == [] and absorbed == 1
+
+    def test_new_findings_stay_fresh(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([make_finding()]).write(str(path))
+        loaded = Baseline.load(str(path))
+        new = make_finding(content="z = h()")
+        fresh, absorbed = loaded.filter([make_finding(), new])
+        assert fresh == [new] and absorbed == 1
+
+    def test_counts_are_a_multiset(self, tmp_path):
+        # Baseline holds ONE instance; a second identical finding is fresh.
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([make_finding(line=5)]).write(str(path))
+        loaded = Baseline.load(str(path))
+        fresh, absorbed = loaded.filter([make_finding(line=5), make_finding(line=9)])
+        assert len(fresh) == 1 and absorbed == 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError):
+            Baseline.load(str(path))
+
+
+# ----------------------------------------------------------------------
+# Discovery and run()
+# ----------------------------------------------------------------------
+class TestRun:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "mechanisms"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(VIOLATION)
+        (pkg / "notes.txt").write_text("not python")
+        cache = pkg / "__pycache__"
+        cache.mkdir()
+        (cache / "bad.cpython-312.py").write_text(VIOLATION)
+        return tmp_path
+
+    def test_discovery_skips_pycache_and_non_python(self, tmp_path):
+        root = self._tree(tmp_path)
+        engine = LintEngine(LintConfig(rule_ids=["DPL001"]))
+        files = engine.discover([str(root)])
+        assert len(files) == 1 and files[0].endswith("bad.py")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ConfigurationError):
+            LintEngine().discover(["no/such/dir"])
+
+    def test_run_produces_findings_and_json_shape(self, tmp_path):
+        root = self._tree(tmp_path)
+        engine = LintEngine(LintConfig(rule_ids=["DPL001"]))
+        result = engine.run([str(root)])
+        assert not result.ok
+        assert result.counts_by_rule() == {"DPL001": 1}
+        d = result.to_dict()
+        assert d["tool"] == "dplint" and d["version"] == 1
+        assert d["files"] == 1 and d["counts"] == {"DPL001": 1}
+        f = d["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message",
+                "fingerprint"} <= set(f)
+
+    def test_run_with_baseline_is_clean(self, tmp_path):
+        root = self._tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        engine = LintEngine(LintConfig(rule_ids=["DPL001"]))
+        Baseline.from_findings(engine.run([str(root)]).all_findings).write(
+            str(baseline_path)
+        )
+        engine2 = LintEngine(
+            LintConfig(rule_ids=["DPL001"], baseline_path=str(baseline_path))
+        )
+        result = engine2.run([str(root)])
+        assert result.ok and result.n_baselined == 1
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _write_violation(self, tmp_path):
+        pkg = tmp_path / "mechanisms"
+        pkg.mkdir()
+        target = pkg / "bad.py"
+        target.write_text(VIOLATION)
+        return target
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        target = self._write_violation(tmp_path)
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DPL001" in out and "1 finding(s)" in out
+
+    def test_exit_0_on_clean(self, tmp_path, capsys):
+        clean = tmp_path / "mechanisms"
+        clean.mkdir()
+        (clean / "ok.py").write_text("VALUE = 1\n")
+        assert main([str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._write_violation(tmp_path)
+        assert main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"DPL001": 1}
+        assert payload["findings"][0]["rule"] == "DPL001"
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        target = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(target), "--write-baseline", str(baseline)]) == 0
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        target = self._write_violation(tmp_path)
+        assert main([str(target), "--rules", "DPL999"]) == 2
+        assert "DPL999" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("DPL001", "DPL002", "DPL003", "DPL004", "DPL005"):
+            assert rid in out

@@ -1,0 +1,363 @@
+"""Per-rule fixtures for dplint: each DPL rule fires, suppresses, stays
+silent on compliant code, and respects its path scope."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import LintConfig, LintEngine
+
+
+def lint(path, source, rules=None):
+    engine = LintEngine(LintConfig(rule_ids=rules))
+    return engine.lint_source(path, textwrap.dedent(source))
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# DPL001 — unaudited randomness
+# ----------------------------------------------------------------------
+class TestDPL001:
+    FIRE = """
+        import numpy as np
+
+        def make_noise(n):
+            rng = np.random.default_rng()
+            return rng.normal(size=n)
+        """
+
+    def test_fires_on_release_path(self):
+        findings = lint("src/repro/mechanisms/noisy.py", self.FIRE, ["DPL001"])
+        assert rule_ids(findings) == ["DPL001"]
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_fires_on_import_random(self):
+        src = """
+            import random
+
+            def pick():
+                return random.random()
+            """
+        findings = lint("src/repro/core/box.py", src, ["DPL001"])
+        # One for the import, one for the call.
+        assert rule_ids(findings) == ["DPL001", "DPL001"]
+
+    def test_fires_on_from_import(self):
+        src = """
+            from numpy.random import default_rng
+            """
+        findings = lint("src/repro/privacy/mech.py", src, ["DPL001"])
+        assert rule_ids(findings) == ["DPL001"]
+
+    def test_silent_on_simulation_path(self):
+        assert lint("src/repro/datasets/gen.py", self.FIRE, ["DPL001"]) == []
+        assert lint("src/repro/sensors/sig.py", self.FIRE, ["DPL001"]) == []
+
+    def test_silent_in_audited_rng_module(self):
+        assert lint("src/repro/rng/urng.py", self.FIRE, ["DPL001"]) == []
+
+    def test_silent_on_audited_generator(self):
+        src = """
+            from repro.rng.urng import audited_generator
+
+            def make_noise(n):
+                return audited_generator(0).normal(size=n)
+            """
+        assert lint("src/repro/mechanisms/noisy.py", src, ["DPL001"]) == []
+
+    def test_suppressed_same_line(self):
+        src = """
+            import numpy as np
+
+            def simulate(n):
+                rng = np.random.default_rng()  # dplint: allow[DPL001] -- sim only
+                return rng.normal(size=n)
+            """
+        assert lint("src/repro/mechanisms/noisy.py", src, ["DPL001"]) == []
+
+
+# ----------------------------------------------------------------------
+# DPL002 — float in fixed-point datapath
+# ----------------------------------------------------------------------
+class TestDPL002:
+    def test_fires_on_transcendental_and_dtype(self):
+        src = """
+            import numpy as np
+
+            def sample(self, codes):
+                u = np.asarray(codes, dtype=float)
+                return np.log(u)
+            """
+        findings = lint("src/repro/rng/gen.py", src, ["DPL002"])
+        messages = " | ".join(f.message for f in findings)
+        assert rule_ids(findings) == ["DPL002", "DPL002"]
+        assert "dtype=float" in messages
+        assert "np.log" in messages
+
+    def test_fires_on_float_cast_and_astype(self):
+        src = """
+            def privatize(self, k):
+                a = float(k)
+                b = k.astype(float)
+                return a + b
+            """
+        findings = lint("src/repro/mechanisms/m.py", src, ["DPL002"])
+        assert rule_ids(findings) == ["DPL002", "DPL002"]
+
+    def test_fires_in_datapath_hooks(self):
+        src = """
+            import math
+
+            def inverse_half_cdf(self, u):
+                return math.log(u)
+            """
+        findings = lint("src/repro/rng/stair.py", src, ["DPL002"])
+        assert rule_ids(findings) == ["DPL002"]
+
+    def test_silent_outside_datapath_functions(self):
+        src = """
+            import numpy as np
+
+            def summarize(self, xs):
+                return float(np.log(np.asarray(xs, dtype=float)).mean())
+            """
+        assert lint("src/repro/rng/gen.py", src, ["DPL002"]) == []
+
+    def test_silent_outside_mechanisms_and_rng(self):
+        src = """
+            import numpy as np
+
+            def sample(self, codes):
+                return np.log(np.asarray(codes, dtype=float))
+            """
+        assert lint("src/repro/privacy/loss.py", src, ["DPL002"]) == []
+
+    def test_suppressed_by_multiline_comment_block(self):
+        src = """
+            import numpy as np
+
+            def sample(self, codes):
+                # dplint: allow[DPL002] -- ideal float64 reference arm; the
+                # fixed-point realization is certified separately.
+                return np.log(codes)
+            """
+        assert lint("src/repro/rng/gen.py", src, ["DPL002"]) == []
+
+
+# ----------------------------------------------------------------------
+# DPL003 — secret-dependent branch
+# ----------------------------------------------------------------------
+class TestDPL003:
+    def test_fires_on_tainted_while(self):
+        src = """
+            def privatize(self, x):
+                k = x * 2
+                while k > 0:
+                    k = k - 1
+                return k
+            """
+        findings = lint("src/repro/mechanisms/m.py", src, ["DPL003"])
+        assert rule_ids(findings) == ["DPL003"]
+        assert findings[0].severity.value == "warning"
+        assert "'privatize'" in findings[0].message
+
+    def test_fires_on_tainted_if(self):
+        src = """
+            def privatize(self, values):
+                shifted = values + 1
+                if shifted.any():
+                    shifted = shifted * 2
+                return shifted
+            """
+        findings = lint("src/repro/mechanisms/m.py", src, ["DPL003"])
+        assert rule_ids(findings) == ["DPL003"]
+
+    def test_silent_on_raise_only_validation(self):
+        src = """
+            def privatize(self, x):
+                if x > 10:
+                    raise ValueError("out of declared range")
+                return x + 1
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL003"]) == []
+
+    def test_silent_on_untainted_branch(self):
+        src = """
+            def privatize(self, x, mode):
+                if mode == "threshold":
+                    return 0
+                return 1
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL003"]) == []
+
+    def test_silent_outside_mechanisms(self):
+        src = """
+            def privatize(self, x):
+                while x > 0:
+                    x = x - 1
+                return x
+            """
+        assert lint("src/repro/rng/gen.py", src, ["DPL003"]) == []
+
+    def test_suppressed(self):
+        src = """
+            def privatize(self, x):
+                pending = x + 1
+                # dplint: allow[DPL003] -- inherent resampling channel
+                while pending > 0:
+                    pending = pending - 1
+                return pending
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL003"]) == []
+
+
+# ----------------------------------------------------------------------
+# DPL004 — release without accounting
+# ----------------------------------------------------------------------
+class TestDPL004:
+    def test_fires_on_unaccounted_release(self):
+        src = """
+            def release(device, v):
+                return device.mechanism.privatize(v)
+            """
+        findings = lint("src/repro/aggregation/agg.py", src, ["DPL004"])
+        assert rule_ids(findings) == ["DPL004"]
+        assert "privatize" in findings[0].message
+
+    def test_silent_when_accounted(self):
+        src = """
+            def release(device, accountant, v):
+                accountant.spend(0.5)
+                return device.mechanism.privatize(v)
+            """
+        assert lint("src/repro/aggregation/agg.py", src, ["DPL004"]) == []
+
+    def test_try_spend_counts_as_accounting(self):
+        src = """
+            def release(device, accountant, v):
+                if not accountant.try_spend(0.5):
+                    return None
+                return device.mechanism.privatize(v)
+            """
+        assert lint("src/repro/core/box.py", src, ["DPL004"]) == []
+
+    def test_silent_inside_mechanisms(self):
+        src = """
+            def helper(self, v):
+                return self.privatize(v)
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL004"]) == []
+
+    def test_cli_in_scope(self):
+        src = """
+            def _cmd_noise(args, mech):
+                return mech.privatize(args.values)
+            """
+        findings = lint("src/repro/cli.py", src, ["DPL004"])
+        assert rule_ids(findings) == ["DPL004"]
+
+    def test_suppressed(self):
+        src = """
+            def draw(self, v):
+                # dplint: allow[DPL004] -- caller charges the shared budget
+                return self.mechanism.privatize(v)
+            """
+        assert lint("src/repro/core/box.py", src, ["DPL004"]) == []
+
+
+# ----------------------------------------------------------------------
+# DPL005 — unvalidated epsilon
+# ----------------------------------------------------------------------
+class TestDPL005:
+    def test_fires_on_unvalidated_init(self):
+        src = """
+            class Mech:
+                def __init__(self, epsilon):
+                    self.epsilon = epsilon
+            """
+        findings = lint("src/repro/mechanisms/m.py", src, ["DPL005"])
+        assert rule_ids(findings) == ["DPL005"]
+        assert "Mech.__init__" in findings[0].message
+
+    def test_silent_on_compare_validation(self):
+        src = """
+            class Mech:
+                def __init__(self, epsilon):
+                    if epsilon <= 0:
+                        raise ValueError("epsilon must be positive")
+                    self.epsilon = epsilon
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL005"]) == []
+
+    def test_silent_on_validator_call(self):
+        src = """
+            class Mech:
+                def __init__(self, eps):
+                    _check_epsilon(eps)
+                    self.eps = eps
+            """
+        assert lint("src/repro/privacy/m.py", src, ["DPL005"]) == []
+
+    def test_silent_on_super_forwarding(self):
+        src = """
+            class Mech(Base):
+                def __init__(self, sensor, epsilon):
+                    super().__init__(sensor, epsilon)
+                    self.extra = 1
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL005"]) == []
+
+    def test_fires_on_bare_dataclass_field(self):
+        src = """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Params:
+                epsilon: float
+            """
+        findings = lint("src/repro/privacy/p.py", src, ["DPL005"])
+        assert rule_ids(findings) == ["DPL005"]
+        assert "no __post_init__" in findings[0].message
+
+    def test_silent_on_post_init_validation(self):
+        src = """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Params:
+                epsilon: float
+
+                def __post_init__(self):
+                    if self.epsilon <= 0:
+                        raise ValueError("epsilon must be positive")
+            """
+        assert lint("src/repro/privacy/p.py", src, ["DPL005"]) == []
+
+    def test_silent_outside_scope(self):
+        src = """
+            class Config:
+                def __init__(self, epsilon):
+                    self.epsilon = epsilon
+            """
+        assert lint("src/repro/analysis/sweep.py", src, ["DPL005"]) == []
+
+    def test_suppressed(self):
+        src = """
+            class Mech:
+                # dplint: allow[DPL005] -- eps validated by the factory
+                def __init__(self, epsilon):
+                    self.epsilon = epsilon
+            """
+        assert lint("src/repro/mechanisms/m.py", src, ["DPL005"]) == []
+
+
+# ----------------------------------------------------------------------
+# Cross-rule: the real tree stays clean (no fixture drift)
+# ----------------------------------------------------------------------
+def test_repo_release_tree_lints_clean():
+    engine = LintEngine(LintConfig(root="src"))
+    result = engine.run(["src/repro"])
+    assert result.ok, "\n".join(f.render_text() for f in result.findings)
