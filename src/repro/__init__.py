@@ -22,7 +22,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from . import aggregation, analysis, attacks, core, datasets, fixedpoint, mechanisms, ml
-from . import privacy, queries, rng, sensors, sim
+from . import privacy, queries, rng, runtime, sensors, sim
 from .core import (
     Command,
     DPBox,
@@ -41,6 +41,7 @@ from .errors import (
     PrivacyError,
     PrivacyViolationError,
     ReproError,
+    ResampleExhaustedError,
 )
 from .mechanisms import (
     ARM_NAMES,
@@ -67,6 +68,15 @@ from .queries import (
     measure_utility,
 )
 from .rng import FxpLaplaceConfig, FxpLaplaceRng, IdealLaplace
+from .runtime import (
+    CounterSink,
+    JsonlSink,
+    ReleaseEvent,
+    ReleaseOutcome,
+    ReleasePipeline,
+    ReleaseRequest,
+    RingBufferSink,
+)
 
 __version__ = "1.0.0"
 
@@ -83,6 +93,7 @@ __all__ = [
     "privacy",
     "queries",
     "rng",
+    "runtime",
     "sensors",
     "sim",
     # DP-Box
@@ -102,6 +113,7 @@ __all__ = [
     "PrivacyError",
     "PrivacyViolationError",
     "ReproError",
+    "ResampleExhaustedError",
     # mechanisms
     "ARM_NAMES",
     "DpBoxRandomizedResponse",
@@ -127,5 +139,13 @@ __all__ = [
     "FxpLaplaceConfig",
     "FxpLaplaceRng",
     "IdealLaplace",
+    # runtime
+    "CounterSink",
+    "JsonlSink",
+    "ReleaseEvent",
+    "ReleaseOutcome",
+    "ReleasePipeline",
+    "ReleaseRequest",
+    "RingBufferSink",
     "__version__",
 ]

@@ -1,9 +1,12 @@
 """Simulated LDP sensor device.
 
 A :class:`Device` owns a raw sensor stream and a local mechanism; the
-*only* way data leaves it is :meth:`report`, which privatizes first.  An
-optional on-device budget mirrors DP-Box semantics: after exhaustion the
+*only* way data leaves it is :meth:`report`, which privatizes through
+the release pipeline.  An optional on-device budget mirrors DP-Box
+semantics via :class:`~repro.runtime.FlatCharge`: after exhaustion the
 device replays its cached report (no new loss) until :meth:`replenish`.
+Every report is one :class:`~repro.runtime.ReleaseEvent` on the
+mechanism's pipeline, with the device id as the event channel.
 """
 
 from __future__ import annotations
@@ -12,9 +15,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import BudgetExhaustedError, ConfigurationError
 from ..mechanisms.base import LocalMechanism
 from ..privacy.accountant import BudgetAccountant
+from ..runtime import FlatCharge, ReplayCache
 from .protocol import Report
 
 __all__ = ["Device"]
@@ -34,7 +38,7 @@ class Device:
         self.device_id = device_id
         self._mechanism = mechanism
         self._accountant = BudgetAccountant(budget) if budget is not None else None
-        self._cached: Optional[float] = None
+        self._cache = ReplayCache()
         self.n_fresh = 0
         self.n_cached = 0
 
@@ -57,28 +61,27 @@ class Device:
     # ------------------------------------------------------------------
     def report(self, raw_value: float, epoch: int) -> Report:
         """Privatize one reading and package it for the aggregator."""
-        if self._accountant is not None and not self._accountant.can_spend(
-            self.per_report_loss
-        ):
-            if self._cached is None:
-                raise ConfigurationError(
-                    f"device {self.device_id}: budget exhausted before any report"
-                )
-            self.n_cached += 1
-            return Report(
-                device_id=self.device_id,
-                epoch=epoch,
-                value=self._cached,
-                claimed_loss=self.per_report_loss,
+        accounting = (
+            FlatCharge(self._accountant, self.per_report_loss, self._cache)
+            if self._accountant is not None
+            else None
+        )
+        try:
+            outcome = self._mechanism.release(
+                np.asarray([raw_value]),
+                accounting=accounting,
+                channel=self.device_id,
             )
-        noised = float(self._mechanism.privatize(np.asarray([raw_value]))[0])
-        if self._accountant is not None:
-            self._accountant.spend(self.per_report_loss)
-        self._cached = noised
-        self.n_fresh += 1
+        except BudgetExhaustedError as exc:
+            raise ConfigurationError(
+                f"device {self.device_id}: budget exhausted before any report"
+            ) from exc
+        from_cache = bool(outcome.cache_hits[0])
+        self.n_cached += int(from_cache)
+        self.n_fresh += int(not from_cache)
         return Report(
             device_id=self.device_id,
             epoch=epoch,
-            value=noised,
+            value=float(outcome.values[0]),
             claimed_loss=self.per_report_loss,
         )

@@ -15,6 +15,12 @@ This module makes the channel measurable:
   latency-only distinguisher over ``n_queries`` observations;
 * :func:`run_timing_attack` — an empirical likelihood-ratio attack on
   sampled draw counts, with or without the fixed-draw mitigation.
+
+The empirical attack observes the mechanism **only through its emitted
+release events**: each batch of queries is one
+:class:`~repro.runtime.ReleaseEvent`, and the attacker reads the total
+draw count off the event — exactly the quantity a bus- or ready-flag
+observer integrates.  No mechanism internals are touched.
 """
 
 from __future__ import annotations
@@ -124,14 +130,18 @@ def run_timing_attack(
         truth = int(rng.integers(0, 2))  # 0 -> x1, 1 -> x2
         x = x1 if truth == 0 else x2
         if fixed_draws > 0:
-            draws = np.full(n_queries, fixed_draws)
             # Constant observations: likelihoods tie; guess at random.
             decide = int(rng.integers(0, 2))
         else:
-            _, draws = mech.privatize_with_counts(np.full(n_queries, x))
-            extra = draws - 1
-            ll1 = n_queries * log1 + float(extra.sum()) * log1m
-            ll2 = n_queries * log2 + float(extra.sum()) * log2m
+            # Observe the release through the event stream: the batch's
+            # emitted event carries the total draw count (the Fig. 12
+            # leak), which is a sufficient statistic for the geometric
+            # likelihood ratio.
+            with mech.pipeline.capture() as ring:
+                mech.privatize(np.full(n_queries, x))
+            extra_total = ring.events[-1].resample_rounds
+            ll1 = n_queries * log1 + float(extra_total) * log1m
+            ll2 = n_queries * log2 + float(extra_total) * log2m
             if ll1 == ll2:
                 decide = int(rng.integers(0, 2))
             else:

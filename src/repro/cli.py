@@ -9,6 +9,8 @@ A thin operational layer over the library for quick experiments:
 * ``latency``   — measure DP-Box noising latency for a configuration
 * ``selftest``  — run the integrity BIST (URNG health, CORDIC, noise shape)
 * ``lint``      — dplint DP-safety static analysis (rules DPL001-DPL005)
+* ``trace``     — runtime release-event tracing: selfcheck every release
+  path, or replay a JSONL event trace (see docs/runtime.md)
 
 Every command prints plain text; exit code 0 means the operation
 succeeded (for ``verify``: the mechanism was *analyzed*, whatever the
@@ -110,6 +112,34 @@ def build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_arguments
 
     add_lint_arguments(p_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="release-event tracing (see docs/runtime.md)"
+    )
+    trace_action = p_trace.add_mutually_exclusive_group(required=True)
+    trace_action.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="exercise every release path through one instrumented "
+        "pipeline and validate the emitted events",
+    )
+    trace_action.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="validate and summarize a JSONL event trace",
+    )
+    p_trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="with --selfcheck: also write the event trace to PATH",
+    )
+    p_trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="with --replay: only read the first N events",
+    )
     return parser
 
 
@@ -181,8 +211,11 @@ def _cmd_noise(args: argparse.Namespace) -> int:
         args.arm, sensor, args.epsilon, loss_multiple=args.loss_multiple, **kwargs
     )
     # Every release is debited against an explicit budget (composition,
-    # paper Section II-A); a budget too small for the request is refused
-    # before anything is privatized.
+    # paper Section II-A): the whole request runs as ONE pipeline release
+    # with a per-value FlatCharge, so a budget too small for the request
+    # is refused mid-charge and nothing unaccounted is printed.
+    from .runtime import FlatCharge
+
     per_value_loss = mech.claimed_loss_bound
     budget = (
         args.budget
@@ -190,10 +223,11 @@ def _cmd_noise(args: argparse.Namespace) -> int:
         else per_value_loss * len(args.values)
     )
     accountant = BudgetAccountant(budget)
-    noisy = []
-    for raw in args.values:
-        accountant.spend(per_value_loss)
-        noisy.append(float(mech.privatize(np.asarray([raw]))[0]))
+    outcome = mech.release(
+        np.asarray(args.values, dtype=float),
+        accounting=FlatCharge(accountant, per_value_loss),
+    )
+    noisy = [float(v) for v in outcome.values]
     for raw, out in zip(args.values, noisy):
         print(f"{raw:g} -> {out:g}")
     print(
@@ -228,8 +262,18 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def _cmd_latency(args: argparse.Namespace) -> int:
+    # Measurements come off the release-event stream, not the driver's
+    # return values: the DP-Box emits one event per noising with its
+    # cycle latency attached, and a dedicated pipeline isolates them.
+    from .runtime import ReleasePipeline, RingBufferSink
+
     mode = GuardMode.RESAMPLE if args.mode == "resample" else GuardMode.THRESHOLD
-    box = DPBox(DPBoxConfig(input_bits=14, range_frac_bits=6, guard_mode=mode))
+    pipeline = ReleasePipeline()
+    ring = pipeline.add_sink(RingBufferSink(capacity=args.samples))
+    box = DPBox(
+        DPBoxConfig(input_bits=14, range_frac_bits=6, guard_mode=mode),
+        pipeline=pipeline,
+    )
     driver = DPBoxDriver(box)
     driver.initialize(budget=1e12)
     driver.configure(
@@ -238,8 +282,9 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         range_upper=args.range[1],
     )
     rng = audited_generator(0)
-    xs = rng.uniform(args.range[0], args.range[1], args.samples)
-    stats = LatencyStats.from_results([driver.noise(float(x)) for x in xs])
+    for x in rng.uniform(args.range[0], args.range[1], args.samples):
+        driver.noise(float(x))
+    stats = LatencyStats.from_events(ring.events)
     print(f"mode          : {args.mode}")
     print(f"samples       : {stats.n}")
     print(f"mean cycles   : {stats.mean_cycles:.3f}")
@@ -263,6 +308,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint_command(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .runtime.trace import run_replay, run_selfcheck
+
+    if args.selfcheck:
+        return run_selfcheck(jsonl_path=args.jsonl)
+    return run_replay(args.replay, limit=args.limit)
+
+
 _COMMANDS = {
     "verify": _cmd_verify,
     "calibrate": _cmd_calibrate,
@@ -271,6 +324,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "selftest": _cmd_selftest,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
 }
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+import numpy as np
+
 from ..errors import BudgetExhaustedError, ConfigurationError
 from ..privacy.accountant import BudgetAccountant
 from .segments import SegmentTable
@@ -104,3 +106,38 @@ class BudgetEngine:
             f"budget cannot cover loss {loss:.4g} "
             f"(remaining {self.accountant.remaining:.4g}) and no cached output"
         )
+
+    def submit_many(self, codes) -> list:
+        """Batched :meth:`submit`: one vectorized segment lookup up front.
+
+        Losses for the whole batch come from
+        :meth:`~repro.core.segments.SegmentTable.losses_for_outputs`;
+        the sequential spend/cache decisions (which are inherently
+        order-dependent) then consume the precomputed array.  Returns
+        one :class:`BudgetDecision` per code, in order.
+        """
+        codes = [int(c) for c in np.atleast_1d(codes)]
+        losses = self.table.losses_for_outputs(np.asarray(codes, dtype=np.int64))
+        decisions = []
+        for k_out_fresh, loss in zip(codes, losses):
+            loss = float(loss)
+            if self.accountant.can_spend(loss):
+                self.accountant.spend(loss)
+                self._cached_output = k_out_fresh
+                self.n_fresh_replies += 1
+                decisions.append(
+                    BudgetDecision(k_out=k_out_fresh, charged=loss, from_cache=False)
+                )
+            elif self.cache_on_exhaustion and self._cached_output is not None:
+                self.n_cached_replies += 1
+                decisions.append(
+                    BudgetDecision(
+                        k_out=self._cached_output, charged=0.0, from_cache=True
+                    )
+                )
+            else:
+                raise BudgetExhaustedError(
+                    f"budget cannot cover loss {loss:.4g} "
+                    f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+                )
+        return decisions

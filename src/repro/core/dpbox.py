@@ -35,6 +35,7 @@ from ..privacy.thresholds import calibrate_threshold_exact
 from ..rng.cordic import CordicLn
 from ..rng.laplace_fxp import FxpLaplaceConfig, FxpLaplaceRng
 from ..rng.urng import NumpySource, UniformCodeSource
+from ..runtime import EngineCharge, ReleasePipeline, default_pipeline
 from ..sim import Clock, Module
 from .budget import BudgetEngine
 from .commands import Command
@@ -88,11 +89,13 @@ class DPBox(Module):
         config: DPBoxConfig,
         clock: Optional[Clock] = None,
         source: Optional[UniformCodeSource] = None,
+        pipeline: Optional[ReleasePipeline] = None,
     ):
         clock = clock or Clock(frequency_hz=config.frequency_hz)
         super().__init__(clock)
         self.config = config
         self.source = source if source is not None else NumpySource()
+        self._pipeline = pipeline
         self._log_backend = (
             CordicLn(frac_bits=config.cordic_frac_bits, n_iterations=24)
             if config.use_cordic_log
@@ -319,17 +322,32 @@ class DPBox(Module):
         self._finish_noising(pick)
 
     def _finish_noising(self, k_y: int) -> None:
+        # Start Noising's charge + event go through the release pipeline
+        # (EngineCharge wraps the embedded budget engine), so hardware
+        # noisings land in the same trace as mechanism-level releases —
+        # with their cycle latency attached.
         rt = self._runtime
         assert rt is not None and self._engine is not None
-        decision = self._engine.submit(k_y)
-        self.output = rt.origin + decision.k_out * rt.delta
+        charge = self.pipeline.charge_and_emit(
+            mechanism="dpbox",
+            epsilon=self.epsilon,
+            claimed_loss=self.config.loss_multiple * self.epsilon,
+            guard=(
+                "resample" if rt.mode is GuardMode.RESAMPLE else "threshold"
+            ),
+            k_fresh=int(k_y),
+            accounting=EngineCharge(self._engine),
+            draws=self._noising_draws,
+            cycles=self._noising_cycles,
+        )
+        self.output = rt.origin + int(charge.codes[0]) * rt.delta
         self.ready = True
         self._last_result = NoisingResult(
             value=self.output,
             cycles=self._noising_cycles,
             draws=self._noising_draws,
-            charged=decision.charged,
-            from_cache=decision.from_cache,
+            charged=float(charge.charged[0]),
+            from_cache=bool(charge.cache_hits[0]),
         )
         self._phase.set(Phase.WAITING)
 
@@ -415,6 +433,15 @@ class DPBox(Module):
         return k_th, table
 
     # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> ReleasePipeline:
+        """The release pipeline noisings are charged/emitted through."""
+        return self._pipeline if self._pipeline is not None else default_pipeline()
+
+    @pipeline.setter
+    def pipeline(self, value: Optional[ReleasePipeline]) -> None:
+        self._pipeline = value
+
     @property
     def last_result(self) -> Optional[NoisingResult]:
         """The most recently completed transaction."""

@@ -49,6 +49,29 @@ class LatencyStats:
         )
 
 
+    @classmethod
+    def from_events(cls, events: Iterable) -> "LatencyStats":
+        """Summarize hardware latency from emitted ``ReleaseEvent``s.
+
+        Only events carrying a cycle count (DP-Box noisings) contribute;
+        mechanism-level releases have no hardware latency and are
+        skipped.  This is how the Fig. 11 benchmarks consume the trace —
+        no ad-hoc instrumentation of the box itself.
+        """
+        hw = [e for e in events if getattr(e, "cycles", None) is not None]
+        if not hw:
+            raise ConfigurationError("no hardware release events to summarize")
+        cycles = np.array([e.cycles for e in hw], dtype=float)
+        draws = np.array([e.draws for e in hw], dtype=float)
+        return cls(
+            n=int(cycles.size),
+            mean_cycles=float(cycles.mean()),
+            max_cycles=int(cycles.max()),
+            mean_draws=float(draws.mean()),
+            p99_cycles=float(np.percentile(cycles, 99)),
+        )
+
+
 def collect_latency(results: List[NoisingResult]) -> LatencyStats:
     """Convenience alias of :meth:`LatencyStats.from_results`."""
     return LatencyStats.from_results(results)

@@ -23,11 +23,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..errors import BudgetExhaustedError, ConfigurationError
+from ..errors import ConfigurationError
 from ..mechanisms.base import SensorSpec
 from ..mechanisms.resampling import ResamplingMechanism
 from ..mechanisms.thresholding import ThresholdingMechanism
 from ..privacy.accountant import BudgetAccountant
+from ..runtime import ReleasePipeline, ReplayCache, TableCharge, default_pipeline
 from .config import GuardMode
 from .segments import SegmentTable, build_segment_table
 
@@ -66,7 +67,7 @@ class ChannelReply:
 class _Channel:
     """Internal per-channel state: mechanism + segment table + cache."""
 
-    def __init__(self, config: ChannelConfig):
+    def __init__(self, config: ChannelConfig, pipeline: Optional[ReleasePipeline]):
         self.config = config
         mech_cls = (
             ResamplingMechanism
@@ -78,19 +79,18 @@ class _Channel:
             config.epsilon,
             loss_multiple=config.loss_multiple,
             input_bits=config.input_bits,
+            pipeline=pipeline,
         )
         family = self.mechanism._family()
         self.table: SegmentTable = build_segment_table(
             family, config.epsilon, config.segment_levels
         )
-        self.cached_code: Optional[int] = None
+        self.cache = ReplayCache()
 
-    def draw_code(self, x: float) -> int:
-        # dplint: allow[DPL004] -- sole caller MultiSensorDPBox.request
-        # charges the shared budget via the channel's segment table before
-        # any draw is released or cached.
-        y = float(self.mechanism.privatize(np.asarray([x]))[0])
-        return int(round(y / self.mechanism.delta))
+    @property
+    def cached_code(self) -> Optional[int]:
+        """Last released code (``None`` before the first release)."""
+        return None if self.cache.code is None else int(self.cache.code)
 
     def value_of(self, code: int) -> float:
         return code * self.mechanism.delta
@@ -104,6 +104,7 @@ class MultiSensorDPBox:
         channels: Dict[str, ChannelConfig] | list,
         budget: float,
         cache_on_exhaustion: bool = True,
+        pipeline: Optional[ReleasePipeline] = None,
     ):
         if isinstance(channels, list):
             names = [c.name for c in channels]
@@ -112,7 +113,10 @@ class MultiSensorDPBox:
             channels = {c.name: c for c in channels}
         if not channels:
             raise ConfigurationError("need at least one channel")
-        self._channels = {name: _Channel(cfg) for name, cfg in channels.items()}
+        self._pipeline = pipeline
+        self._channels = {
+            name: _Channel(cfg, pipeline) for name, cfg in channels.items()
+        }
         self.accountant = BudgetAccountant(budget)
         self.cache_on_exhaustion = cache_on_exhaustion
         self.n_fresh = 0
@@ -139,30 +143,41 @@ class MultiSensorDPBox:
         """Restore the shared budget (new accounting period)."""
         self.accountant.reset()
 
+    @property
+    def pipeline(self) -> ReleasePipeline:
+        """The release pipeline all channels emit through."""
+        return self._pipeline if self._pipeline is not None else default_pipeline()
+
     # ------------------------------------------------------------------
     def request(self, channel: str, x: float) -> ChannelReply:
-        """Noise a reading on a channel, charging the shared budget."""
+        """Noise a reading on a channel, charging the shared budget.
+
+        One pipeline pass: the channel mechanism draws and guards, then
+        :class:`~repro.runtime.TableCharge` charges the realized output's
+        segment loss (Algorithm 1) against the *shared* accountant, or
+        replays the per-channel cache after exhaustion.  The emitted
+        event carries the channel name and the shared budget remaining;
+        on a refused charge with an empty cache, an ``exhausted=True``
+        event precedes the :class:`~repro.errors.BudgetExhaustedError`.
+        """
         ch = self.channel(channel)
-        code = ch.draw_code(x)
-        loss = ch.table.loss_for_output(code)
-        if self.accountant.can_spend(loss):
-            self.accountant.spend(loss)
-            ch.cached_code = code
-            self.n_fresh += 1
-            return ChannelReply(
-                channel=channel, value=ch.value_of(code), charged=loss, from_cache=False
-            )
-        if self.cache_on_exhaustion and ch.cached_code is not None:
-            self.n_cached += 1
-            return ChannelReply(
-                channel=channel,
-                value=ch.value_of(ch.cached_code),
-                charged=0.0,
-                from_cache=True,
-            )
-        raise BudgetExhaustedError(
-            f"shared budget cannot cover loss {loss:.4g} on channel {channel!r} "
-            f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+        outcome = ch.mechanism.release(
+            np.asarray([x]),
+            accounting=TableCharge(
+                self.accountant,
+                ch.table,
+                ch.cache if self.cache_on_exhaustion else None,
+            ),
+            channel=channel,
+        )
+        from_cache = bool(outcome.cache_hits[0])
+        self.n_fresh += int(not from_cache)
+        self.n_cached += int(from_cache)
+        return ChannelReply(
+            channel=channel,
+            value=ch.value_of(int(outcome.codes[0])),
+            charged=float(outcome.charged[0]),
+            from_cache=from_cache,
         )
 
     def total_disclosed_loss(self) -> float:

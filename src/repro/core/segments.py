@@ -70,6 +70,29 @@ class SegmentTable:
             f"({self.segments[-1].max_offset_codes}); guard window mismatch"
         )
 
+    def losses_for_outputs(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`loss_for_output` over an array of codes.
+
+        Backs the pipeline's batched charging path: one ``searchsorted``
+        over the segment boundaries instead of a Python loop per code.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        offsets = np.where(
+            codes > self.k_M,
+            codes - self.k_M,
+            np.where(codes < self.k_m, self.k_m - codes, 0),
+        )
+        bounds = np.array([s.max_offset_codes for s in self.segments], dtype=np.int64)
+        losses = np.array([s.loss for s in self.segments], dtype=float)
+        idx = np.searchsorted(bounds, offsets, side="left")
+        if np.any(idx >= bounds.shape[0]):
+            bad = int(offsets[idx >= bounds.shape[0]].max())
+            raise ConfigurationError(
+                f"output offset {bad} beyond the last segment "
+                f"({self.segments[-1].max_offset_codes}); guard window mismatch"
+            )
+        return losses[idx]
+
     @property
     def base_loss(self) -> float:
         """The in-range charge ε_RNG (the first segment's loss)."""

@@ -44,5 +44,16 @@ class CalibrationError(PrivacyError):
     """No threshold exists that meets the requested privacy-loss bound."""
 
 
+class ResampleExhaustedError(PrivacyError):
+    """A resampling guard hit its round limit without an in-window draw.
+
+    The release pipeline emits a :class:`repro.runtime.ReleaseEvent` with
+    ``exhausted=True`` before raising, so the failure is visible in the
+    trace.  Hitting this almost always means the guard window was
+    mis-calibrated (acceptance probability far below the paper's design
+    point), not bad luck.
+    """
+
+
 class HardwareProtocolError(ReproError):
     """The DP-Box command sequence violated the hardware interface protocol."""

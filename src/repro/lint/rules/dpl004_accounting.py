@@ -6,15 +6,19 @@ budget, or an averaging adversary reconstructs the secret to arbitrary
 precision by querying repeatedly.  DP-Box enforces this in hardware; the
 software orchestration layers have to enforce it by construction.
 
-The rule checks orchestration code (``aggregation/``, ``core/`` and the
-CLI): any function that calls ``.privatize(...)`` (or the
-``privatize_with_counts`` / ``privatize_bits`` variants) must, in the
-same function, interact with an accountant — ``spend``, ``try_spend``,
-``can_spend``, ``charge``, ``debit`` or ``record_loss``.  Helpers that
-privatize below an enclosing guard annotate the call with
-``# dplint: allow[DPL004]`` naming the guard.  Mechanism internals
-(``mechanisms/``) and evaluation harnesses are out of scope — they are
-the mechanism, not a release site.
+The rule checks orchestration code (``aggregation/``, ``core/``,
+``runtime/`` and the CLI): any function that calls ``.privatize(...)``
+(or the ``privatize_with_counts`` / ``privatize_bits`` variants) must,
+in the same function, interact with an accountant — ``spend``,
+``try_spend``, ``can_spend``, ``charge``, ``debit`` or ``record_loss``.
+The release pipeline's own seam also counts: a ``.release(...)`` or
+``.charge_and_emit(...)`` call carrying an ``accounting=`` keyword binds
+a charge policy into the release itself (see docs/runtime.md), so it
+satisfies the rule; a bare ``.release(...)`` is a release site like
+``.privatize(...)``.  Helpers that privatize below an enclosing guard
+annotate the call with ``# dplint: allow[DPL004]`` naming the guard.
+Mechanism internals (``mechanisms/``) and evaluation harnesses are out
+of scope — they are the mechanism, not a release site.
 """
 
 from __future__ import annotations
@@ -28,11 +32,19 @@ from ..registry import FileContext, Rule, register
 __all__ = ["ReleaseWithoutAccounting"]
 
 _RELEASE_CALLS = frozenset(
-    {"privatize", "privatize_with_counts", "privatize_bits"}
+    {"privatize", "privatize_with_counts", "privatize_bits", "release"}
 )
 _ACCOUNTING_CALLS = frozenset(
     {"spend", "try_spend", "can_spend", "charge", "debit", "record_loss"}
 )
+#: Pipeline-seam calls whose ``accounting=`` keyword binds a charge
+#: policy into the release itself (repro.runtime).
+_SEAM_CALLS = frozenset({"release", "charge_and_emit"})
+
+
+def _binds_accounting(node: ast.Call) -> bool:
+    """Whether a pipeline-seam call carries an ``accounting=`` policy."""
+    return any(kw.arg == "accounting" for kw in node.keywords)
 
 
 @register
@@ -50,7 +62,12 @@ class ReleaseWithoutAccounting(Rule):
         import pathlib
 
         name = pathlib.PurePath(ctx.path).parts[-1]
-        return ctx.in_dir("aggregation") or ctx.in_dir("core") or name == "cli.py"
+        return (
+            ctx.in_dir("aggregation")
+            or ctx.in_dir("core")
+            or ctx.in_dir("runtime")
+            or name == "cli.py"
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not self._in_scope(ctx):
@@ -62,7 +79,9 @@ class ReleaseWithoutAccounting(Rule):
                 if isinstance(node, ast.Call) and isinstance(
                     node.func, ast.Attribute
                 ):
-                    if node.func.attr in _RELEASE_CALLS:
+                    if node.func.attr in _SEAM_CALLS and _binds_accounting(node):
+                        accounted = True
+                    elif node.func.attr in _RELEASE_CALLS:
                         release_sites.append(node)
                     elif node.func.attr in _ACCOUNTING_CALLS:
                         accounted = True

@@ -53,9 +53,10 @@ def make_mechanism(
     arm = arm.lower()
     if arm == "ideal":
         rng = kwargs.pop("rng", None)
+        pipeline = kwargs.pop("pipeline", None)
         if kwargs:
             raise ConfigurationError(f"unsupported options for ideal arm: {kwargs}")
-        return IdealLaplaceMechanism(sensor, epsilon, rng=rng)
+        return IdealLaplaceMechanism(sensor, epsilon, rng=rng, pipeline=pipeline)
     if arm == "baseline":
         return FxpBaselineMechanism(sensor, epsilon, **kwargs)
     if arm == "resampling":

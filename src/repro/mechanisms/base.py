@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..privacy.definitions import LossReport
+from ..runtime import ReleaseOutcome, ReleasePipeline, ReleaseRequest, default_pipeline
 
 __all__ = ["SensorSpec", "LocalMechanism"]
 
@@ -64,16 +65,59 @@ class LocalMechanism(abc.ABC):
     #: Short name used in result tables ("Ideal", "FxP baseline", ...).
     name: str = "mechanism"
 
-    def __init__(self, sensor: SensorSpec, epsilon: float):
+    def __init__(
+        self,
+        sensor: SensorSpec,
+        epsilon: float,
+        pipeline: Optional[ReleasePipeline] = None,
+    ):
         if epsilon <= 0:
             raise ConfigurationError("epsilon must be positive")
         self.sensor = sensor
         self.epsilon = epsilon
+        self._pipeline = pipeline
 
     # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> ReleasePipeline:
+        """The release pipeline this mechanism emits through.
+
+        Defaults to the process-wide pipeline so every release is
+        observable; inject one per box/experiment for isolated traces.
+        """
+        return self._pipeline if self._pipeline is not None else default_pipeline()
+
+    @pipeline.setter
+    def pipeline(self, value: Optional[ReleasePipeline]) -> None:
+        self._pipeline = value
+
     @abc.abstractmethod
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        """Describe one release of ``x`` (clipped codes, draw, guard)."""
+
+    def release(
+        self,
+        x: np.ndarray,
+        accounting=None,
+        channel: Optional[str] = None,
+    ) -> ReleaseOutcome:
+        """Privatize through the pipeline, returning the full outcome.
+
+        ``accounting`` is a charge policy from
+        :mod:`repro.runtime.accounting` (``None`` = unaccounted); the
+        emitted :class:`~repro.runtime.ReleaseEvent` is on the outcome.
+        """
+        x = np.asarray(x, dtype=float)
+        request = self.release_request(x)
+        if channel is not None:
+            request.channel = channel
+        outcome = self.pipeline.release(request, accounting=accounting)
+        outcome.values = np.asarray(outcome.values, dtype=float).reshape(x.shape)
+        return outcome
+
     def privatize(self, x: np.ndarray) -> np.ndarray:
         """Privatize a batch of readings (shape preserved)."""
+        return self.release(x).values
 
     @abc.abstractmethod
     def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:

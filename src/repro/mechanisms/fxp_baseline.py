@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..privacy.loss import DiscreteMechanismFamily
+from ..runtime import ReleaseRequest
 from .fxp_common import FxpMechanismBase
 
 __all__ = ["FxpBaselineMechanism"]
@@ -22,9 +23,8 @@ class FxpBaselineMechanism(FxpMechanismBase):
 
     name = "FxP baseline"
 
-    def privatize(self, x: np.ndarray) -> np.ndarray:
-        k_x = self.quantize_inputs(x)
-        return self._noised_codes(k_x) * self.delta
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        return self._build_request(x, guard="none")
 
     def _family(self) -> DiscreteMechanismFamily:
         return DiscreteMechanismFamily.additive(

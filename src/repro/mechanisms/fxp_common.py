@@ -22,6 +22,7 @@ from ..privacy.loss import DiscreteMechanismFamily, input_grid_codes
 from ..rng.laplace_fxp import FxpLaplaceConfig, FxpLaplaceRng
 from ..rng.pmf import DiscretePMF
 from ..rng.urng import UniformCodeSource
+from ..runtime import ReleasePipeline, ReleaseRequest
 from .base import LocalMechanism, SensorSpec
 
 __all__ = ["FxpMechanismBase", "DEFAULT_INPUT_BITS", "DEFAULT_OUTPUT_BITS"]
@@ -45,8 +46,9 @@ class FxpMechanismBase(LocalMechanism):
         source: Optional[UniformCodeSource] = None,
         log_backend=None,
         n_verify_inputs: int = 9,
+        pipeline: Optional[ReleasePipeline] = None,
     ):
-        super().__init__(sensor, epsilon)
+        super().__init__(sensor, epsilon, pipeline=pipeline)
         if delta is None:
             # Default grid: 7 fractional bits of the sensor range — fine
             # enough that quantization is negligible next to the noise,
@@ -120,6 +122,34 @@ class FxpMechanismBase(LocalMechanism):
     def _noised_codes(self, k_x: np.ndarray) -> np.ndarray:
         """One round of ``x + n`` in grid codes."""
         return k_x + self.rng.sample_codes(k_x.size).reshape(k_x.shape)
+
+    def _build_request(
+        self,
+        x: np.ndarray,
+        guard: str,
+        window=None,
+        max_rounds: Optional[int] = None,
+    ) -> ReleaseRequest:
+        """Common fixed-point release description.
+
+        Clip/quantize happens here (the pipeline's clip stage); the draw
+        callable is the audited fixed-point Laplace RNG; decode maps
+        output codes back to sensor units on the ``Δ`` grid.
+        """
+        delta = self.delta
+        request = ReleaseRequest(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            claimed_loss=self.claimed_loss_bound,
+            codes=self.quantize_inputs(x).reshape(-1),
+            draw=self.rng.sample_codes,
+            guard=guard,
+            window=window,
+            decode=lambda k: k * delta,
+        )
+        if max_rounds is not None:
+            request.max_rounds = max_rounds
+        return request
 
     @staticmethod
     def _round_threshold_code(threshold: float, delta: float) -> int:

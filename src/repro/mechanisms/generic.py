@@ -20,11 +20,14 @@ from ..privacy.definitions import LossReport
 from ..privacy.loss import DiscreteMechanismFamily, input_grid_codes
 from ..privacy.thresholds import calibrate_threshold_exact
 from ..rng.pmf import DiscretePMF
+from ..runtime import DEFAULT_MAX_ROUNDS, ReleaseRequest
 from .base import LocalMechanism, SensorSpec
 
 __all__ = ["GuardedNoiseMechanism"]
 
-_MAX_ROUNDS = 64
+#: Resample round cap; exhaustion raises ResampleExhaustedError via the
+#: pipeline (with an ``exhausted=True`` event) instead of falling through.
+_MAX_ROUNDS = DEFAULT_MAX_ROUNDS
 
 
 class GuardedNoiseMechanism(LocalMechanism):
@@ -56,8 +59,9 @@ class GuardedNoiseMechanism(LocalMechanism):
         target_loss: Optional[float] = None,
         n_verify_inputs: int = 9,
         name: Optional[str] = None,
+        pipeline=None,
     ):
-        super().__init__(sensor, epsilon)
+        super().__init__(sensor, epsilon, pipeline=pipeline)
         if mode not in ("baseline", "resample", "threshold"):
             raise ConfigurationError(f"unknown mode {mode!r}")
         self.mode = mode
@@ -112,34 +116,26 @@ class GuardedNoiseMechanism(LocalMechanism):
         return self.target_loss
 
     # ------------------------------------------------------------------
-    def privatize(self, x: np.ndarray) -> np.ndarray:
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
         x = self._check_inputs(x)
         k_x = np.clip(
             np.floor(x / self.delta + 0.5).astype(np.int64), self.k_m, self.k_M
         )
-        flat = k_x.reshape(-1)
-        k_y = flat + self.noise_rng.sample_codes(flat.size)
-        if self.mode == "threshold":
-            assert self.window is not None
-            k_y = np.clip(k_y, self.window[0], self.window[1])
-        elif self.mode == "resample":
-            assert self.window is not None
-            lo, hi = self.window
-            pending = np.flatnonzero((k_y < lo) | (k_y > hi))
-            for _ in range(_MAX_ROUNDS):
-                # dplint: allow[DPL003] -- resample mode reproduces the
-                # paper's data-dependent retry loop (Fig. 12 timing channel)
-                # on purpose; repro.attacks.timing quantifies the leak.
-                if pending.size == 0:
-                    break
-                k_y[pending] = flat[pending] + self.noise_rng.sample_codes(
-                    pending.size
-                )
-                good = (k_y[pending] >= lo) & (k_y[pending] <= hi)
-                pending = pending[~good]
-            if pending.size:
-                raise ConfigurationError("resampling failed to accept; bad window")
-        return (k_y.reshape(k_x.shape)) * self.delta
+        guard = {"baseline": "none", "threshold": "threshold", "resample": "resample"}[
+            self.mode
+        ]
+        delta = self.delta
+        return ReleaseRequest(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            claimed_loss=self.claimed_loss_bound,
+            codes=k_x.reshape(-1),
+            draw=self.noise_rng.sample_codes,
+            guard=guard,
+            window=self.window,
+            max_rounds=_MAX_ROUNDS,
+            decode=lambda k: k * delta,
+        )
 
     def _family(self) -> DiscreteMechanismFamily:
         codes = self._verification_codes()

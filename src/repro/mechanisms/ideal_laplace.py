@@ -8,6 +8,7 @@ import numpy as np
 
 from ..privacy.definitions import LossReport
 from ..privacy.laplace_mechanism import IdealLaplaceMechanismCore
+from ..runtime import ReleaseRequest
 from .base import LocalMechanism, SensorSpec
 
 __all__ = ["IdealLaplaceMechanism"]
@@ -28,12 +29,26 @@ class IdealLaplaceMechanism(LocalMechanism):
         sensor: SensorSpec,
         epsilon: float,
         rng: Optional[np.random.Generator] = None,
+        pipeline=None,
     ):
-        super().__init__(sensor, epsilon)
+        super().__init__(sensor, epsilon, pipeline=pipeline)
         self._core = IdealLaplaceMechanismCore(sensor.m, sensor.M, epsilon, rng)
 
-    def privatize(self, x: np.ndarray) -> np.ndarray:
-        return self._core.privatize(self._check_inputs(x))
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        """Ideal arm: real-valued "codes" (no grid), no guard.
+
+        The ideal mechanism has no fixed-point datapath, so its pipeline
+        codes are the float readings themselves and decode is identity.
+        """
+        x = self._check_inputs(x)
+        return ReleaseRequest(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            claimed_loss=self.claimed_loss_bound,
+            codes=x.reshape(-1),
+            draw=self._core.sample_noise,
+            guard="none",
+        )
 
     def ldp_report(self, epsilon_target: Optional[float] = None) -> LossReport:
         """Analytic: the continuous Laplace mechanism's loss is exactly ε."""

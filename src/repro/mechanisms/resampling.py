@@ -26,14 +26,17 @@ from ..privacy.thresholds import (
     calibrate_threshold_exact,
     paper_resampling_threshold,
 )
+from ..runtime import DEFAULT_MAX_ROUNDS, ReleaseRequest
 from .base import SensorSpec
 from .fxp_common import FxpMechanismBase
 
 __all__ = ["ResamplingMechanism"]
 
 #: Hard cap on redraw rounds; with any sane threshold the acceptance
-#: probability is > 0.9, so 64 rounds failing indicates a config bug.
-_MAX_ROUNDS = 64
+#: probability is > 0.9, so exhausting this indicates a config bug —
+#: the pipeline raises :class:`repro.errors.ResampleExhaustedError` and
+#: emits an ``exhausted=True`` event when it happens.
+_MAX_ROUNDS = DEFAULT_MAX_ROUNDS
 
 
 class ResamplingMechanism(FxpMechanismBase):
@@ -106,34 +109,22 @@ class ResamplingMechanism(FxpMechanismBase):
         return 1.0 / self.acceptance_probability(x)
 
     # ------------------------------------------------------------------
-    def privatize_with_counts(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Privatize and also return per-sample draw counts."""
-        k_x = self.quantize_inputs(x)
-        flat = k_x.reshape(-1)
-        out = np.empty_like(flat)
-        draws = np.zeros(flat.size, dtype=np.int64)
-        pending = np.arange(flat.size)
-        lo, hi = self.window
-        for _ in range(_MAX_ROUNDS):
-            # dplint: allow[DPL003] -- the resampling loop's iteration count
-            # IS the paper's timing side channel (Fig. 12); it is modeled
-            # deliberately and measured by repro.attacks.timing.
-            if pending.size == 0:
-                break
-            k_y = flat[pending] + self.rng.sample_codes(pending.size)
-            draws[pending] += 1
-            good = (k_y >= lo) & (k_y <= hi)
-            out[pending[good]] = k_y[good]
-            pending = pending[~good]
-        if pending.size:
-            raise ConfigurationError(
-                f"{pending.size} samples failed to accept after {_MAX_ROUNDS} "
-                "rounds; the resampling window is misconfigured"
-            )
-        return (out.reshape(k_x.shape) * self.delta, draws.reshape(k_x.shape))
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        return self._build_request(
+            x, guard="resample", window=self.window, max_rounds=_MAX_ROUNDS
+        )
 
-    def privatize(self, x: np.ndarray) -> np.ndarray:
-        return self.privatize_with_counts(x)[0]
+    def privatize_with_counts(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Privatize and also return per-sample draw counts.
+
+        The counts are the pipeline's per-sample round counts — the same
+        numbers carried on the emitted :class:`~repro.runtime.ReleaseEvent`
+        (``draws`` / ``max_rounds_used``), exposed here array-shaped for
+        the exact Fig. 11/12 analyses.
+        """
+        x = np.asarray(x)
+        outcome = self.release(x)
+        return outcome.values, outcome.rounds.reshape(x.shape)
 
     # ------------------------------------------------------------------
     def _family(self) -> DiscreteMechanismFamily:

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..privacy.definitions import LossReport, pointwise_loss
 from ..privacy.randomized_response import debias_frequency
+from ..runtime import ReleaseRequest
 from .base import SensorSpec
 from .fxp_common import FxpMechanismBase
 
@@ -80,22 +81,30 @@ class DpBoxRandomizedResponse(FxpMechanismBase):
         reported = self.privatize(values)
         return (reported >= (self._k_mid * self.delta) - 0.5 * self.delta).astype(int)
 
-    def privatize(self, x: np.ndarray) -> np.ndarray:
-        """Privatize binary sensor values (must equal m or M)."""
-        # dplint: allow[DPL002] -- sensor readings arrive as real values;
-        # they are immediately mapped to the two integer endpoint codes
-        # k_m/k_M and all noise arithmetic below is on integer codes.
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        """RR release: threshold-0 window ``[k_m, k_M]``, endpoint decode.
+
+        Sensor readings arrive as real values; they are immediately
+        mapped to the two integer endpoint codes k_m/k_M and all noise
+        arithmetic in the pipeline is on integer codes.  Decode
+        quantizes the clamped output to the nearer endpoint — the
+        categorical RR output alphabet.
+        """
         x = np.asarray(x, dtype=float)
         is_m = np.isclose(x, self.sensor.m)
         is_M = np.isclose(x, self.sensor.M)
         if not np.all(is_m | is_M):
             raise ConfigurationError("RR mode expects binary values in {m, M}")
-        k_x = np.where(is_M, self.k_M, self.k_m).astype(np.int64)
-        k_y = k_x + self.rng.sample_codes(k_x.size).reshape(k_x.shape)
-        # Threshold = 0: clamp into [m, M], then quantize to the nearer
-        # endpoint (the categorical output alphabet).
-        k_y = np.clip(k_y, self.k_m, self.k_M)
-        return np.where(k_y >= self._k_mid, self.sensor.M, self.sensor.m)
+        k_x = np.where(is_M, self.k_M, self.k_m).astype(np.int64).reshape(-1)
+        request = self._build_request(
+            np.where(is_M, self.sensor.M, self.sensor.m),
+            guard="threshold",
+            window=(self.k_m, self.k_M),
+        )
+        request.codes = k_x
+        k_mid, m, M = self._k_mid, self.sensor.m, self.sensor.M
+        request.decode = lambda k: np.where(k >= k_mid, M, m)
+        return request
 
     def estimate_frequency(self, noisy_bits: np.ndarray) -> float:
         """Debiased estimate of the true 1-frequency from noisy reports.

@@ -30,6 +30,7 @@ from ..privacy.thresholds import (
     calibrate_threshold_exact,
     paper_thresholding_threshold,
 )
+from ..runtime import ReleaseRequest
 from .base import SensorSpec
 from .fxp_common import FxpMechanismBase
 
@@ -101,11 +102,8 @@ class ThresholdingMechanism(FxpMechanismBase):
         return float(shifted.tail_le(lo - 1) + shifted.tail_ge(hi + 1))
 
     # ------------------------------------------------------------------
-    def privatize(self, x: np.ndarray) -> np.ndarray:
-        k_x = self.quantize_inputs(x)
-        k_y = self._noised_codes(k_x)
-        lo, hi = self.window
-        return np.clip(k_y, lo, hi) * self.delta
+    def release_request(self, x: np.ndarray) -> ReleaseRequest:
+        return self._build_request(x, guard="threshold", window=self.window)
 
     def _family(self) -> DiscreteMechanismFamily:
         return DiscreteMechanismFamily.additive(

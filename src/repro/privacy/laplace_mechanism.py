@@ -58,6 +58,10 @@ class IdealLaplaceMechanismCore:
             raise ConfigurationError("sensor values outside the declared range")
         return x + self._laplace.sample(x.size, self.rng).reshape(x.shape)
 
+    def sample_noise(self, n: int) -> np.ndarray:
+        """Draw ``n`` Laplace noise values (the pipeline's draw stage)."""
+        return self._laplace.sample(n, self.rng)
+
     def log_likelihood(self, y: np.ndarray, x: float) -> np.ndarray:
         """``ln Pr[y | x]`` density — for loss/attack analysis."""
         return self._laplace.log_pdf(np.asarray(y, dtype=float) - x)

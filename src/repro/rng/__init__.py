@@ -21,6 +21,7 @@ from .tausworthe import Taus88, VectorTaus88, taus88_seed_streams
 from .urng import (
     ExhaustiveSource,
     NumpySource,
+    SplitStreamSource,
     TauswortheSource,
     UniformCodeSource,
     audited_generator,
@@ -52,6 +53,7 @@ __all__ = [
     "taus88_seed_streams",
     "ExhaustiveSource",
     "NumpySource",
+    "SplitStreamSource",
     "TauswortheSource",
     "UniformCodeSource",
     "audited_generator",

@@ -30,6 +30,7 @@ __all__ = [
     "TauswortheSource",
     "NumpySource",
     "ExhaustiveSource",
+    "SplitStreamSource",
     "audited_generator",
 ]
 
@@ -94,6 +95,36 @@ class NumpySource(UniformCodeSource):
 
     def random_bits(self, n: int) -> np.ndarray:
         return self._rng.integers(0, 2, size=n, dtype=np.int64)
+
+
+class SplitStreamSource(UniformCodeSource):
+    """PCG64 source with *independent* streams for codes and sign bits.
+
+    :class:`NumpySource` draws codes and sign bits from one PCG64 stream,
+    so consuming ``n`` samples one-at-a-time interleaves the stream
+    differently than one batched ``sample_codes(n)`` call (code, bit,
+    code, bit, ... versus n codes then n bits) and the outputs diverge.
+    This source derives two child generators from one ``SeedSequence``
+    spawn — one dedicated to ``uniform_codes``, one to ``random_bits`` —
+    so each stream is consumed in sample order regardless of batching.
+    PCG64's ``integers`` fills a batch element-by-element from the same
+    stream as repeated size-1 calls, hence scalar and vectorized release
+    paths produce **bit-identical** samples (the fleet-equivalence
+    guarantee exercised by ``tests/unit/test_runtime_fleet.py``).
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        code_seq, bit_seq = np.random.SeedSequence(seed).spawn(2)
+        self._code_rng = np.random.Generator(np.random.PCG64(code_seq))
+        self._bit_rng = np.random.Generator(np.random.PCG64(bit_seq))
+
+    def uniform_codes(self, n: int, bits: int) -> np.ndarray:
+        if not 1 <= bits <= 62:
+            raise ConfigurationError("bits must be in 1..62")
+        return self._code_rng.integers(1, (1 << bits) + 1, size=n, dtype=np.int64)
+
+    def random_bits(self, n: int) -> np.ndarray:
+        return self._bit_rng.integers(0, 2, size=n, dtype=np.int64)
 
 
 class ExhaustiveSource(UniformCodeSource):

@@ -1,0 +1,224 @@
+"""Budget-charge policies for the release pipeline.
+
+The pipeline itself is budget-agnostic: after the guard stage it hands
+the guarded output codes to an *accounting policy*, which decides per
+sample whether the fresh code is affordable (charge and release), must
+be replaced by a cached code (charge nothing), or must be refused
+(:class:`repro.errors.BudgetExhaustedError`).  Policies are duck-typed —
+anything with ``charge(codes) -> ChargeOutcome`` works — so the pipeline
+never imports the budget layers it instruments:
+
+* :class:`NoCharge` — unaccounted release (pure mechanism evaluation).
+* :class:`FlatCharge` — fixed loss per sample against a
+  :class:`~repro.privacy.accountant.BudgetAccountant` (fleet devices).
+* :class:`TableCharge` — output-adaptive segment loss (Algorithm 1)
+  against a shared accountant (multi-sensor DP-Box).
+* :class:`EngineCharge` — delegate to a cycle-level
+  :class:`~repro.core.budget.BudgetEngine` (DP-Box FSM).
+* :class:`ArrayCharge` — vectorized per-device budgets for the batched
+  fleet epoch; NumPy all the way down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import BudgetExhaustedError
+
+__all__ = [
+    "ChargeOutcome",
+    "ReplayCache",
+    "NoCharge",
+    "FlatCharge",
+    "TableCharge",
+    "EngineCharge",
+    "ArrayCharge",
+]
+
+_TOL = 1e-12  # same affordability tolerance as BudgetAccountant.can_spend
+
+
+@dataclasses.dataclass
+class ChargeOutcome:
+    """Result of charging one guarded batch against a budget."""
+
+    codes: np.ndarray
+    """Released codes — fresh where affordable, cached where replayed."""
+
+    charged: np.ndarray
+    """Per-sample loss actually charged (0 for cache replays)."""
+
+    cache_hits: np.ndarray
+    """Boolean mask of samples served from a cache."""
+
+    budget_remaining: Optional[float]
+    """Budget left after the charge, or ``None`` when unaccounted."""
+
+
+class ReplayCache:
+    """Single-slot cache of the last released code (per device/channel).
+
+    Replaying a cached, already-paid-for output leaks nothing new, which
+    is how the DP-Box keeps serving after exhaustion (paper Section
+    III-B); ``None`` means nothing has been released yet.
+    """
+
+    __slots__ = ("code",)
+
+    def __init__(self) -> None:
+        self.code: Optional[float] = None
+
+
+class NoCharge:
+    """Release without budget accounting (analysis / unaccounted paths)."""
+
+    def charge(self, codes: np.ndarray) -> ChargeOutcome:
+        return ChargeOutcome(
+            codes=codes,
+            charged=np.zeros(codes.shape[0], dtype=float),
+            cache_hits=np.zeros(codes.shape[0], dtype=bool),
+            budget_remaining=None,
+        )
+
+
+class FlatCharge:
+    """Charge a fixed per-sample loss against a ``BudgetAccountant``.
+
+    When the accountant refuses and ``cache`` holds a previous release,
+    the cached code is replayed at zero charge; with an empty cache the
+    refusal propagates as :class:`BudgetExhaustedError`.
+    """
+
+    def __init__(self, accountant, loss: float, cache: Optional[ReplayCache] = None):
+        self.accountant = accountant
+        self.loss = float(loss)
+        self.cache = cache
+
+    def charge(self, codes: np.ndarray) -> ChargeOutcome:
+        out = np.array(codes, copy=True)
+        charged = np.zeros(codes.shape[0], dtype=float)
+        hits = np.zeros(codes.shape[0], dtype=bool)
+        for i in range(codes.shape[0]):
+            if self.accountant.can_spend(self.loss):
+                self.accountant.spend(self.loss)
+                charged[i] = self.loss
+                if self.cache is not None:
+                    self.cache.code = out[i]
+            elif self.cache is not None and self.cache.code is not None:
+                out[i] = self.cache.code
+                hits[i] = True
+            else:
+                raise BudgetExhaustedError(
+                    f"budget cannot cover loss {self.loss:.4g} "
+                    f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+                )
+        return ChargeOutcome(out, charged, hits, float(self.accountant.remaining))
+
+
+class TableCharge:
+    """Output-adaptive segment charging (paper Algorithm 1).
+
+    The loss depends on *which* output code was drawn — cheap central
+    segments charge the base loss, tail segments charge more — so the
+    charge can only be computed after the guard stage.  Used by the
+    multi-sensor box: many channels, one shared accountant, one
+    :class:`ReplayCache` per channel.
+    """
+
+    def __init__(self, accountant, table, cache: Optional[ReplayCache] = None):
+        self.accountant = accountant
+        self.table = table
+        self.cache = cache
+
+    def charge(self, codes: np.ndarray) -> ChargeOutcome:
+        out = np.array(codes, copy=True)
+        charged = np.zeros(codes.shape[0], dtype=float)
+        hits = np.zeros(codes.shape[0], dtype=bool)
+        for i in range(codes.shape[0]):
+            loss = self.table.loss_for_output(int(out[i]))
+            if self.accountant.can_spend(loss):
+                self.accountant.spend(loss)
+                charged[i] = loss
+                if self.cache is not None:
+                    self.cache.code = out[i]
+            elif self.cache is not None and self.cache.code is not None:
+                out[i] = self.cache.code
+                hits[i] = True
+            else:
+                raise BudgetExhaustedError(
+                    f"shared budget cannot cover loss {loss:.4g} "
+                    f"(remaining {self.accountant.remaining:.4g}) and no cached output"
+                )
+        return ChargeOutcome(out, charged, hits, float(self.accountant.remaining))
+
+
+class EngineCharge:
+    """Delegate to a cycle-level :class:`~repro.core.budget.BudgetEngine`.
+
+    The engine owns segment lookup, replenishment scheduling, and its
+    own output cache; this adapter just folds its per-code decision into
+    the common :class:`ChargeOutcome` shape so DP-Box noisings appear in
+    the same event stream as mechanism-level releases.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def charge(self, codes: np.ndarray) -> ChargeOutcome:
+        out = np.array(codes, copy=True)
+        charged = np.zeros(codes.shape[0], dtype=float)
+        hits = np.zeros(codes.shape[0], dtype=bool)
+        for i in range(codes.shape[0]):
+            decision = self.engine.submit(int(out[i]))
+            out[i] = decision.k_out
+            charged[i] = decision.charged
+            hits[i] = decision.from_cache
+        return ChargeOutcome(out, charged, hits, float(self.engine.remaining))
+
+
+class ArrayCharge:
+    """Vectorized per-device budgets for the batched fleet epoch.
+
+    ``remaining`` and ``cached`` are fleet-wide arrays (one entry per
+    device; ``cached`` uses NaN for "nothing released yet").  ``index``
+    selects the devices reporting this epoch, in the same order as the
+    codes handed to :meth:`charge`.  Decisions are made with array ops —
+    no per-device Python loop — and match :class:`FlatCharge` exactly,
+    which is what makes the scalar and batched fleet paths bit-identical.
+    """
+
+    def __init__(
+        self,
+        remaining: np.ndarray,
+        cached: np.ndarray,
+        loss: float,
+        index: Optional[np.ndarray] = None,
+    ):
+        self.remaining = remaining
+        self.cached = cached
+        self.loss = float(loss)
+        self.index = (
+            np.arange(remaining.shape[0]) if index is None else np.asarray(index)
+        )
+
+    def charge(self, codes: np.ndarray) -> ChargeOutcome:
+        idx = self.index
+        affordable = self.remaining[idx] + _TOL >= self.loss
+        has_cache = ~np.isnan(self.cached[idx])
+        refused = ~affordable & ~has_cache
+        if np.any(refused):
+            dev = int(idx[np.flatnonzero(refused)[0]])
+            raise BudgetExhaustedError(
+                f"device {dev}: budget cannot cover loss {self.loss:.4g} "
+                f"(remaining {self.remaining[dev]:.4g}) and no cached output"
+            )
+        out = np.where(affordable, codes, self.cached[idx]).astype(codes.dtype)
+        self.remaining[idx[affordable]] -= self.loss
+        self.cached[idx[affordable]] = codes[affordable]
+        charged = np.where(affordable, self.loss, 0.0)
+        return ChargeOutcome(
+            out, charged, ~affordable, float(self.remaining.sum())
+        )

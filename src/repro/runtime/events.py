@@ -1,0 +1,94 @@
+"""Structured release events — the pipeline's observable output.
+
+Every release that goes through :class:`repro.runtime.ReleasePipeline`
+emits exactly one :class:`ReleaseEvent`.  The event is the single source
+of truth for what the release *cost*: how many noise draws the guard
+consumed (the paper's Fig. 12 timing channel), which segment Algorithm 1
+charged, how much budget remains, and whether the reply was served from
+the post-exhaustion cache.  Consumers (the timing attack, the latency
+benchmarks, the ``repro trace`` CLI) read events instead of
+re-instrumenting mechanisms by hand — one trace, many consumers.
+
+Events are flat and JSON-serializable so a JSONL trace can be replayed
+offline; ``tests/unit/test_runtime_trace.py`` reconstructs the exact
+budget trajectory from a written trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+__all__ = ["ReleaseEvent", "EVENT_SCHEMA_VERSION"]
+
+#: Bumped whenever a field is added/renamed so replay tools can detect
+#: traces written by an incompatible library version.
+EVENT_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ReleaseEvent:
+    """One privatized release (scalar or batched) as seen by the pipeline.
+
+    A *batched* release (e.g. one fleet epoch) is still one event; the
+    per-sample quantities are aggregated (``draws`` is the total across
+    the batch, ``max_rounds_used`` the worst single sample).
+    """
+
+    seq: int
+    """Monotone sequence number within the emitting pipeline."""
+
+    mechanism: str
+    """Mechanism identifier (class name, or ``"dpbox"`` for the FSM)."""
+
+    epsilon: float
+    """Per-release privacy parameter the mechanism was built with."""
+
+    claimed_loss: float
+    """Worst-case per-sample loss bound the mechanism claims."""
+
+    guard: str
+    """Guard applied: ``none`` / ``threshold`` / ``resample`` / ``hardware``."""
+
+    batch: int
+    """Number of samples released in this event."""
+
+    draws: int
+    """Total noise draws consumed, including resampling redraws."""
+
+    resample_rounds: int
+    """Redraws beyond the first draw per sample (``draws - batch``)."""
+
+    max_rounds_used: int
+    """Largest per-sample draw count in the batch (timing worst case)."""
+
+    exhausted: bool = False
+    """True when the resample guard hit its round limit (release aborted)
+    or a budget charge was refused with no cache to serve from."""
+
+    charged: float = 0.0
+    """Total privacy loss charged against the budget for this event."""
+
+    cache_hits: int = 0
+    """Samples served from the post-exhaustion cache (charged nothing)."""
+
+    budget_remaining: Optional[float] = None
+    """Budget left *after* this event, or ``None`` if unaccounted."""
+
+    channel: Optional[str] = None
+    """Multi-sensor channel name, fleet device id, or ``None``."""
+
+    cycles: Optional[int] = None
+    """DP-Box cycle latency of the noising (hardware releases only)."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dict (adds the schema version)."""
+        d = dataclasses.asdict(self)
+        d["schema"] = EVENT_SCHEMA_VERSION
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ReleaseEvent":
+        """Rebuild an event from :meth:`to_dict` output (tolerates extras)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})

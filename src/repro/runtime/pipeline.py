@@ -1,0 +1,349 @@
+"""The release pipeline: one execution core for every privatized release.
+
+Every release path in the library — the six mechanism arms, the
+cycle-level DP-Box, the multi-sensor box, fleet devices — reduces to the
+same stage sequence:
+
+    clip -> draw (audited RNG) -> guard -> budget charge -> cache -> emit
+
+:class:`ReleasePipeline` owns that sequence.  A caller describes its
+release declaratively as a :class:`ReleaseRequest` (clipped input codes,
+a draw callable over the audited RNG, the guard kind and window, a
+decode back to sensor units) plus an optional accounting policy
+(:mod:`repro.runtime.accounting`), and gets back a
+:class:`ReleaseOutcome` whose :class:`~repro.runtime.events.ReleaseEvent`
+has already been routed to the pipeline's sinks.
+
+The guard stage is vectorized: resampling redraws only the still-
+out-of-window lanes each round (geometric round counts, the paper's
+Fig. 12 timing channel), so a whole fleet epoch privatizes as one array
+operation.  This module deliberately imports nothing from
+``mechanisms``/``core``/``aggregation`` — those layers import *it*.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BudgetExhaustedError, ConfigurationError, ResampleExhaustedError
+from .accounting import ChargeOutcome, NoCharge
+from .events import ReleaseEvent
+from .sinks import CounterSink, EventSink, RingBufferSink
+
+__all__ = [
+    "ReleaseRequest",
+    "ReleaseOutcome",
+    "ReleasePipeline",
+    "default_pipeline",
+    "set_default_pipeline",
+]
+
+#: Library-wide default resample round limit (the old per-mechanism
+#: ``_MAX_ROUNDS``).  Exhaustion raises a typed error and emits an
+#: ``exhausted=True`` event instead of silently falling through.
+DEFAULT_MAX_ROUNDS = 64
+
+
+@dataclasses.dataclass
+class ReleaseRequest:
+    """Declarative description of one (possibly batched) release."""
+
+    mechanism: str
+    """Mechanism identifier recorded on the event."""
+
+    epsilon: float
+    """Per-release privacy parameter."""
+
+    claimed_loss: float
+    """Worst-case per-sample loss bound the mechanism claims."""
+
+    codes: np.ndarray
+    """Already clipped/quantized input codes, flattened to 1-D."""
+
+    draw: Callable[[int], np.ndarray]
+    """Audited noise source: ``draw(n)`` returns ``n`` noise codes."""
+
+    guard: str = "none"
+    """``none`` (release as drawn), ``threshold`` (clamp into window),
+    or ``resample`` (redraw until in window)."""
+
+    window: Optional[Tuple[float, float]] = None
+    """Inclusive guard window ``(lo, hi)`` in output-code units."""
+
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    """Resample round limit before :class:`ResampleExhaustedError`."""
+
+    decode: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    """Map released output codes to sensor units (default: identity)."""
+
+    channel: Optional[str] = None
+    """Channel / device label recorded on the event."""
+
+
+@dataclasses.dataclass
+class ReleaseOutcome:
+    """What one pipeline pass produced."""
+
+    values: np.ndarray
+    """Released values in sensor units (post decode, post cache)."""
+
+    codes: np.ndarray
+    """Released output codes (cached codes where the budget refused)."""
+
+    rounds: np.ndarray
+    """Per-sample noise-draw counts (1 for single-draw guards)."""
+
+    charged: np.ndarray
+    """Per-sample privacy loss charged."""
+
+    cache_hits: np.ndarray
+    """Boolean mask of samples served from a cache."""
+
+    budget_remaining: Optional[float]
+    """Budget left after this release (``None`` when unaccounted)."""
+
+    event: ReleaseEvent
+    """The event emitted for this release."""
+
+
+class ReleasePipeline:
+    """Executes release requests and emits one event per release."""
+
+    def __init__(self, sinks: Optional[Sequence[EventSink]] = None):
+        self._sinks: List[EventSink] = list(sinks) if sinks else []
+        self._seq = 0
+
+    # -- sink management ----------------------------------------------
+    @property
+    def sinks(self) -> List[EventSink]:
+        return list(self._sinks)
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    @contextlib.contextmanager
+    def capture(self, capacity: int = 4096) -> Iterator[RingBufferSink]:
+        """Temporarily attach a ring buffer; yields it for inspection."""
+        ring = RingBufferSink(capacity)
+        self.add_sink(ring)
+        try:
+            yield ring
+        finally:
+            self.remove_sink(ring)
+
+    def emit(self, event: ReleaseEvent) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- the stages ----------------------------------------------------
+    def release(self, request: ReleaseRequest, accounting=None) -> ReleaseOutcome:
+        """Run draw -> guard -> charge -> emit for one request.
+
+        ``accounting`` is any object with ``charge(codes) ->
+        ChargeOutcome`` (see :mod:`repro.runtime.accounting`); ``None``
+        means an unaccounted release.  On guard exhaustion or a refused
+        charge with no cache, an ``exhausted=True`` event is emitted
+        *before* the typed exception propagates, so failed releases are
+        still visible in the trace.
+        """
+        codes = np.asarray(request.codes).reshape(-1)
+        n = codes.shape[0]
+        rounds = np.ones(n, dtype=np.int64) if n else np.zeros(0, dtype=np.int64)
+
+        # draw + guard
+        if n == 0:
+            k_y = codes.copy()
+        elif request.guard == "none":
+            k_y = codes + request.draw(n)
+        elif request.guard == "threshold":
+            lo, hi = self._window(request)
+            k_y = np.clip(codes + request.draw(n), lo, hi)
+        elif request.guard == "resample":
+            k_y = self._resample(request, codes, rounds)
+        else:
+            raise ConfigurationError(f"unknown guard kind {request.guard!r}")
+
+        # charge + cache
+        policy = accounting if accounting is not None else NoCharge()
+        try:
+            charge = policy.charge(k_y)
+        except BudgetExhaustedError:
+            self._emit_for(request, n, rounds, exhausted=True)
+            raise
+
+        # decode + emit
+        values = charge.codes if request.decode is None else request.decode(charge.codes)
+        event = self._emit_for(request, n, rounds, charge=charge)
+        return ReleaseOutcome(
+            values=np.asarray(values),
+            codes=charge.codes,
+            rounds=rounds,
+            charged=charge.charged,
+            cache_hits=charge.cache_hits,
+            budget_remaining=charge.budget_remaining,
+            event=event,
+        )
+
+    def charge_and_emit(
+        self,
+        *,
+        mechanism: str,
+        epsilon: float,
+        claimed_loss: float,
+        guard: str,
+        k_fresh: int,
+        accounting,
+        draws: int,
+        cycles: Optional[int] = None,
+        channel: Optional[str] = None,
+    ) -> ChargeOutcome:
+        """Charge+emit for a release whose draw/guard ran externally.
+
+        The cycle-level DP-Box FSM executes its own draw and guard (it
+        models them cycle by cycle) but still routes Start Noising's
+        budget charge and event emission through the pipeline, so
+        hardware noisings land in the same trace as mechanism releases —
+        with their cycle latency attached.
+        """
+        codes = np.asarray([k_fresh], dtype=np.int64)
+        try:
+            charge = accounting.charge(codes)
+        except BudgetExhaustedError:
+            self.emit(
+                ReleaseEvent(
+                    seq=self._next_seq(),
+                    mechanism=mechanism,
+                    epsilon=epsilon,
+                    claimed_loss=claimed_loss,
+                    guard=guard,
+                    batch=1,
+                    draws=int(draws),
+                    resample_rounds=int(draws) - 1,
+                    max_rounds_used=int(draws),
+                    exhausted=True,
+                    channel=channel,
+                    cycles=cycles,
+                )
+            )
+            raise
+        self.emit(
+            ReleaseEvent(
+                seq=self._next_seq(),
+                mechanism=mechanism,
+                epsilon=epsilon,
+                claimed_loss=claimed_loss,
+                guard=guard,
+                batch=1,
+                draws=int(draws),
+                resample_rounds=int(draws) - 1,
+                max_rounds_used=int(draws),
+                charged=float(charge.charged.sum()),
+                cache_hits=int(charge.cache_hits.sum()),
+                budget_remaining=charge.budget_remaining,
+                channel=channel,
+                cycles=cycles,
+            )
+        )
+        return charge
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _window(request: ReleaseRequest) -> Tuple[float, float]:
+        if request.window is None:
+            raise ConfigurationError(
+                f"guard {request.guard!r} requires a window"
+            )
+        return request.window
+
+    def _resample(
+        self, request: ReleaseRequest, codes: np.ndarray, rounds: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized redraw-until-in-window; mutates ``rounds`` in place."""
+        lo, hi = self._window(request)
+        n = codes.shape[0]
+        k_y = codes + request.draw(n)
+        # dplint note: the redraw loop below is the paper's Fig. 12
+        # timing channel, reproduced deliberately; its round counts are
+        # surfaced on every ReleaseEvent so attacks/timing.py can measure
+        # it from the trace instead of re-instrumenting mechanisms.
+        pending = np.flatnonzero((k_y < lo) | (k_y > hi))
+        for _ in range(request.max_rounds - 1):
+            if pending.size == 0:
+                break
+            k_y[pending] = codes[pending] + request.draw(pending.size)
+            rounds[pending] += 1
+            redrawn = k_y[pending]
+            pending = pending[(redrawn < lo) | (redrawn > hi)]
+        if pending.size:
+            self._emit_for(request, n, rounds, exhausted=True)
+            raise ResampleExhaustedError(
+                f"{request.mechanism}: {pending.size} of {n} samples still "
+                f"out of window after {request.max_rounds} draws; the guard "
+                f"window is almost certainly mis-calibrated"
+            )
+        return k_y
+
+    def _emit_for(
+        self,
+        request: ReleaseRequest,
+        n: int,
+        rounds: np.ndarray,
+        charge: Optional[ChargeOutcome] = None,
+        exhausted: bool = False,
+    ) -> ReleaseEvent:
+        draws = int(rounds.sum())
+        event = ReleaseEvent(
+            seq=self._next_seq(),
+            mechanism=request.mechanism,
+            epsilon=request.epsilon,
+            claimed_loss=request.claimed_loss,
+            guard=request.guard,
+            batch=n,
+            draws=draws,
+            resample_rounds=draws - n,
+            max_rounds_used=int(rounds.max()) if n else 0,
+            exhausted=exhausted,
+            charged=float(charge.charged.sum()) if charge is not None else 0.0,
+            cache_hits=int(charge.cache_hits.sum()) if charge is not None else 0,
+            budget_remaining=(
+                charge.budget_remaining if charge is not None else None
+            ),
+            channel=request.channel,
+        )
+        self.emit(event)
+        return event
+
+
+# ---------------------------------------------------------------------
+# Process-wide default pipeline.  Mechanisms constructed without an
+# explicit pipeline share this one, so "just privatize something" is
+# still observable (counters + a small ring) without any setup.
+_default: Optional[ReleasePipeline] = None
+
+
+def default_pipeline() -> ReleasePipeline:
+    """The shared process-wide pipeline (created on first use)."""
+    global _default
+    if _default is None:
+        _default = ReleasePipeline(sinks=[CounterSink()])
+    return _default
+
+
+def set_default_pipeline(pipeline: ReleasePipeline) -> ReleasePipeline:
+    """Replace the process-wide default; returns the previous one."""
+    global _default
+    previous = default_pipeline()
+    _default = pipeline
+    return previous

@@ -1,0 +1,150 @@
+"""Pluggable event sinks for the release pipeline.
+
+A sink is anything with an ``emit(event)`` method.  Three are provided:
+
+* :class:`RingBufferSink` — bounded in-memory buffer for tests and the
+  timing attack (capture the last N events, inspect, done).
+* :class:`JsonlSink` — append events as JSON lines for offline replay
+  (``python -m repro trace --replay trace.jsonl``).
+* :class:`CounterSink` — cheap running aggregates (releases, draws,
+  cache hits, charged loss) per mechanism; backs ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from .events import ReleaseEvent
+
+__all__ = [
+    "EventSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "CounterSink",
+    "read_events_jsonl",
+]
+
+
+class EventSink:
+    """Base sink: receives every event the pipeline emits."""
+
+    def emit(self, event: ReleaseEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; default is a no-op."""
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self._buf: collections.deque = collections.deque(maxlen=capacity)
+
+    def emit(self, event: ReleaseEvent) -> None:
+        self._buf.append(event)
+
+    @property
+    def events(self) -> List[ReleaseEvent]:
+        """Buffered events, oldest first."""
+        return list(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink(EventSink):
+    """Write each event as one JSON line to a file or file-like object."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self.n_written = 0
+
+    def emit(self, event: ReleaseEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CounterSink(EventSink):
+    """Running aggregates over the event stream (O(1) memory)."""
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.n_samples = 0
+        self.n_draws = 0
+        self.n_cache_hits = 0
+        self.n_exhausted = 0
+        self.charged_total = 0.0
+        self.max_rounds_used = 0
+        self.per_mechanism: Dict[str, Dict[str, float]] = {}
+        self.last_budget_remaining: Optional[float] = None
+
+    def emit(self, event: ReleaseEvent) -> None:
+        self.n_events += 1
+        self.n_samples += event.batch
+        self.n_draws += event.draws
+        self.n_cache_hits += event.cache_hits
+        self.n_exhausted += int(event.exhausted)
+        self.charged_total += event.charged
+        self.max_rounds_used = max(self.max_rounds_used, event.max_rounds_used)
+        if event.budget_remaining is not None:
+            self.last_budget_remaining = event.budget_remaining
+        per = self.per_mechanism.setdefault(
+            event.mechanism,
+            {"events": 0, "samples": 0, "draws": 0, "cache_hits": 0, "charged": 0.0},
+        )
+        per["events"] += 1
+        per["samples"] += event.batch
+        per["draws"] += event.draws
+        per["cache_hits"] += event.cache_hits
+        per["charged"] += event.charged
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate snapshot as a plain dict (JSON-ready)."""
+        return {
+            "events": self.n_events,
+            "samples": self.n_samples,
+            "draws": self.n_draws,
+            "cache_hits": self.n_cache_hits,
+            "exhausted": self.n_exhausted,
+            "charged_total": self.charged_total,
+            "max_rounds_used": self.max_rounds_used,
+            "budget_remaining": self.last_budget_remaining,
+            "per_mechanism": self.per_mechanism,
+        }
+
+
+def read_events_jsonl(path: Union[str, Path]) -> List[ReleaseEvent]:
+    """Load a JSONL trace written by :class:`JsonlSink`."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(ReleaseEvent.from_dict(json.loads(line)))
+    return events

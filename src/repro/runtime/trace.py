@@ -1,0 +1,258 @@
+"""Backend of ``python -m repro trace`` — selfcheck and trace replay.
+
+``--selfcheck`` exercises every release path through one instrumented
+pipeline (mechanism batches, the shared-budget multi-sensor box, the
+cycle-level DP-Box, the batched-vs-scalar fleet) and validates the
+emitted events against the invariants they are supposed to carry.  It is
+the CI smoke test for the runtime layer.
+
+``--replay`` loads a JSONL trace written by
+:class:`~repro.runtime.sinks.JsonlSink`, validates per-event arithmetic
+and the budget trajectory, and prints aggregate counters.
+
+Imports of the instrumented layers are local to the functions: this
+module lives *under* them in the import graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .events import ReleaseEvent
+from .pipeline import ReleasePipeline
+from .sinks import CounterSink, JsonlSink, RingBufferSink, read_events_jsonl
+
+__all__ = ["run_selfcheck", "run_replay"]
+
+_TOL = 1e-9
+
+
+class _CheckFailure(Exception):
+    """A selfcheck invariant did not hold."""
+
+
+def _check(cond: bool, what: str) -> None:
+    if not cond:
+        raise _CheckFailure(what)
+
+
+def _event_arithmetic_ok(e: ReleaseEvent) -> bool:
+    return (
+        e.draws >= e.batch >= 0
+        and e.resample_rounds == e.draws - e.batch
+        and e.max_rounds_used <= e.draws
+        and e.charged >= -_TOL
+        and e.cache_hits >= 0
+    )
+
+
+# ---------------------------------------------------------------------
+# selfcheck stages
+# ---------------------------------------------------------------------
+def _check_mechanisms(pipeline: ReleasePipeline, ring: RingBufferSink) -> None:
+    from ..mechanisms import SensorSpec, make_mechanism
+    from ..rng.urng import SplitStreamSource
+
+    sensor = SensorSpec(0.0, 8.0)
+    kwargs = dict(input_bits=12, output_bits=16, delta=8 / 64, pipeline=pipeline)
+    for arm in ("baseline", "thresholding", "resampling"):
+        mech = make_mechanism(
+            arm, sensor, 0.5, source=SplitStreamSource(11), **kwargs
+        )
+        before = len(ring)
+        # dplint: allow[DPL004] -- selfcheck workload on an isolated
+        # pipeline; deliberately unaccounted to exercise the NoCharge path.
+        values = mech.privatize(np.linspace(0.0, 8.0, 64))
+        _check(values.shape == (64,), f"{arm}: bad output shape")
+        _check(len(ring) == before + 1, f"{arm}: expected exactly one event")
+        e = ring.events[-1]
+        _check(_event_arithmetic_ok(e), f"{arm}: inconsistent event arithmetic")
+        _check(e.batch == 64, f"{arm}: wrong batch size on event")
+        if arm != "resampling":
+            _check(e.draws == 64, f"{arm}: single-draw guard must draw once")
+
+
+def _check_multisensor(ring: RingBufferSink, pipeline: ReleasePipeline) -> None:
+    from ..core.config import GuardMode
+    from ..core.multisensor import ChannelConfig, MultiSensorDPBox
+
+    sensor_args = dict(input_bits=12, segment_levels=(1.0, 1.5, 2.0))
+    from ..mechanisms import SensorSpec
+
+    box = MultiSensorDPBox(
+        [
+            ChannelConfig(name="temp", sensor=SensorSpec(0, 8), epsilon=0.5,
+                          guard_mode=GuardMode.THRESHOLD, **sensor_args),
+            ChannelConfig(name="accel", sensor=SensorSpec(0, 4), epsilon=0.5,
+                          guard_mode=GuardMode.THRESHOLD, **sensor_args),
+        ],
+        budget=2.0,
+        pipeline=pipeline,
+    )
+    start = len(ring)
+    for i in range(12):
+        box.request("temp" if i % 2 == 0 else "accel", 2.0)
+    events = ring.events[start:]
+    _check(len(events) == 12, "multisensor: expected one event per request")
+    _check(
+        all(e.budget_remaining is not None for e in events),
+        "multisensor: events must carry the shared budget remaining",
+    )
+    # The event stream must reproduce the exact budget trajectory.
+    prev = 2.0
+    for e in events:
+        _check(
+            abs(prev - e.charged - e.budget_remaining) < _TOL,
+            "multisensor: budget trajectory mismatch in event stream",
+        )
+        prev = e.budget_remaining
+    _check(box.n_cached > 0, "multisensor: budget never exhausted into cache")
+    _check(
+        any(e.cache_hits for e in events),
+        "multisensor: cache replays must be visible on events",
+    )
+
+
+def _check_dpbox(ring: RingBufferSink, pipeline: ReleasePipeline) -> None:
+    from ..core import DPBox, DPBoxConfig, DPBoxDriver, GuardMode, LatencyStats
+
+    box = DPBox(
+        DPBoxConfig(input_bits=10, range_frac_bits=5,
+                    guard_mode=GuardMode.THRESHOLD),
+        pipeline=pipeline,
+    )
+    driver = DPBoxDriver(box)
+    driver.initialize(budget=100.0)
+    driver.configure(epsilon_exponent=1, range_lower=0.0, range_upper=8.0)
+    start = len(ring)
+    for x in (0.0, 2.0, 4.0, 6.0, 8.0):
+        driver.noise(x)
+    events = ring.events[start:]
+    _check(len(events) == 5, "dpbox: expected one event per noising")
+    _check(
+        all(e.cycles is not None for e in events),
+        "dpbox: hardware events must carry cycle latency",
+    )
+    stats = LatencyStats.from_events(events)
+    _check(
+        stats.mean_cycles == 2.0,
+        "dpbox: thresholding latency must be the 2-cycle base",
+    )
+
+
+def _check_fleet(pipeline: ReleasePipeline) -> None:
+    from ..aggregation.fleet import run_fleet
+    from ..mechanisms import SensorSpec
+
+    sensor = SensorSpec(0.0, 8.0)
+    truth = np.linspace(0.5, 7.5, 40).reshape(2, 20)
+    kwargs = dict(
+        epsilon=0.5, device_budget=2.5, source_seed=7, input_bits=12,
+        output_bits=16, delta=8 / 64, pipeline=pipeline,
+    )
+    # dplint: allow[DPL001] -- dropout simulation randomness only; the
+    # release noise comes from the SplitStreamSource seeded above.
+    a = run_fleet(truth, sensor, rng=np.random.default_rng(3), batched=True, **kwargs)
+    # dplint: allow[DPL001] -- same: simulation randomness, not release noise.
+    b = run_fleet(truth, sensor, rng=np.random.default_rng(3), batched=False, **kwargs)
+    for epoch in a.server.epochs:
+        _check(
+            np.array_equal(a.server.values(epoch), b.server.values(epoch)),
+            "fleet: batched and scalar paths must be bit-identical",
+        )
+
+
+def run_selfcheck(jsonl_path: Optional[str] = None) -> int:
+    """Exercise every release path; returns a process exit code."""
+    pipeline = ReleasePipeline()
+    counters = pipeline.add_sink(CounterSink())
+    ring = pipeline.add_sink(RingBufferSink(capacity=65536))
+    jsonl = None
+    if jsonl_path is not None:
+        jsonl = pipeline.add_sink(JsonlSink(jsonl_path))
+    stages = (
+        ("mechanism arms", lambda: _check_mechanisms(pipeline, ring)),
+        ("multisensor shared budget", lambda: _check_multisensor(ring, pipeline)),
+        ("dpbox cycle model", lambda: _check_dpbox(ring, pipeline)),
+        ("fleet batched == scalar", lambda: _check_fleet(pipeline)),
+    )
+    failures: List[str] = []
+    for label, stage in stages:
+        try:
+            stage()
+            print(f"selfcheck: {label:<28} ok")
+        except _CheckFailure as exc:
+            failures.append(f"{label}: {exc}")
+            print(f"selfcheck: {label:<28} FAIL ({exc})")
+    if jsonl is not None:
+        jsonl.close()
+        back = read_events_jsonl(jsonl_path)
+        if len(back) != counters.n_events:
+            failures.append("jsonl round trip lost events")
+        print(f"selfcheck: trace written              {jsonl_path} "
+              f"({len(back)} events)")
+    s = counters.summary()
+    print(
+        f"selfcheck: {s['events']} events, {s['samples']} samples, "
+        f"{s['draws']} draws, {s['cache_hits']} cache hits, "
+        f"charged {s['charged_total']:.4g}"
+    )
+    if failures:
+        print(f"selfcheck: {len(failures)} failure(s)")
+        return 1
+    print("selfcheck: all release paths OK")
+    return 0
+
+
+# ---------------------------------------------------------------------
+def run_replay(path: str, limit: Optional[int] = None) -> int:
+    """Validate and summarize a JSONL trace; returns an exit code."""
+    events = read_events_jsonl(path)
+    if limit is not None:
+        events = events[:limit]
+    if not events:
+        print(f"replay: {path}: no events")
+        return 1
+    counters = CounterSink()
+    bad = 0
+    prev_remaining = None
+    accounted = 0
+    segments = 0
+    for e in events:
+        if not _event_arithmetic_ok(e):
+            bad += 1
+        counters.emit(e)
+        if e.budget_remaining is not None:
+            accounted += 1
+            # Reconstruct the budget trajectory: remaining must fall by
+            # exactly the charged loss.  A value that does not continue
+            # the previous one starts a new stream (another accountant,
+            # or a replenishment), not an inconsistency.
+            if (
+                prev_remaining is None
+                or abs(prev_remaining - e.charged - e.budget_remaining) > 1e-6
+            ):
+                segments += 1
+            prev_remaining = e.budget_remaining
+    s = counters.summary()
+    print(f"replay: {path}")
+    print(f"  events          : {s['events']} ({bad} with inconsistent arithmetic)")
+    print(f"  samples         : {s['samples']}")
+    print(f"  draws           : {s['draws']} "
+          f"(max per-sample rounds {s['max_rounds_used']})")
+    print(f"  cache hits      : {s['cache_hits']}")
+    print(f"  exhausted       : {s['exhausted']}")
+    print(f"  charged total   : {s['charged_total']:.6g}")
+    if s["budget_remaining"] is not None:
+        print(
+            f"  budget remaining: {s['budget_remaining']:.6g} "
+            f"({accounted} accounted events in {segments} budget stream(s))"
+        )
+    for name, per in sorted(s["per_mechanism"].items()):
+        print(
+            f"  {name:<16}: {per['events']} events, {per['samples']} samples, "
+            f"{per['draws']} draws, charged {per['charged']:.6g}"
+        )
+    return 0 if bad == 0 else 1

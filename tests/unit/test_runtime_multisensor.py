@@ -1,0 +1,144 @@
+"""Multi-sensor shared budget observed through the event stream.
+
+Satellite coverage for the pipeline refactor: N channels drawing on one
+budget, caching after exhaustion, and replenishment ordering — all
+asserted from emitted :class:`~repro.runtime.ReleaseEvent`s rather than
+box internals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GuardMode
+from repro.core.multisensor import ChannelConfig, MultiSensorDPBox
+from repro.errors import BudgetExhaustedError
+from repro.mechanisms import SensorSpec
+from repro.runtime import ReleasePipeline, RingBufferSink
+
+
+def make_box(budget=2.0, cache_on_exhaustion=True, n_channels=2):
+    pipe = ReleasePipeline()
+    ring = pipe.add_sink(RingBufferSink())
+    box = MultiSensorDPBox(
+        [
+            ChannelConfig(
+                name=f"s{i}",
+                sensor=SensorSpec(0.0, 8.0),
+                epsilon=0.5,
+                guard_mode=GuardMode.THRESHOLD,
+                input_bits=12,
+            )
+            for i in range(n_channels)
+        ],
+        budget=budget,
+        cache_on_exhaustion=cache_on_exhaustion,
+        pipeline=pipe,
+    )
+    return box, ring
+
+
+def drain(box, n_requests=16):
+    """Alternate requests over all channels until ``n_requests`` served."""
+    names = box.channel_names
+    return [
+        box.request(names[i % len(names)], 2.0 + (i % 3)) for i in range(n_requests)
+    ]
+
+
+class TestSharedBudgetEvents:
+    def test_one_event_per_request_with_channel(self):
+        box, ring = make_box()
+        drain(box, 6)
+        assert len(ring) == 6
+        assert [e.channel for e in ring.events] == ["s0", "s1"] * 3
+
+    def test_events_reconstruct_shared_trajectory(self):
+        """All channels debit ONE budget; events prove it additively."""
+        box, ring = make_box(budget=2.0)
+        drain(box, 16)
+        remaining = 2.0
+        for event in ring.events:
+            remaining -= event.charged
+            assert event.budget_remaining == pytest.approx(remaining, abs=1e-12)
+        assert box.remaining_budget == pytest.approx(remaining, abs=1e-12)
+        # Both channels charged against the same pool before it drained.
+        spenders = {e.channel for e in ring.events if e.charged > 0}
+        assert spenders == {"s0", "s1"}
+
+    def test_total_disclosed_loss_matches_events(self):
+        box, ring = make_box(budget=2.0)
+        drain(box, 16)
+        assert box.total_disclosed_loss() == pytest.approx(
+            sum(e.charged for e in ring.events), abs=1e-12
+        )
+
+
+class TestCachingAfterExhaustion:
+    def test_cache_hits_charge_nothing(self):
+        box, ring = make_box(budget=2.0)
+        replies = drain(box, 16)
+        events = ring.events
+        hits = [e for e in events if e.cache_hits]
+        assert hits, "budget never drained into the cache"
+        assert all(e.charged == 0.0 for e in hits)
+        # A replay leaves the shared budget exactly where it was.  (The
+        # budget can still move *between* hits: segment charging is
+        # output-adaptive, so a cheap central draw on one channel may be
+        # affordable after another channel's tail draw was refused.)
+        for i, event in enumerate(events):
+            if event.cache_hits:
+                assert event.budget_remaining == events[i - 1].budget_remaining
+        # Replies and events agree on which requests were replays.
+        assert [r.from_cache for r in replies] == [
+            bool(e.cache_hits) for e in ring.events
+        ]
+
+    def test_replayed_value_is_channels_last_fresh_release(self):
+        box, ring = make_box(budget=2.0)
+        replies = drain(box, 16)
+        last_fresh = {}
+        for reply in replies:
+            if not reply.from_cache:
+                last_fresh[reply.channel] = reply.value
+            else:
+                assert reply.value == last_fresh[reply.channel]
+
+    def test_exhaustion_without_cache_emits_then_raises(self):
+        box, ring = make_box(budget=2.0, cache_on_exhaustion=False)
+        with pytest.raises(BudgetExhaustedError):
+            drain(box, 32)
+        event = ring.events[-1]
+        assert event.exhausted
+        assert event.budget_remaining is None  # refused before any charge
+        assert event.channel in box.channel_names
+
+
+class TestReplenishmentOrdering:
+    def test_charging_resumes_only_after_replenish(self):
+        box, ring = make_box(budget=2.0)
+        drain(box, 12)
+        # The cheapest segment costs 0.5, so at most 4 of the 12
+        # requests were fresh — the budget has drained into the cache.
+        assert any(e.cache_hits for e in ring.events)
+        n_before = len(ring)
+        box.replenish()
+        assert box.remaining_budget == 2.0  # replenish emits nothing
+        assert len(ring) == n_before
+        reply = box.request("s0", 3.0)
+        event = ring.events[-1]
+        assert not reply.from_cache
+        assert event.charged > 0.0
+        assert event.budget_remaining == pytest.approx(
+            2.0 - event.charged, abs=1e-12
+        )
+
+    def test_trajectory_restarts_from_full_budget(self):
+        box, ring = make_box(budget=2.0)
+        drain(box, 12)
+        box.replenish()
+        start = len(ring)
+        drain(box, 8)
+        remaining = 2.0
+        for event in ring.events[start:]:
+            remaining -= event.charged
+            assert event.budget_remaining == pytest.approx(remaining, abs=1e-12)
