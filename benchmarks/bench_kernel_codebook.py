@@ -1,0 +1,226 @@
+"""Codebook-kernel bench — precomputed code→noise tables vs live datapath.
+
+Seeds the perf trajectory for the sampling kernel (docs/performance.md):
+times the resampling arm at 1M draws under the hardware (CORDIC) log
+datapath with the codebook kernel against the live per-draw datapath,
+asserts the ≥3× floor, and times raw ``sample_codes`` for both log
+back-ends plus the batched-vs-scalar fleet epoch.  Machine-readable
+results land in ``BENCH_kernels.json`` at the repo root so future PRs
+can track regressions; the human-readable table goes to
+``benchmarks/results/`` like every other bench.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.aggregation import run_fleet
+from repro.mechanisms import ResamplingMechanism, SensorSpec
+from repro.rng import CordicLn, FxpLaplaceConfig, FxpLaplaceRng, NumpySource
+from repro.rng.codebook import codebook_cache
+from repro.runtime import ReleasePipeline
+
+from conftest import record_experiment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_JSON = REPO_ROOT / "BENCH_kernels.json"
+
+SENSOR = SensorSpec(0.0, 10.0)
+EPSILON = 0.5
+INPUT_BITS = 14
+N_DRAWS = 1_000_000
+MIN_SPEEDUP = 3.0
+
+FLEET_DEVICES = 2_000
+FLEET_EPOCHS = 3
+
+
+def _write_results(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_kernels.json (schema-stamped)."""
+    data = {"schema": 1}
+    if RESULTS_JSON.exists():
+        try:
+            data = json.loads(RESULTS_JSON.read_text())
+        except json.JSONDecodeError:
+            pass
+    data["schema"] = 1
+    data[section] = payload
+    RESULTS_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def bench_kernel_resampling_arm(benchmark):
+    """Resampling-arm releases at 1M draws: codebook must be ≥3× live.
+
+    The hardware-faithful CORDIC logarithm is the datapath the codebook
+    collapses into a gather; the live arm re-runs the CORDIC iteration
+    on every draw and every resample round.
+    """
+    backend = CordicLn()
+    truth = np.random.default_rng(11).uniform(1.0, 9.0, N_DRAWS)
+
+    def build(kernel):
+        return ResamplingMechanism(
+            SENSOR,
+            EPSILON,
+            input_bits=INPUT_BITS,
+            log_backend=backend,
+            kernel=kernel,
+            pipeline=ReleasePipeline(),
+        )
+
+    def run():
+        mech_cb = build("codebook")
+        mech_live = build("live")
+        # Warm both arms (table build / numpy dispatch) outside the timing.
+        mech_cb.release(truth[:1000])
+        mech_live.release(truth[:1000])
+        t0 = time.perf_counter()
+        out_cb = mech_cb.release(truth)
+        t_cb = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out_live = mech_live.release(truth)
+        t_live = time.perf_counter() - t0
+        return t_cb, t_live, out_cb.event, out_live.event
+
+    t_cb, t_live, ev_cb, ev_live = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = t_live / t_cb
+    _write_results(
+        "resampling_arm",
+        {
+            "backend": "cordic",
+            "input_bits": INPUT_BITS,
+            "samples": N_DRAWS,
+            "draws_codebook": ev_cb.draws,
+            "draws_live": ev_live.draws,
+            "codebook_s": round(t_cb, 4),
+            "live_s": round(t_live, 4),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    record_experiment(
+        "kernel_codebook_resampling",
+        "\n".join(
+            [
+                f"resampling arm, {N_DRAWS} samples, Bu={INPUT_BITS}, CORDIC log",
+                f"live datapath : {t_live:.3f} s ({ev_live.draws} draws)",
+                f"codebook      : {t_cb:.3f} s ({ev_cb.draws} draws)",
+                f"speedup       : {speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)",
+                f"kernels       : {ev_cb.kernel} vs {ev_live.kernel}",
+            ]
+        ),
+    )
+    assert ev_cb.kernel == "codebook" and ev_live.kernel == "live"
+    assert speedup >= MIN_SPEEDUP, f"codebook kernel only {speedup:.1f}x faster"
+
+
+def bench_kernel_sample_codes(benchmark):
+    """Raw ``sample_codes`` timing, codebook vs live, both log back-ends."""
+    rows = {}
+
+    def run():
+        for name, backend in (("exact", None), ("cordic", CordicLn())):
+            cfg = FxpLaplaceConfig(
+                input_bits=INPUT_BITS,
+                output_bits=20,
+                delta=SENSOR.d / 64.0,
+                lam=SENSOR.d / EPSILON,
+            )
+            timings = {}
+            for kernel in ("codebook", "live"):
+                rng = FxpLaplaceRng(
+                    cfg, source=NumpySource(seed=3), log_backend=backend,
+                    kernel=kernel,
+                )
+                rng.sample_codes(1000)  # warm (table build / dispatch)
+                t0 = time.perf_counter()
+                rng.sample_codes(N_DRAWS)
+                timings[kernel] = time.perf_counter() - t0
+            rows[name] = timings
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    payload = {"samples": N_DRAWS, "input_bits": INPUT_BITS}
+    for backend, t in rows.items():
+        payload[backend] = {
+            "codebook_s": round(t["codebook"], 4),
+            "live_s": round(t["live"], 4),
+            "speedup": round(t["live"] / t["codebook"], 2),
+        }
+    _write_results("sample_codes", payload)
+    record_experiment(
+        "kernel_codebook_sample_codes",
+        "\n".join(
+            [f"sample_codes, {N_DRAWS} draws, Bu={INPUT_BITS}"]
+            + [
+                f"{name:6s}: codebook {t['codebook'] * 1e3:7.1f} ms, "
+                f"live {t['live'] * 1e3:7.1f} ms "
+                f"({t['live'] / t['codebook']:.1f}x)"
+                for name, t in rows.items()
+            ]
+        ),
+    )
+    # The CORDIC datapath is where tables shine; the exact-log path must
+    # at minimum not regress.
+    assert rows["cordic"]["live"] / rows["cordic"]["codebook"] >= MIN_SPEEDUP
+    assert rows["exact"]["codebook"] <= rows["exact"]["live"] * 1.25
+
+
+def bench_kernel_fleet_paths(benchmark):
+    """Fleet epoch timings under the codebook kernel, batched vs scalar."""
+    truth = np.random.default_rng(5).uniform(
+        2.0, 8.0, size=(FLEET_EPOCHS, FLEET_DEVICES)
+    )
+    kwargs = dict(
+        epsilon=EPSILON,
+        source_seed=7,
+        input_bits=13,
+        output_bits=18,
+        delta=10 / 64,
+        pipeline=ReleasePipeline(),
+    )
+
+    def run():
+        t0 = time.perf_counter()
+        batched = run_fleet(
+            truth, SENSOR, rng=np.random.default_rng(4), batched=True, **kwargs
+        )
+        t_batched = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        scalar = run_fleet(
+            truth, SENSOR, rng=np.random.default_rng(4), batched=False, **kwargs
+        )
+        t_scalar = time.perf_counter() - t0
+        identical = all(
+            np.array_equal(batched.server.values(e), scalar.server.values(e))
+            for e in batched.server.epochs
+        )
+        return t_batched, t_scalar, identical
+
+    t_batched, t_scalar, identical = benchmark.pedantic(run, rounds=1, iterations=1)
+    _write_results(
+        "fleet",
+        {
+            "devices": FLEET_DEVICES,
+            "epochs": FLEET_EPOCHS,
+            "batched_s": round(t_batched, 4),
+            "scalar_s": round(t_scalar, 4),
+            "bit_identical": identical,
+            "cache_stats": codebook_cache().stats(),
+        },
+    )
+    record_experiment(
+        "kernel_codebook_fleet",
+        "\n".join(
+            [
+                f"fleet {FLEET_DEVICES} devices x {FLEET_EPOCHS} epochs, "
+                "codebook kernel",
+                f"batched : {t_batched:.3f} s",
+                f"scalar  : {t_scalar:.3f} s",
+                "outputs : " + ("bit-identical" if identical else "MISMATCH"),
+            ]
+        ),
+    )
+    assert identical

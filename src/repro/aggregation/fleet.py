@@ -102,6 +102,10 @@ def run_fleet(
     # One shared mechanism: all devices draw, in device order, from the
     # same audited noise stream — the invariant both paths preserve.
     mechanism = make_mechanism(arm, sensor, epsilon, **mechanism_kwargs)
+    if hasattr(mechanism, "rng") and hasattr(mechanism.rng, "kernel"):
+        # Resolve the codebook kernel (shared, process-wide) before the
+        # epoch loop so every epoch privatizes as pure table gathers.
+        mechanism.rng.kernel
     devices = [
         Device(f"dev-{i:04d}", mechanism, budget=device_budget)
         for i in range(n_devices)

@@ -11,6 +11,9 @@ A thin operational layer over the library for quick experiments:
 * ``lint``      — dplint DP-safety static analysis (rules DPL001-DPL005)
 * ``trace``     — runtime release-event tracing: selfcheck every release
   path, or replay a JSONL event trace (see docs/runtime.md)
+* ``kernels``   — codebook sampling-kernel report: table size vs budget,
+  measured codebook-vs-live speedup, cache statistics
+  (see docs/performance.md)
 
 Every command prints plain text; exit code 0 means the operation
 succeeded (for ``verify``: the mechanism was *analyzed*, whatever the
@@ -112,6 +115,34 @@ def build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_arguments
 
     add_lint_arguments(p_lint)
+
+    p_kern = sub.add_parser(
+        "kernels",
+        help="codebook sampling-kernel report (see docs/performance.md)",
+    )
+    p_kern.add_argument("--range", nargs=2, type=float, default=(0.0, 10.0),
+                        metavar=("M_LO", "M_HI"), help="declared sensor range")
+    p_kern.add_argument("--epsilon", type=float, default=0.5)
+    p_kern.add_argument("--input-bits", type=int, default=17, help="URNG width Bu")
+    p_kern.add_argument("--output-bits", type=int, default=20)
+    p_kern.add_argument(
+        "--backend",
+        choices=["exact", "cordic", "poly"],
+        default="exact",
+        help="logarithm datapath model",
+    )
+    p_kern.add_argument(
+        "--samples",
+        type=int,
+        default=200_000,
+        help="draws per kernel for the timing comparison (0 skips timing)",
+    )
+    p_kern.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=None,
+        help="override the per-table budget for this invocation",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="release-event tracing (see docs/runtime.md)"
@@ -308,6 +339,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint_command(args)
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    import time
+
+    from .rng import CordicLn, NumpySource, PiecewisePolyLn, codebook_cache
+    from .rng.codebook import configure_codebooks
+
+    m_lo, m_hi = args.range
+    sensor_d = m_hi - m_lo
+    cfg = FxpLaplaceConfig(
+        input_bits=args.input_bits,
+        output_bits=args.output_bits,
+        delta=sensor_d / 64.0,
+        lam=sensor_d / args.epsilon,
+    )
+    backend = {
+        "exact": None,
+        "cordic": CordicLn(),
+        "poly": PiecewisePolyLn(),
+    }[args.backend]
+    cache = codebook_cache()
+    if args.budget_bytes is not None:
+        configure_codebooks(table_budget_bytes=args.budget_bytes)
+    planned = cache.planned_bytes(cfg)
+    print(f"config        : Bu={cfg.input_bits} By={cfg.output_bits} "
+          f"Δ={cfg.delta:g} λ={cfg.lam:g} backend={args.backend}")
+    print(f"alphabet      : 2**{cfg.input_bits} = {1 << cfg.input_bits} codes")
+    print(f"table         : {planned} bytes "
+          f"(budget {cache.table_budget_bytes} bytes)")
+    rng = FxpLaplaceRng(cfg, source=NumpySource(seed=0), log_backend=backend)
+    t0 = time.perf_counter()
+    kernel = rng.kernel  # resolves (and possibly builds) the codebook
+    build_s = time.perf_counter() - t0
+    print(f"kernel        : {kernel}"
+          + (f" (resolved in {build_s * 1e3:.1f} ms)" if kernel == "codebook" else
+             " (over budget — live datapath)"))
+    if args.samples > 0:
+        live = FxpLaplaceRng(
+            cfg, source=NumpySource(seed=0), log_backend=backend, kernel="live"
+        )
+        t0 = time.perf_counter()
+        rng.sample_codes(args.samples)
+        t_kernel = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        live.sample_codes(args.samples)
+        t_live = time.perf_counter() - t0
+        print(f"draw timing   : {args.samples} samples — "
+              f"{kernel} {t_kernel * 1e3:.1f} ms, live {t_live * 1e3:.1f} ms "
+              f"({t_live / t_kernel:.1f}x)")
+    stats = cache.stats()
+    print("cache         : "
+          + ", ".join(f"{k}={stats[k]}" for k in
+                      ("entries", "hits", "builds", "evictions",
+                       "budget_fallbacks", "bytes")))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .runtime.trace import run_replay, run_selfcheck
 
@@ -324,6 +411,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "selftest": _cmd_selftest,
     "lint": _cmd_lint,
+    "kernels": _cmd_kernels,
     "trace": _cmd_trace,
 }
 

@@ -339,6 +339,7 @@ class DPBox(Module):
             accounting=EngineCharge(self._engine),
             draws=self._noising_draws,
             cycles=self._noising_cycles,
+            kernel=rt.rng.kernel,
         )
         self.output = rt.origin + int(charge.codes[0]) * rt.delta
         self.ready = True

@@ -18,8 +18,12 @@ Tags
     still carry ``# dplint: allow[...]`` annotations as documentation.
 ``audited-rng``
     The audited randomness implementations themselves (``rng/urng.py``,
-    ``rng/tausworthe.py``, ``rng/lfsr.py``).  DPL001 exempts them: they
-    are the abstraction everything else must route through.
+    ``rng/tausworthe.py``, ``rng/lfsr.py``, ``rng/codebook.py``).
+    DPL001 exempts them: they are the abstraction everything else must
+    route through.  ``codebook.py`` qualifies because a gather from a
+    cached codebook is a deterministic function of the configuration —
+    every random bit still comes from the injected
+    :class:`~repro.rng.urng.UniformCodeSource`.
 """
 
 from __future__ import annotations
@@ -48,7 +52,7 @@ SIMULATION_DIRS = frozenset(
     }
 )
 #: Files allowed to construct raw generators: the audited abstraction.
-AUDITED_RNG_FILES = frozenset({"urng.py", "tausworthe.py", "lfsr.py"})
+AUDITED_RNG_FILES = frozenset({"urng.py", "tausworthe.py", "lfsr.py", "codebook.py"})
 #: Top-level release files (not inside a release directory).
 RELEASE_FILES = frozenset({"cli.py"})
 

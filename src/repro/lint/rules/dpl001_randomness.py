@@ -16,6 +16,13 @@ benchmarks, ...) and the audited RNG modules themselves are exempt.
 Release-path construction of generators should go through
 :func:`repro.rng.urng.audited_generator` (or inject a seeded generator at
 construction), which keeps every construction site greppable.
+
+A gather from a cached codebook (:mod:`repro.rng.codebook`) is audited
+randomness, not a new source: the ``m → k`` table is a deterministic
+function of the configuration, built by sweeping the audited datapath
+over the full code alphabet, and every random bit indexing it still
+comes from the injected :class:`~repro.rng.urng.UniformCodeSource`.
+``rng/codebook.py`` is therefore part of the audited-rng file set.
 """
 
 from __future__ import annotations

@@ -47,6 +47,7 @@ class FxpMechanismBase(LocalMechanism):
         log_backend=None,
         n_verify_inputs: int = 9,
         pipeline: Optional[ReleasePipeline] = None,
+        kernel: str = "auto",
     ):
         super().__init__(sensor, epsilon, pipeline=pipeline)
         if delta is None:
@@ -60,7 +61,9 @@ class FxpMechanismBase(LocalMechanism):
             delta=delta,
             lam=sensor.d / epsilon,
         )
-        self.rng = FxpLaplaceRng(config, source=source, log_backend=log_backend)
+        self.rng = FxpLaplaceRng(
+            config, source=source, log_backend=log_backend, kernel=kernel
+        )
         self.n_verify_inputs = n_verify_inputs
         self._noise_pmf: Optional[DiscretePMF] = None
         # Sensor range endpoints must land on the grid; snap them once and
@@ -146,6 +149,7 @@ class FxpMechanismBase(LocalMechanism):
             guard=guard,
             window=window,
             decode=lambda k: k * delta,
+            kernel=self.rng.kernel,
         )
         if max_rounds is not None:
             request.max_rounds = max_rounds

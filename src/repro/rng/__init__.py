@@ -7,6 +7,12 @@ fixed-point Laplace RNG of the paper with its exact output PMF, and the
 discrete-PMF algebra used by the privacy analysis.
 """
 
+from .codebook import (
+    CodebookCache,
+    CodebookEntry,
+    codebook_cache,
+    configure_codebooks,
+)
 from .cordic import CordicLn, cordic_iteration_schedule
 from .gaussian import FxpGaussianRng, gaussian_sigma, probit
 from .geometric import FxpGeometricRng, IdealTwoSidedGeometric, geometric_alpha
@@ -20,6 +26,7 @@ from .staircase import FxpStaircaseRng, StaircaseParams, optimal_gamma
 from .tausworthe import Taus88, VectorTaus88, taus88_seed_streams
 from .urng import (
     ExhaustiveSource,
+    LfsrSource,
     NumpySource,
     SplitStreamSource,
     TauswortheSource,
@@ -28,6 +35,10 @@ from .urng import (
 )
 
 __all__ = [
+    "CodebookCache",
+    "CodebookEntry",
+    "codebook_cache",
+    "configure_codebooks",
     "CordicLn",
     "cordic_iteration_schedule",
     "FxpGaussianRng",
@@ -52,6 +63,7 @@ __all__ = [
     "VectorTaus88",
     "taus88_seed_streams",
     "ExhaustiveSource",
+    "LfsrSource",
     "NumpySource",
     "SplitStreamSource",
     "TauswortheSource",

@@ -80,6 +80,15 @@ class CordicLn:
         #: ln(2) on the datapath grid, used by the range reducer.
         self.ln2 = int(round(math.log(2.0) * one))
 
+    @property
+    def fingerprint(self):
+        """Hashable identity for codebook cache keying.
+
+        Covers every parameter the output depends on (the schedule and
+        atanh table are derived from these deterministically).
+        """
+        return ("cordic", self.frac_bits, self.n_iterations)
+
     # ------------------------------------------------------------------
     # Core: ln of a mantissa in [1, 2), scalar integer datapath
     # ------------------------------------------------------------------

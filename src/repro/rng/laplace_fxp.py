@@ -27,6 +27,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..errors import ConfigurationError
+from .codebook import CodebookEntry, codebook_cache
 from .cordic import CordicLn
 from .log_approx import PiecewisePolyLn
 from .pmf import DiscretePMF
@@ -121,19 +122,44 @@ class FxpLaplaceConfig:
 
 
 class FxpLaplaceRng:
-    """Sampler + exact distribution of the fixed-point Laplace RNG."""
+    """Sampler + exact distribution of the fixed-point Laplace RNG.
+
+    ``kernel`` selects the sampling implementation:
+
+    * ``"auto"`` (default) — gather from a precomputed ``m → k`` codebook
+      shared process-wide (see :mod:`repro.rng.codebook`) when the
+      alphabet fits the table budget, else the live datapath;
+    * ``"codebook"`` — require the codebook (raises if over budget);
+    * ``"live"`` — always recompute the logarithm datapath per draw (the
+      pre-codebook behaviour; the bit-identity reference).
+
+    Both kernels consume the uniform source identically (``n`` codes,
+    then ``n`` sign bits), so for any fixed source/seed the output stream
+    is bit-identical regardless of kernel — the codebook is built by
+    sweeping every code through the live datapath.
+    """
 
     def __init__(
         self,
         config: FxpLaplaceConfig,
         source: Optional[UniformCodeSource] = None,
         log_backend: LogBackend = None,
+        kernel: str = "auto",
     ):
+        if kernel not in ("auto", "codebook", "live"):
+            raise ConfigurationError(
+                f"kernel must be 'auto', 'codebook' or 'live', got {kernel!r}"
+            )
         self.config = config
         self.source = source if source is not None else NumpySource()
         #: ``None`` means an exact float64 logarithm; otherwise a hardware
         #: logarithm model (CORDIC or piecewise polynomial).
         self.log_backend = log_backend
+        self.kernel_mode = kernel
+        self._codebook: Optional[CodebookEntry] = None
+        self._codebook_resolved = False
+        #: Instance-local PMF fallback, used only when no codebook entry
+        #: exists (live kernel / over-budget alphabet).
         self._pmf_cache: Optional[DiscretePMF] = None
 
     # ------------------------------------------------------------------
@@ -156,12 +182,39 @@ class FxpLaplaceRng:
         return np.minimum(k, self.config.max_code)
 
     # ------------------------------------------------------------------
+    # Kernel resolution (codebook vs live datapath)
+    # ------------------------------------------------------------------
+    def _resolve_codebook(self) -> Optional[CodebookEntry]:
+        """The shared codebook entry, or ``None`` for the live datapath."""
+        if not self._codebook_resolved:
+            if self.kernel_mode != "live":
+                self._codebook = codebook_cache().get(
+                    self.config, self.log_backend, self._codes_from_uniform
+                )
+                if self._codebook is None and self.kernel_mode == "codebook":
+                    raise ConfigurationError(
+                        f"codebook kernel requested but the 2**{self.config.input_bits}"
+                        "-entry table exceeds the table budget; raise it via "
+                        "repro.rng.codebook.configure_codebooks or use kernel='auto'"
+                    )
+            self._codebook_resolved = True
+        return self._codebook
+
+    @property
+    def kernel(self) -> str:
+        """The sampling kernel actually in use: ``codebook`` or ``live``."""
+        return "codebook" if self._resolve_codebook() is not None else "live"
+
+    # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def sample_codes(self, n: int) -> np.ndarray:
         """Draw ``n`` signed output codes ``k`` (noise value is ``k·Δ``)."""
         m = self.source.uniform_codes(n, self.config.input_bits)
-        k = self._codes_from_uniform(m)
+        entry = self._resolve_codebook()
+        # Codebook gather and live datapath agree bit-for-bit: the table
+        # *is* the live datapath, evaluated once over the whole alphabet.
+        k = entry.gather(m) if entry is not None else self._codes_from_uniform(m)
         sign = 1 - 2 * self.source.random_bits(n)  # ±1
         return sign * k
 
@@ -181,6 +234,15 @@ class FxpLaplaceRng:
         only).
         """
         if method == "enumerate":
+            entry = self._resolve_codebook()
+            if entry is not None:
+                # Shared process-wide: the PMF lives on the cache entry, so
+                # every RNG/mechanism with this config computes it once.
+                if entry.pmf is None:
+                    entry.pmf = self._signed_from_magnitude(
+                        entry.magnitude_counts()
+                    )
+                return entry.pmf
             if self._pmf_cache is None:
                 self._pmf_cache = self._pmf_enumerate()
             return self._pmf_cache
@@ -195,6 +257,9 @@ class FxpLaplaceRng:
 
     def _magnitude_counts(self) -> np.ndarray:
         """Exact counts of URNG codes mapping to each magnitude code."""
+        entry = self._resolve_codebook()
+        if entry is not None:
+            return entry.magnitude_counts()
         bu = self.config.input_bits
         m = np.arange(1, (1 << bu) + 1, dtype=np.int64)
         k = self._codes_from_uniform(m)

@@ -6,11 +6,25 @@ variants, and (b) as the building block intuition behind the Tausworthe
 generator (a Tausworthe stage *is* an LFSR with a particular tap/output
 structure).  Both Fibonacci (external-XOR) and Galois (internal-XOR)
 topologies are provided, bit-exact to their hardware definitions.
+
+Batched generation is vectorized: an LFSR output stream satisfies the
+linear recurrence of its characteristic polynomial ``p(x)``, and over
+GF(2) ``p(x)**(2**j) = p(x**(2**j))``, so the same recurrence holds with
+all delays scaled by ``2**j``.  :meth:`_LinearFSR.bit_stream` cascades
+through doubled recurrences until the delays are large enough to emit
+thousands of bits per numpy slice-XOR, which is what lets the standalone
+LFSR URNG option (:class:`repro.rng.urng.LfsrSource`) feed batched
+draws — ``draw(n, bits)`` is a reshape + dot over that stream.  The
+scalar :meth:`step` is kept bit-exact to the hardware definition and the
+vectorized path advances the register state exactly as ``n`` scalar
+steps would, so the two can be interleaved freely.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 
@@ -34,8 +48,107 @@ MAXIMAL_TAPS = {
     32: (32, 22, 2, 1),
 }
 
+#: Cap on the doubled-recurrence chunk size (bits emitted per slice-XOR).
+_MAX_CHUNK_LOG2 = 13
 
-class FibonacciLFSR:
+
+class _LinearFSR:
+    """Shared vectorized bit-stream engine for linear shift registers.
+
+    Subclasses provide the scalar :meth:`step`, the output-recurrence
+    delays (:meth:`_delays`), the first ``width`` output bits
+    (:meth:`_initial_outputs`) and the state reconstruction from a
+    ``width``-bit lookahead (:meth:`_state_from_outputs`).
+    """
+
+    width: int
+    state: int
+
+    # -- subclass contract ---------------------------------------------
+    def step(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _delays(self) -> Tuple[int, ...]:
+        """Delays ``d`` of the output recurrence ``b[s] = XOR b[s-d]``."""
+        raise NotImplementedError
+
+    def _initial_outputs(self) -> np.ndarray:
+        """The next ``width`` output bits, *without* advancing state."""
+        raise NotImplementedError
+
+    def _state_from_outputs(self, lookahead: np.ndarray) -> int:
+        """Register state whose next ``width`` outputs are ``lookahead``."""
+        raise NotImplementedError
+
+    # -- vectorized generation -----------------------------------------
+    def bit_stream(self, n: int) -> np.ndarray:
+        """The next ``n`` output bits as a uint8 array (vectorized).
+
+        Advances the register exactly as ``n`` calls to :meth:`step`
+        would, so scalar and batched draws can be interleaved.
+        """
+        if n < 0:
+            raise ConfigurationError("bit count must be nonnegative")
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        w = self.width
+        delays = self._delays()
+        total = n + w  # w extra bits reconstruct the final state
+        out = np.empty(total, dtype=np.uint8)
+        out[:w] = self._initial_outputs()
+        # Cascade of doubled recurrences: level j uses delays d * 2**j,
+        # valid from position w * 2**j, and can emit 2**j bits per slice
+        # (the minimum delay is >= 2**j).  Each level at most doubles the
+        # generated prefix, so the bootstrap costs O(width * levels)
+        # numpy ops before the final level streams the bulk.
+        pos = w  # bits generated so far
+        level = 0
+        while pos < total:
+            scaled = [d << level for d in delays]
+            chunk = 1 << level
+            # Level `level` is valid from position w << level; it carries
+            # the stream to w << (level + 1), where the next doubling
+            # takes over — unless the level is capped, in which case it
+            # streams the rest.
+            at_cap = level >= _MAX_CHUNK_LOG2
+            limit = total if at_cap else min(total, w << (level + 1))
+            while pos < limit:
+                end = min(pos + chunk, limit)
+                acc = out[pos - scaled[0] : end - scaled[0]].copy()
+                for d in scaled[1:]:
+                    acc ^= out[pos - d : end - d]
+                out[pos:end] = acc
+                pos = end
+            if not at_cap:
+                level += 1
+        self.state = self._state_from_outputs(out[n : n + w])
+        return out[:n]
+
+    def draw(self, n: int, bits: int) -> np.ndarray:
+        """``n`` codes of ``bits`` output bits each (MSB-first), batched.
+
+        Consumes ``n * bits`` register clocks, exactly like ``n`` calls
+        to :meth:`next_bits`, but vectorized end to end.
+        """
+        if bits < 1:
+            raise ConfigurationError("bits per draw must be >= 1")
+        stream = self.bit_stream(n * bits).astype(np.int64)
+        powers = np.left_shift(1, np.arange(bits - 1, -1, -1), dtype=np.int64)
+        return stream.reshape(n, bits) @ powers
+
+    def next_bits(self, n: int) -> int:
+        """Collect ``n`` output bits MSB-first into one integer."""
+        value = 0
+        for bit in self.bit_stream(n):
+            value = (value << 1) | int(bit)
+        return value
+
+    def sequence(self, n: int) -> List[int]:
+        """Return the next ``n`` output bits as a list."""
+        return self.bit_stream(n).tolist()
+
+
+class FibonacciLFSR(_LinearFSR):
     """External-XOR LFSR: new bit = XOR of the tapped bits, shifted in."""
 
     def __init__(self, width: int, taps: Sequence[int], seed: int = 1):
@@ -70,19 +183,25 @@ class FibonacciLFSR:
         self.state = (self.state >> 1) | (fb << (self.width - 1))
         return out
 
-    def next_bits(self, n: int) -> int:
-        """Collect ``n`` output bits MSB-first into one integer."""
-        value = 0
-        for _ in range(n):
-            value = (value << 1) | self.step()
-        return value
+    # -- vectorization hooks -------------------------------------------
+    # In this topology register bit j exits at clock t + j, so the next
+    # ``width`` outputs ARE the state bits (LSB-first), and the feedback
+    # definition gives the output recurrence b[s] = XOR_taps b[s - tap].
+    def _delays(self) -> Tuple[int, ...]:
+        return self.taps
 
-    def sequence(self, n: int) -> List[int]:
-        """Return the next ``n`` output bits as a list."""
-        return [self.step() for _ in range(n)]
+    def _initial_outputs(self) -> np.ndarray:
+        s = self.state
+        return np.array([(s >> j) & 1 for j in range(self.width)], dtype=np.uint8)
+
+    def _state_from_outputs(self, lookahead: np.ndarray) -> int:
+        state = 0
+        for j in range(self.width):
+            state |= int(lookahead[j]) << j
+        return state
 
 
-class GaloisLFSR:
+class GaloisLFSR(_LinearFSR):
     """Internal-XOR LFSR; same sequence set as Fibonacci, one-gate-deep."""
 
     def __init__(self, width: int, mask: int, seed: int = 1):
@@ -117,9 +236,23 @@ class GaloisLFSR:
             self.state ^= self.mask
         return out
 
-    def next_bits(self, n: int) -> int:
-        """Collect ``n`` output bits MSB-first into one integer."""
-        value = 0
-        for _ in range(n):
-            value = (value << 1) | self.step()
-        return value
+    # -- vectorization hooks -------------------------------------------
+    # Unrolling s_{t+1}[j] = s_t[j+1] ^ out(t)·mask[j] gives the output
+    # recurrence b[s] = XOR_{mask bit j set} b[s - (j+1)] and the state
+    # reconstruction s_t[j] = b[t+j] ^ XOR_{i<j} b[t+i]·mask[j-1-i].
+    def _delays(self) -> Tuple[int, ...]:
+        return tuple(j + 1 for j in range(self.width) if (self.mask >> j) & 1)
+
+    def _initial_outputs(self) -> np.ndarray:
+        probe = GaloisLFSR(self.width, self.mask, self.state)
+        return np.array([probe.step() for _ in range(self.width)], dtype=np.uint8)
+
+    def _state_from_outputs(self, lookahead: np.ndarray) -> int:
+        state = 0
+        for j in range(self.width):
+            bit = int(lookahead[j])
+            for i in range(j):
+                if (self.mask >> (j - 1 - i)) & 1:
+                    bit ^= int(lookahead[i])
+            state |= bit << j
+        return state

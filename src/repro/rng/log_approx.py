@@ -40,6 +40,15 @@ class PiecewisePolyLn:
         self.ln2 = int(round(math.log(2.0) * (1 << frac_bits)))
         self._coeffs = self._fit()
 
+    @property
+    def fingerprint(self):
+        """Hashable identity for codebook cache keying.
+
+        The fitted coefficient table is a deterministic function of
+        these three parameters.
+        """
+        return ("ppoly", self.n_segments, self.degree, self.frac_bits)
+
     def _fit(self) -> np.ndarray:
         """Least-squares fit per segment; coefficients snapped to the grid.
 

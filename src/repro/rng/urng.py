@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from .lfsr import FibonacciLFSR, GaloisLFSR, MAXIMAL_TAPS
 from .tausworthe import VectorTaus88
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "NumpySource",
     "ExhaustiveSource",
     "SplitStreamSource",
+    "LfsrSource",
     "audited_generator",
 ]
 
@@ -125,6 +127,54 @@ class SplitStreamSource(UniformCodeSource):
 
     def random_bits(self, n: int) -> np.ndarray:
         return self._bit_rng.integers(0, 2, size=n, dtype=np.int64)
+
+
+class LfsrSource(UniformCodeSource):
+    """Standalone LFSR URNG option (ultra-low-area DP-Box variants).
+
+    One maximal-length LFSR clocks out the code bits (``bits`` clocks per
+    code, MSB-first, exactly as a serial hardware URNG would shift them
+    into the sampler) and an independently seeded second LFSR supplies
+    the sign bits, so code and sign streams do not alias.  Batched draws
+    ride the vectorized :meth:`~repro.rng.lfsr._LinearFSR.draw` /
+    ``bit_stream`` paths, which advance the registers exactly as scalar
+    stepping would — scalar and batched consumption stay bit-identical.
+    """
+
+    def __init__(self, width: int = 31, seed: int = 1, topology: str = "fibonacci"):
+        if width not in MAXIMAL_TAPS:
+            raise ConfigurationError(
+                f"no maximal tap set known for width {width}; "
+                f"choose from {sorted(MAXIMAL_TAPS)}"
+            )
+        mask = (1 << width) - 1
+        code_seed = seed & mask or 1
+        # Decorrelate the sign register by seeding from the bit-reversed
+        # complement; any nonzero distinct state works (same sequence,
+        # different phase).
+        sign_seed = (~seed) & mask or 1
+        if topology == "fibonacci":
+            self._code_gen = FibonacciLFSR(width, MAXIMAL_TAPS[width], code_seed)
+            self._sign_gen = FibonacciLFSR(width, MAXIMAL_TAPS[width], sign_seed)
+        elif topology == "galois":
+            self._code_gen = GaloisLFSR.from_taps(width, MAXIMAL_TAPS[width], code_seed)
+            self._sign_gen = GaloisLFSR.from_taps(width, MAXIMAL_TAPS[width], sign_seed)
+        else:
+            raise ConfigurationError(
+                f"topology must be 'fibonacci' or 'galois', got {topology!r}"
+            )
+
+    def uniform_codes(self, n: int, bits: int) -> np.ndarray:
+        if not 1 <= bits <= 62:
+            raise ConfigurationError("bits must be in 1..62")
+        raw = self._code_gen.draw(n, bits)
+        # The URNG alphabet is {1, ..., 2**bits}: the all-zero word maps
+        # to the top code, as in the Tausworthe adapter.
+        raw[raw == 0] = 1 << bits
+        return raw
+
+    def random_bits(self, n: int) -> np.ndarray:
+        return self._sign_gen.bit_stream(n).astype(np.int64)
 
 
 class ExhaustiveSource(UniformCodeSource):

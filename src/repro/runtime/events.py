@@ -23,7 +23,8 @@ __all__ = ["ReleaseEvent", "EVENT_SCHEMA_VERSION"]
 
 #: Bumped whenever a field is added/renamed so replay tools can detect
 #: traces written by an incompatible library version.
-EVENT_SCHEMA_VERSION = 1
+#: v2: added ``kernel`` (codebook/live sampling kernel used for draws).
+EVENT_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +81,12 @@ class ReleaseEvent:
 
     cycles: Optional[int] = None
     """DP-Box cycle latency of the noising (hardware releases only)."""
+
+    kernel: Optional[str] = None
+    """Sampling kernel that produced the draws: ``codebook`` (precomputed
+    code→noise table gather, see :mod:`repro.rng.codebook`) or ``live``
+    (per-draw logarithm datapath); ``None`` when the draw path does not
+    report one (e.g. the ideal float arms)."""
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat JSON-ready dict (adds the schema version)."""

@@ -83,6 +83,10 @@ class ReleaseRequest:
     channel: Optional[str] = None
     """Channel / device label recorded on the event."""
 
+    kernel: Optional[str] = None
+    """Sampling kernel behind ``draw`` (``codebook``/``live``), recorded
+    on the event; ``None`` when the draw path does not report one."""
+
 
 @dataclasses.dataclass
 class ReleaseOutcome:
@@ -208,6 +212,7 @@ class ReleasePipeline:
         draws: int,
         cycles: Optional[int] = None,
         channel: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> ChargeOutcome:
         """Charge+emit for a release whose draw/guard ran externally.
 
@@ -235,6 +240,7 @@ class ReleasePipeline:
                     exhausted=True,
                     channel=channel,
                     cycles=cycles,
+                    kernel=kernel,
                 )
             )
             raise
@@ -254,6 +260,7 @@ class ReleasePipeline:
                 budget_remaining=charge.budget_remaining,
                 channel=channel,
                 cycles=cycles,
+                kernel=kernel,
             )
         )
         return charge
@@ -321,6 +328,7 @@ class ReleasePipeline:
                 charge.budget_remaining if charge is not None else None
             ),
             channel=request.channel,
+            kernel=request.kernel,
         )
         self.emit(event)
         return event

@@ -102,6 +102,9 @@ class CounterSink(EventSink):
         self.charged_total = 0.0
         self.max_rounds_used = 0
         self.per_mechanism: Dict[str, Dict[str, float]] = {}
+        #: Events/draws by sampling kernel (``codebook`` / ``live`` /
+        #: ``unreported`` for arms that don't have one).
+        self.per_kernel: Dict[str, Dict[str, int]] = {}
         self.last_budget_remaining: Optional[float] = None
 
     def emit(self, event: ReleaseEvent) -> None:
@@ -123,6 +126,11 @@ class CounterSink(EventSink):
         per["draws"] += event.draws
         per["cache_hits"] += event.cache_hits
         per["charged"] += event.charged
+        kern = self.per_kernel.setdefault(
+            event.kernel or "unreported", {"events": 0, "draws": 0}
+        )
+        kern["events"] += 1
+        kern["draws"] += event.draws
 
     def summary(self) -> Dict[str, object]:
         """Aggregate snapshot as a plain dict (JSON-ready)."""
@@ -136,6 +144,7 @@ class CounterSink(EventSink):
             "max_rounds_used": self.max_rounds_used,
             "budget_remaining": self.last_budget_remaining,
             "per_mechanism": self.per_mechanism,
+            "per_kernel": self.per_kernel,
         }
 
 

@@ -1,0 +1,233 @@
+"""Codebook cache: LRU behavior, budgets, stats, and kernel reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPBox, DPBoxConfig, DPBoxDriver
+from repro.errors import ConfigurationError
+from repro.mechanisms import SensorSpec, make_mechanism
+from repro.rng import (
+    CordicLn,
+    FxpLaplaceConfig,
+    FxpLaplaceRng,
+    NumpySource,
+    codebook_cache,
+    configure_codebooks,
+)
+from repro.rng.codebook import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_TABLE_BUDGET_BYTES,
+    CodebookCache,
+    backend_fingerprint,
+)
+from repro.runtime import CounterSink, ReleasePipeline
+
+
+def cfg(bits=8, lam=8.0):
+    return FxpLaplaceConfig(input_bits=bits, output_bits=20, delta=0.25, lam=lam)
+
+
+def build_for(config):
+    """The live datapath stand-in used for direct CodebookCache tests."""
+    return FxpLaplaceRng(config, kernel="live")._codes_from_uniform
+
+
+class TestCacheLRU:
+    def test_hit_returns_same_entry(self):
+        cache = CodebookCache()
+        c = cfg()
+        e1 = cache.get(c, None, build_for(c))
+        e2 = cache.get(c, None, build_for(c))
+        assert e1 is e2
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["builds"] == 1
+
+    def test_distinct_backends_distinct_entries(self):
+        cache = CodebookCache()
+        c = cfg()
+        exact = cache.get(c, None, build_for(c))
+        rng = FxpLaplaceRng(c, log_backend=CordicLn(), kernel="live")
+        cordic = cache.get(c, CordicLn(), rng._codes_from_uniform)
+        assert exact is not cordic
+        assert len(cache) == 2
+
+    def test_lru_evicts_oldest(self):
+        cache = CodebookCache(max_entries=2)
+        configs = [cfg(lam=l) for l in (4.0, 8.0, 16.0)]
+        for c in configs:
+            cache.get(c, None, build_for(c))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.peek(configs[0], None) is None  # the oldest went
+        assert cache.peek(configs[2], None) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = CodebookCache(max_entries=2)
+        a, b, c = (cfg(lam=l) for l in (4.0, 8.0, 16.0))
+        cache.get(a, None, build_for(a))
+        cache.get(b, None, build_for(b))
+        cache.get(a, None, build_for(a))  # touch a — b becomes LRU
+        cache.get(c, None, build_for(c))
+        assert cache.peek(a, None) is not None
+        assert cache.peek(b, None) is None
+
+    def test_stats_reconcile_with_get_calls(self):
+        cache = CodebookCache(max_entries=2, table_budget_bytes=1024)
+        calls = 0
+        for c in [cfg(bits=6), cfg(bits=6), cfg(bits=7), cfg(bits=12)]:
+            cache.get(c, None, build_for(c))  # bits=12 > 1 KiB budget
+            calls += 1
+        s = cache.stats()
+        assert s["hits"] + s["builds"] + s["budget_fallbacks"] == calls
+        assert s["budget_fallbacks"] == 1
+        assert s["bytes"] == cache.total_bytes
+
+    def test_clear_resets_everything(self):
+        cache = CodebookCache()
+        c = cfg()
+        cache.get(c, None, build_for(c))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["builds"] == 0
+
+
+class TestBudget:
+    def test_over_budget_returns_none(self):
+        cache = CodebookCache(table_budget_bytes=64)
+        c = cfg(bits=8)  # 256 * 4 bytes > 64
+        assert cache.get(c, None, build_for(c)) is None
+        assert cache.budget_fallbacks == 1
+
+    def test_planned_bytes_int32(self):
+        cache = CodebookCache()
+        c = cfg(bits=10)
+        assert cache.planned_bytes(c) == (1 << 10) * 4
+        entry = cache.get(c, None, build_for(c))
+        assert entry.table.dtype == np.int32
+        assert entry.nbytes == cache.planned_bytes(c)
+
+    def test_table_dtype_widens_past_int32(self):
+        assert CodebookCache._table_dtype((1 << 31) - 1) is np.int32
+        assert CodebookCache._table_dtype(1 << 31) is np.int64
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CodebookCache(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            CodebookCache(table_budget_bytes=0)
+
+
+class TestConfigureProcessCache:
+    def test_shrink_evicts_immediately(self):
+        cache = codebook_cache()
+        try:
+            cache.clear()
+            for l in (4.0, 8.0, 16.0):
+                c = cfg(lam=l)
+                cache.get(c, None, build_for(c))
+            configure_codebooks(max_entries=1)
+            assert len(cache) == 1
+            assert cache.evictions == 2
+        finally:
+            configure_codebooks(
+                max_entries=DEFAULT_MAX_ENTRIES,
+                table_budget_bytes=DEFAULT_TABLE_BUDGET_BYTES,
+            )
+            cache.clear()
+
+    def test_budget_change_gates_future_gets(self):
+        cache = codebook_cache()
+        try:
+            cache.clear()
+            configure_codebooks(table_budget_bytes=64)
+            rng = FxpLaplaceRng(cfg(bits=8), kernel="auto")
+            assert rng.kernel == "live"
+            with pytest.raises(ConfigurationError):
+                FxpLaplaceRng(cfg(bits=8), kernel="codebook").kernel
+        finally:
+            configure_codebooks(
+                max_entries=DEFAULT_MAX_ENTRIES,
+                table_budget_bytes=DEFAULT_TABLE_BUDGET_BYTES,
+            )
+            cache.clear()
+
+
+class TestBackendFingerprint:
+    def test_exact_and_hardware_backends(self):
+        assert backend_fingerprint(None) == ("exact-f64",)
+        assert backend_fingerprint(CordicLn(frac_bits=20, n_iterations=16)) == (
+            "cordic",
+            20,
+            16,
+        )
+
+    def test_unknown_backend_keys_by_identity(self):
+        class Weird:
+            def ln_uniform(self, m, input_bits):  # pragma: no cover
+                return 0.0
+
+        w = Weird()
+        assert backend_fingerprint(w) != backend_fingerprint(Weird())
+        assert backend_fingerprint(w) == backend_fingerprint(w)
+
+
+class TestSharedPmf:
+    def test_enumerated_pmf_shared_across_instances(self):
+        """_pmf_cache routes through the process cache: one PMF object."""
+        c = cfg(bits=9)
+        a = FxpLaplaceRng(c, kernel="codebook")
+        b = FxpLaplaceRng(c, kernel="codebook")
+        assert a.exact_pmf("enumerate") is b.exact_pmf("enumerate")
+
+    def test_live_kernel_keeps_private_pmf(self):
+        c = cfg(bits=9)
+        a = FxpLaplaceRng(c, kernel="live")
+        b = FxpLaplaceRng(c, kernel="live")
+        pa, pb = a.exact_pmf("enumerate"), b.exact_pmf("enumerate")
+        assert pa is not pb
+        assert pa.total_variation(pb) == 0.0
+
+
+class TestKernelReporting:
+    def test_counter_sink_per_kernel(self):
+        counters = CounterSink()
+        pipe = ReleasePipeline(sinks=[counters])
+        sensor = SensorSpec(0.0, 8.0)
+        kwargs = dict(input_bits=10, output_bits=16, delta=8 / 64, pipeline=pipe)
+        cb = make_mechanism("baseline", sensor, 0.5, kernel="codebook", **kwargs)
+        live = make_mechanism("baseline", sensor, 0.5, kernel="live", **kwargs)
+        cb.release(np.full(7, 3.0))
+        cb.release(np.full(5, 3.0))
+        live.release(np.full(2, 3.0))
+        per = counters.per_kernel
+        assert per["codebook"]["events"] == 2
+        assert per["codebook"]["draws"] == 12
+        assert per["live"]["events"] == 1
+        assert per["live"]["draws"] == 2
+        assert "per_kernel" in counters.summary()
+
+    def test_mechanism_event_carries_kernel(self):
+        pipe = ReleasePipeline()
+        sensor = SensorSpec(0.0, 8.0)
+        mech = make_mechanism(
+            "thresholding", sensor, 0.5, input_bits=10, output_bits=16,
+            delta=8 / 64, pipeline=pipe, kernel="auto",
+        )
+        with pipe.capture() as ring:
+            mech.release(np.array([4.0]))
+        assert ring.events[-1].kernel == "codebook"
+
+    def test_dpbox_event_carries_kernel(self):
+        counters = CounterSink()
+        pipe = ReleasePipeline(sinks=[counters])
+        box = DPBox(
+            DPBoxConfig(input_bits=10, range_frac_bits=6), pipeline=pipe
+        )
+        driver = DPBoxDriver(box)
+        driver.initialize(budget=5.0)
+        driver.configure(
+            epsilon_exponent=1, range_lower=0.0, range_upper=8.0
+        )
+        driver.noise(4.0)
+        assert "codebook" in counters.per_kernel
+        assert counters.per_kernel["codebook"]["events"] >= 1

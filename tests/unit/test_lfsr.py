@@ -72,3 +72,82 @@ class TestGalois:
     def test_rejects_zero_seed(self):
         with pytest.raises(ConfigurationError):
             GaloisLFSR(8, 0b10111001, seed=0)
+
+
+class TestVectorizedStream:
+    """bit_stream/draw must advance registers exactly like scalar step()."""
+
+    @pytest.mark.parametrize("width", sorted(MAXIMAL_TAPS))
+    @pytest.mark.parametrize("make", [
+        lambda w, s: FibonacciLFSR.maximal(w, seed=s),
+        lambda w, s: GaloisLFSR.from_taps(w, MAXIMAL_TAPS[w], seed=s),
+    ], ids=["fibonacci", "galois"])
+    def test_bit_stream_matches_scalar_step(self, width, make):
+        n = 3 * width + 7
+        vec, ref = make(width, 5), make(width, 5)
+        got = list(make(width, 5).bit_stream(n))
+        assert got == [ref.step() for _ in range(n)]
+        vec.bit_stream(n)
+        assert vec.state == ref.state  # registers coherent after the batch
+
+    def test_interleaved_scalar_and_vector(self):
+        vec = FibonacciLFSR.maximal(16, seed=77)
+        ref = FibonacciLFSR.maximal(16, seed=77)
+        out_v, out_r = [], []
+        for chunk in (1, 5, 40, 2, 1000, 3):
+            out_v.extend(vec.bit_stream(chunk))
+            out_v.append(vec.step())
+            out_r.extend(ref.step() for _ in range(chunk + 1))
+        assert out_v == out_r
+
+    def test_long_stream_beyond_doubling_cap(self):
+        # > 2**13-bit chunks exercise the capped cascade level.
+        vec = GaloisLFSR.from_taps(31, MAXIMAL_TAPS[31], seed=9)
+        ref = GaloisLFSR.from_taps(31, MAXIMAL_TAPS[31], seed=9)
+        stream = vec.bit_stream(40_000)
+        assert list(stream) == [ref.step() for _ in range(40_000)]
+        assert vec.state == ref.state
+
+    def test_draw_matches_next_bits(self):
+        a = FibonacciLFSR.maximal(17, seed=123)
+        b = FibonacciLFSR.maximal(17, seed=123)
+        drawn = a.draw(20, 9)
+        assert drawn.tolist() == [b.next_bits(9) for _ in range(20)]
+
+    def test_non_maximal_taps_still_exact(self):
+        # The recurrence derivation must not assume maximality.
+        vec = FibonacciLFSR(8, (8, 4), seed=33)
+        ref = FibonacciLFSR(8, (8, 4), seed=33)
+        assert list(vec.bit_stream(500)) == [ref.step() for _ in range(500)]
+
+
+class TestLfsrSource:
+    def test_alphabet_is_one_to_two_pow_bits(self):
+        from repro.rng import LfsrSource
+
+        src = LfsrSource(width=15, seed=6)
+        codes = src.uniform_codes(4096, 10)
+        assert codes.min() >= 1 and codes.max() <= 1 << 10
+        assert 1 << 10 in set(codes.tolist())  # zero word remaps to top
+
+    def test_sign_stream_independent_of_codes(self):
+        from repro.rng import LfsrSource
+
+        a = LfsrSource(width=20, seed=11)
+        b = LfsrSource(width=20, seed=11)
+        codes = a.uniform_codes(100, 8)
+        bits_after = a.random_bits(50)
+        bits_only = b.random_bits(50)
+        assert bits_after.tolist() == bits_only.tolist()
+        assert codes.size == 100
+
+    @pytest.mark.parametrize("topology", ["fibonacci", "galois"])
+    def test_topologies_and_validation(self, topology):
+        from repro.rng import LfsrSource
+
+        src = LfsrSource(width=23, seed=4, topology=topology)
+        assert src.uniform_codes(10, 12).shape == (10,)
+        with pytest.raises(ConfigurationError):
+            LfsrSource(width=6)
+        with pytest.raises(ConfigurationError):
+            LfsrSource(topology="xor-shift")
