@@ -1,0 +1,181 @@
+"""Parallel-fleet bench — sharded multi-core execution vs single-process.
+
+Times the sharded fleet runner (``repro.parallel.run_fleet_sharded``) at
+a 50k-device fleet under the hardware (CORDIC) logarithm with the live
+per-draw datapath — the compute-bound regime where extra cores matter —
+and asserts the ≥2× speedup floor when the machine actually has ≥4
+cores.  Before timing anything it verifies the headline invariant on a
+small fleet: a run sharded across W workers is bit-identical to the
+same plan at ``workers=1``, and a ``shards=1`` run is bit-identical to
+the legacy unsharded batched fleet.
+
+Machine-readable results land in ``BENCH_parallel.json`` at the repo
+root (cores, workers, shards, fleet size, timings, speedup, whether the
+floor was asserted); ``BENCH_kernels.json`` remains single-process-only
+(see docs/performance.md).
+
+Standalone script (not pytest-benchmark): CI runs ``--quick`` with two
+workers as a smoke test, developers run it bare for the full floor.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.aggregation import run_fleet
+from repro.mechanisms import SensorSpec
+from repro.parallel import plan_shards, run_fleet_sharded
+from repro.rng import CordicLn, audited_generator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_JSON = REPO_ROOT / "BENCH_parallel.json"
+
+SENSOR = SensorSpec(0.0, 50.0)
+EPSILON = 2.0
+SEED = 20260806
+MIN_SPEEDUP = 2.0
+#: The floor only binds on machines with enough cores to show it.
+MIN_CORES_FOR_FLOOR = 4
+
+
+def _identity_check(workers: int) -> bool:
+    """Bit-identity: W workers ≡ 1 worker, and shards=1 ≡ unsharded."""
+    truth = audited_generator(SEED).uniform(5.0, 45.0, size=(4, 96))
+    common = dict(
+        arm="thresholding",
+        source_seed=SEED,
+        dropout=0.15,
+        device_budget=60.0,
+    )
+    one = run_fleet_sharded(
+        truth, SENSOR, EPSILON, rng=audited_generator(1), shards=8, workers=1, **common
+    )
+    many = run_fleet_sharded(
+        truth,
+        SENSOR,
+        EPSILON,
+        rng=audited_generator(1),
+        shards=8,
+        workers=workers,
+        **common,
+    )
+    for epoch in one.server.epochs:
+        if not np.array_equal(one.server.values(epoch), many.server.values(epoch)):
+            return False
+
+    legacy = run_fleet(
+        truth, SENSOR, EPSILON, rng=audited_generator(1), batched=True, **common
+    )
+    bridge = run_fleet_sharded(
+        truth, SENSOR, EPSILON, rng=audited_generator(1), shards=1, workers=1, **common
+    )
+    for epoch in legacy.server.epochs:
+        if not np.array_equal(
+            legacy.server.values(epoch), bridge.server.values(epoch)
+        ):
+            return False
+    return True
+
+
+def _timed_run(truth, workers: int, shards: int) -> float:
+    """One streaming sharded run on the live CORDIC datapath; seconds."""
+    t0 = time.perf_counter()
+    run_fleet_sharded(
+        truth,
+        SENSOR,
+        EPSILON,
+        arm="thresholding",
+        source_seed=SEED,
+        rng=audited_generator(2),
+        workers=workers,
+        shards=shards,
+        streaming=True,
+        with_devices=False,
+        log_backend=CordicLn(),
+        kernel="live",
+    )
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=50_000)
+    parser.add_argument("--epochs", type=int, default=24)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="default: min(4, cpu_count)")
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small fleet, 2 workers, no speedup floor",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if args.quick:
+        devices, epochs = 2_000, 4
+        workers = 2 if args.workers is None else args.workers
+    else:
+        devices, epochs = args.devices, args.epochs
+        workers = min(4, cores) if args.workers is None else args.workers
+    plan = plan_shards(devices, args.shards)
+    assert_floor = (
+        not args.quick and cores >= MIN_CORES_FOR_FLOOR and workers >= MIN_CORES_FOR_FLOOR
+    )
+
+    print(f"cores={cores} workers={workers} shards={plan.n_shards} "
+          f"devices={devices} epochs={epochs}")
+
+    bit_identical = _identity_check(workers)
+    print(f"bit-identity (W={workers} vs W=1, shards=1 vs unsharded): "
+          f"{'OK' if bit_identical else 'FAILED'}")
+
+    truth = audited_generator(SEED).uniform(5.0, 45.0, size=(epochs, devices))
+    _timed_run(truth[:1], 1, args.shards)  # warm codebook/table caches
+    t_single = _timed_run(truth, 1, args.shards)
+    t_parallel = _timed_run(truth, workers, args.shards)
+    speedup = t_single / t_parallel if t_parallel > 0 else float("inf")
+    print(f"single-process: {t_single:.3f}s   {workers} workers: "
+          f"{t_parallel:.3f}s   speedup: {speedup:.2f}x")
+
+    payload = {
+        "schema": 1,
+        "cores": cores,
+        "workers": workers,
+        "shards": plan.n_shards,
+        "devices": devices,
+        "epochs": epochs,
+        "arm": "thresholding",
+        "datapath": "cordic-live",
+        "t_single_s": round(t_single, 4),
+        "t_parallel_s": round(t_parallel, 4),
+        "speedup": round(speedup, 3),
+        "speedup_floor": MIN_SPEEDUP,
+        "floor_asserted": assert_floor,
+        "bit_identical": bit_identical,
+        "quick": args.quick,
+    }
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULTS_JSON}")
+
+    if not bit_identical:
+        print("FAIL: sharded run is not bit-identical across worker counts")
+        return 1
+    if assert_floor and speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+              f"on a {cores}-core machine")
+        return 1
+    if not assert_floor:
+        print(f"speedup floor not asserted "
+              f"(quick={args.quick}, cores={cores} < {MIN_CORES_FOR_FLOOR} "
+              f"or workers={workers} < {MIN_CORES_FOR_FLOOR})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

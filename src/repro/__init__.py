@@ -42,6 +42,7 @@ from .errors import (
     PrivacyViolationError,
     ReproError,
     ResampleExhaustedError,
+    UncalibratableConfigError,
 )
 from .mechanisms import (
     ARM_NAMES,
@@ -114,6 +115,7 @@ __all__ = [
     "PrivacyViolationError",
     "ReproError",
     "ResampleExhaustedError",
+    "UncalibratableConfigError",
     # mechanisms
     "ARM_NAMES",
     "DpBoxRandomizedResponse",

@@ -52,6 +52,10 @@ class FleetResult:
     true_means: List[float]
     #: Per-epoch estimated means.
     estimated_means: List[float]
+    #: Sharded runs only: per-shard trace counters merged in shard order.
+    counters: Optional[object] = None
+    #: Sharded runs only: the shard plan the run executed under.
+    shard_plan: Optional[object] = None
 
     @property
     def mean_abs_error(self) -> float:
@@ -72,6 +76,9 @@ def run_fleet(
     batched: bool = True,
     source_seed: Optional[int] = None,
     pipeline: Optional[ReleasePipeline] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    streaming: bool = False,
     **mechanism_kwargs,
 ) -> FleetResult:
     """Simulate a fleet over a (n_epochs, n_devices) true-value matrix.
@@ -81,7 +88,39 @@ def run_fleet(
     seeds a :class:`~repro.rng.urng.SplitStreamSource` (or the ideal
     arm's generator) so the two execution paths can be compared on the
     same noise stream; ``pipeline`` isolates the emitted events.
+
+    Passing ``workers``, ``shards`` or ``streaming`` delegates to the
+    multi-core sharded runner
+    (:func:`repro.parallel.run_fleet_sharded`): the device axis splits
+    into a fixed shard plan, each shard privatizes on its own
+    ``SeedSequence``-spawned audited stream, and results merge in shard
+    order — bit-identical for any worker count.  Note that a sharded
+    run's noise streams differ from the unsharded ones unless
+    ``shards=1`` (the shard plan is part of the reproducibility key).
     """
+    if workers is not None or shards is not None or streaming:
+        if not batched:
+            raise ConfigurationError(
+                "sharded execution batches each shard-epoch; batched=False "
+                "(the scalar reference loop) cannot be sharded"
+            )
+        from ..parallel.runner import run_fleet_sharded
+
+        return run_fleet_sharded(
+            true_values,
+            sensor,
+            epsilon,
+            arm=arm,
+            device_budget=device_budget,
+            dropout=dropout,
+            rng=rng,
+            source_seed=source_seed,
+            pipeline=pipeline,
+            workers=workers if workers is not None else 1,
+            shards=shards,
+            streaming=streaming,
+            **mechanism_kwargs,
+        )
     true_values = np.asarray(true_values, dtype=float)
     if true_values.ndim != 2:
         raise ConfigurationError("true_values must be (n_epochs, n_devices)")

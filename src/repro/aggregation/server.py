@@ -2,9 +2,30 @@
 
 Collects privatized reports per epoch and answers aggregate queries over
 them.  The server never holds raw data — by construction it only ever
-receives :class:`~repro.aggregation.protocol.Report` objects — and the
-post-processing property (paper Section II-B) means anything it computes
-inherits each device's LDP guarantee.
+receives :class:`~repro.aggregation.protocol.Report` objects (or arrays
+of already-privatized values) — and the post-processing property (paper
+Section II-B) means anything it computes inherits each device's LDP
+guarantee.
+
+Two retention modes:
+
+* **retain** (default) — every report is kept, every query is answered
+  from the raw report set.  This is the reference semantics; memory is
+  O(reports).
+* **streaming** (``streaming=True``) — reports are folded into per-epoch
+  running moments (count / mean / M2 / min / max, plus count-above
+  counters for pre-registered thresholds) the moment they arrive, and
+  then discarded.  Memory is O(epochs), independent of fleet size —
+  the sublinear-server-state regime the communication-efficient LDP
+  literature argues for (PAPERS.md, Shahmiri et al.).  Queries that
+  need the raw reports (:meth:`values`, :meth:`reports`, medians,
+  unregistered thresholds) raise a typed
+  :class:`~repro.errors.ConfigurationError`.
+
+Both modes accept *batched* submissions (:meth:`submit_array`) — one
+NumPy array per (epoch, shard) instead of one ``Report`` object per
+device — which is what lets the sharded fleet runner feed a 50k-device
+epoch without materializing 50k Python objects.
 
 Beyond the naive query answers, the server offers the noise-aware
 estimators of :mod:`repro.queries.estimators` when told the mechanism's
@@ -14,8 +35,9 @@ reported).
 
 from __future__ import annotations
 
-import collections
-from typing import Dict, List, Optional
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,12 +48,15 @@ from .protocol import Report
 __all__ = ["AggregationServer", "EpochSummary"]
 
 
-import dataclasses
-
-
 @dataclasses.dataclass(frozen=True)
 class EpochSummary:
-    """Aggregate view of one collection round."""
+    """Aggregate view of one collection round.
+
+    In streaming mode ``median`` is ``nan`` (an exact median needs the
+    raw reports) and ``n_devices`` equals ``n_reports`` (the streaming
+    fold assumes the fleet contract of one report per device per epoch;
+    it does not retain ids to deduplicate).
+    """
 
     epoch: int
     n_reports: int
@@ -42,44 +67,270 @@ class EpochSummary:
     variance_debiased: Optional[float]
 
 
+class _EpochMoments:
+    """Running moments of one epoch — O(1) state regardless of reports.
+
+    Mean/variance use Chan's parallel update, so folding shard batches
+    in shard order is deterministic: a fleet sharded across W workers
+    folds the *same* per-shard batches in the *same* order for every W,
+    hence identical moments bit-for-bit.
+    """
+
+    __slots__ = ("n", "mean", "m2", "lo", "hi", "count_above")
+
+    def __init__(self, thresholds: Tuple[float, ...]):
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.lo = math.inf
+        self.hi = -math.inf
+        self.count_above: Dict[float, int] = {float(t): 0 for t in thresholds}
+
+    def fold(self, values: np.ndarray) -> None:
+        k = int(values.size)
+        if k == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.square(values - batch_mean).sum())
+        n = self.n + k
+        delta = batch_mean - self.mean
+        self.mean += delta * (k / n)
+        self.m2 += batch_m2 + delta * delta * (self.n * k / n)
+        self.n = n
+        self.lo = min(self.lo, float(values.min()))
+        self.hi = max(self.hi, float(values.max()))
+        for t in self.count_above:
+            self.count_above[t] += int(np.count_nonzero(values > t))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.n,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.lo,
+            "max": self.hi,
+            "count_above": dict(self.count_above),
+        }
+
+
+@dataclasses.dataclass
+class _ReportBatch:
+    """A column-oriented batch of reports (retain mode, array submission)."""
+
+    device_ids: Sequence[str]
+    values: np.ndarray
+    claimed_loss: float
+
+
 class AggregationServer:
     """Collects reports and answers aggregate queries per epoch."""
 
-    def __init__(self, noise_scale: Optional[float] = None):
+    def __init__(
+        self,
+        noise_scale: Optional[float] = None,
+        streaming: bool = False,
+        count_thresholds: Sequence[float] = (),
+    ):
         #: λ of the devices' Laplace noise, if known; enables debiasing.
         self.noise_scale = noise_scale
-        self._epochs: Dict[int, List[Report]] = collections.defaultdict(list)
+        self.streaming = bool(streaming)
+        #: Thresholds whose count-above queries the streaming fold keeps.
+        self.count_thresholds: Tuple[float, ...] = tuple(
+            float(t) for t in count_thresholds
+        )
+        #: Retain mode: per-epoch submission-ordered list of ``Report``
+        #: objects and ``_ReportBatch`` columns.
+        self._epochs: Dict[int, List[Union[Report, _ReportBatch]]] = {}
+        #: Streaming mode: per-epoch running moments.
+        self._moments: Dict[int, _EpochMoments] = {}
+        #: Running per-device claimed-loss totals (both modes) — the
+        #: server-side composition bound behind
+        #: :meth:`worst_case_disclosure`.
+        self._disclosure: Dict[str, float] = {}
 
+    # ------------------------------------------------------------------
+    # Submission
     # ------------------------------------------------------------------
     def submit(self, report: Report) -> None:
         """Accept one report (idempotence is the device's concern)."""
-        self._epochs[report.epoch].append(report)
+        self._disclosure[report.device_id] = (
+            self._disclosure.get(report.device_id, 0.0) + report.claimed_loss
+        )
+        if self.streaming:
+            self._epoch_moments(report.epoch).fold(
+                np.asarray([report.value], dtype=float)
+            )
+        else:
+            self._epochs.setdefault(report.epoch, []).append(report)
 
-    def submit_all(self, reports) -> None:
+    def submit_all(self, reports: Iterable[Report]) -> None:
         """Accept a batch of reports."""
         for r in reports:
             self.submit(r)
 
+    def submit_array(
+        self,
+        epoch: int,
+        values: np.ndarray,
+        claimed_loss: float,
+        device_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Accept one epoch batch as an array — no per-report objects.
+
+        This is the sharded-fleet fast path: one call per (epoch, shard)
+        with the shard's privatized values.  In retain mode
+        ``device_ids`` is required (reports must stay materializable and
+        the disclosure bound per-device exact).  In streaming mode ids
+        may be omitted; the caller then records the composition bound in
+        bulk via :meth:`record_claimed_losses` (the fleet runner knows
+        every device's report count up front from the dropout masks).
+        """
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if self.streaming:
+            if device_ids is not None:
+                for device_id in device_ids:
+                    self._disclosure[device_id] = (
+                        self._disclosure.get(device_id, 0.0) + claimed_loss
+                    )
+            self._epoch_moments(epoch).fold(values)
+            return
+        if device_ids is None:
+            raise ConfigurationError(
+                "retain-mode submit_array needs device_ids (reports must stay "
+                "materializable); pass ids or construct the server with "
+                "streaming=True"
+            )
+        if len(device_ids) != values.size:
+            raise ConfigurationError(
+                f"device_ids ({len(device_ids)}) and values ({values.size}) disagree"
+            )
+        for device_id in device_ids:
+            self._disclosure[device_id] = (
+                self._disclosure.get(device_id, 0.0) + claimed_loss
+            )
+        self._epochs.setdefault(epoch, []).append(
+            _ReportBatch(
+                device_ids=list(device_ids),
+                values=values,
+                claimed_loss=float(claimed_loss),
+            )
+        )
+
+    def record_claimed_losses(self, losses: Mapping[str, float]) -> None:
+        """Bulk-add per-device claimed losses to the disclosure bound.
+
+        Used by the sharded streaming runner: instead of shipping device
+        ids with every epoch batch, it accumulates each device's total
+        claimed loss (report count × per-report bound, both known from
+        the dropout masks) and records it once per run.
+        """
+        for device_id, loss in losses.items():
+            self._disclosure[device_id] = self._disclosure.get(device_id, 0.0) + float(
+                loss
+            )
+
+    # ------------------------------------------------------------------
+    # Epoch access
+    # ------------------------------------------------------------------
+    def _epoch_moments(self, epoch: int) -> _EpochMoments:
+        moments = self._moments.get(epoch)
+        if moments is None:
+            moments = self._moments[epoch] = _EpochMoments(self.count_thresholds)
+        return moments
+
     @property
     def epochs(self) -> List[int]:
         """Epochs with at least one report, ascending."""
-        return sorted(self._epochs)
+        return sorted(self._moments if self.streaming else self._epochs)
+
+    @property
+    def n_retained_reports(self) -> int:
+        """Reports currently held in memory — 0 in streaming mode.
+
+        This is the quantity the O(epochs)-memory claim is tested on:
+        a streaming server retains no reports no matter how many were
+        submitted, a retaining server holds every one.
+        """
+        return sum(
+            1 if isinstance(item, Report) else int(item.values.size)
+            for items in self._epochs.values()
+            for item in items
+        )
+
+    def _require_epoch(self, epoch: int) -> None:
+        known = self._moments if self.streaming else self._epochs
+        if epoch not in known:
+            raise ConfigurationError(f"no reports for epoch {epoch}")
+
+    def _require_retained(self, what: str) -> None:
+        if self.streaming:
+            raise ConfigurationError(
+                f"{what} needs the raw reports, which a streaming server does "
+                "not retain; construct AggregationServer(streaming=False) or "
+                "use the moment-based queries (summarize, count_above on "
+                "registered thresholds, moments)"
+            )
 
     def reports(self, epoch: int) -> List[Report]:
-        """All reports of an epoch."""
-        if epoch not in self._epochs:
-            raise ConfigurationError(f"no reports for epoch {epoch}")
-        return list(self._epochs[epoch])
+        """All reports of an epoch (retain mode only).
+
+        Batch submissions are materialized into ``Report`` objects on
+        demand, in submission order — the storage is columnar, the API
+        is unchanged.
+        """
+        self._require_retained("reports()")
+        self._require_epoch(epoch)
+        out: List[Report] = []
+        for item in self._epochs[epoch]:
+            if isinstance(item, Report):
+                out.append(item)
+            else:
+                out.extend(
+                    Report(
+                        device_id=device_id,
+                        epoch=epoch,
+                        value=float(value),
+                        claimed_loss=item.claimed_loss,
+                    )
+                    for device_id, value in zip(item.device_ids, item.values)
+                )
+        return out
 
     def values(self, epoch: int) -> np.ndarray:
-        """Reported values of an epoch."""
-        return np.array([r.value for r in self.reports(epoch)])
+        """Reported values of an epoch (retain mode only)."""
+        self._require_retained("values()")
+        self._require_epoch(epoch)
+        chunks = [
+            np.asarray([item.value]) if isinstance(item, Report) else item.values
+            for item in self._epochs[epoch]
+        ]
+        return np.concatenate(chunks) if chunks else np.zeros(0)
 
     # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def summarize(self, epoch: int) -> EpochSummary:
-        """Aggregate statistics for one epoch."""
+        """Aggregate statistics for one epoch (either mode)."""
+        self._require_epoch(epoch)
+        if self.streaming:
+            m = self._moments[epoch]
+            variance = m.m2 / m.n if m.n else 0.0
+            debiased = (
+                max(variance - 2.0 * self.noise_scale * self.noise_scale, 0.0)
+                if self.noise_scale is not None and m.n > 1
+                else None
+            )
+            return EpochSummary(
+                epoch=epoch,
+                n_reports=m.n,
+                n_devices=m.n,
+                mean=m.mean,
+                median=float("nan"),
+                variance=variance,
+                variance_debiased=debiased,
+            )
         reports = self.reports(epoch)
-        vals = np.array([r.value for r in reports])
+        vals = self.values(epoch)
         debiased = (
             debiased_variance(vals, self.noise_scale)
             if self.noise_scale is not None and vals.size > 1
@@ -95,12 +346,40 @@ class AggregationServer:
             variance_debiased=debiased,
         )
 
+    def moments(self, epoch: int) -> Dict[str, object]:
+        """Streaming-mode moment snapshot (count/mean/m2/min/max/count_above)."""
+        if not self.streaming:
+            raise ConfigurationError(
+                "moments() is the streaming-mode accessor; a retaining server "
+                "answers from the raw reports (values/summarize)"
+            )
+        self._require_epoch(epoch)
+        return self._moments[epoch].snapshot()
+
     def count_above(self, epoch: int, threshold: float) -> int:
-        """Counting query on an epoch's reports."""
+        """Counting query on an epoch's reports.
+
+        Streaming mode only answers for thresholds registered at
+        construction (``count_thresholds=...``) — the fold kept those
+        counters; anything else would need the discarded reports.
+        """
+        if self.streaming:
+            self._require_epoch(epoch)
+            counters = self._moments[epoch].count_above
+            key = float(threshold)
+            if key not in counters:
+                raise ConfigurationError(
+                    f"threshold {threshold!r} was not registered at construction "
+                    f"(count_thresholds={sorted(counters)}); a streaming server "
+                    "only keeps pre-registered count-above counters"
+                )
+            return counters[key]
         return int(np.count_nonzero(self.values(epoch) > threshold))
 
     def mean_trend(self) -> List[float]:
         """Per-epoch means across all collected epochs."""
+        if self.streaming:
+            return [self._moments[e].mean for e in self.epochs]
         return [float(self.values(e).mean()) for e in self.epochs]
 
     # ------------------------------------------------------------------
@@ -111,13 +390,8 @@ class AggregationServer:
         sent.  The server cannot tell cached replays (which add no loss)
         from fresh reports, so this is deliberately conservative: it is
         always ≥ the device's own accountant (which is the authoritative
-        number — privacy is enforced on-device).
+        number — privacy is enforced on-device).  The total is kept as a
+        running per-device sum, so it works identically in streaming
+        mode, where the reports themselves are gone.
         """
-        return float(
-            sum(
-                r.claimed_loss
-                for reports in self._epochs.values()
-                for r in reports
-                if r.device_id == device_id
-            )
-        )
+        return float(self._disclosure.get(device_id, 0.0))

@@ -14,6 +14,8 @@ A thin operational layer over the library for quick experiments:
 * ``kernels``   — codebook sampling-kernel report: table size vs budget,
   measured codebook-vs-live speedup, cache statistics
   (see docs/performance.md)
+* ``fleet``     — sharded multi-core fleet simulation with an optional
+  streaming aggregation server (see docs/performance.md)
 
 Every command prints plain text; exit code 0 means the operation
 succeeded (for ``verify``: the mechanism was *analyzed*, whatever the
@@ -143,6 +145,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the per-table budget for this invocation",
     )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="sharded multi-core fleet simulation (see docs/performance.md)",
+    )
+    p_fleet.add_argument("--range", nargs=2, type=float, default=(0.0, 50.0),
+                         metavar=("M_LO", "M_HI"), help="declared sensor range")
+    p_fleet.add_argument("--epsilon", type=float, default=2.0)
+    p_fleet.add_argument(
+        "--arm",
+        choices=["ideal", "baseline", "resampling", "thresholding", "rr"],
+        default="thresholding",
+    )
+    p_fleet.add_argument("--devices", type=int, default=2000)
+    p_fleet.add_argument("--epochs", type=int, default=8)
+    p_fleet.add_argument("--dropout", type=float, default=0.0)
+    p_fleet.add_argument("--device-budget", type=float, default=None)
+    p_fleet.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = inline, no pool)")
+    p_fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count; fixes the noise streams independently of "
+        "--workers (default 8, clamped to the device count)",
+    )
+    p_fleet.add_argument(
+        "--streaming",
+        action="store_true",
+        help="streaming aggregation server: per-epoch running moments, "
+        "O(epochs) memory, reports not retained",
+    )
+    p_fleet.add_argument("--seed", type=int, default=1234,
+                         help="fleet seed (noise streams + simulated data)")
 
     p_trace = sub.add_parser(
         "trace", help="release-event tracing (see docs/runtime.md)"
@@ -395,6 +431,54 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .parallel import plan_shards, run_fleet_sharded
+
+    lo, hi = args.range
+    sensor = SensorSpec(m=lo, M=hi)
+    sim_rng = audited_generator(args.seed)
+    if args.arm == "rr":
+        truth = np.where(
+            sim_rng.random((args.epochs, args.devices)) < 0.5, lo, hi
+        )
+    else:
+        truth = sim_rng.uniform(lo, hi, size=(args.epochs, args.devices))
+    plan = plan_shards(args.devices, args.shards)
+    result = run_fleet_sharded(
+        truth,
+        sensor,
+        args.epsilon,
+        arm=args.arm,
+        device_budget=args.device_budget,
+        dropout=args.dropout,
+        rng=audited_generator(args.seed + 1),
+        source_seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        streaming=args.streaming,
+        with_devices=not args.streaming,
+    )
+    mode = "streaming" if args.streaming else "retain"
+    print(
+        f"fleet: {args.devices} devices x {args.epochs} epochs, arm={args.arm}, "
+        f"eps={args.epsilon}, shards={plan.n_shards}, workers={args.workers}, "
+        f"server={mode}"
+    )
+    for epoch in result.server.epochs:
+        s = result.server.summarize(epoch)
+        print(
+            f"  epoch {epoch}: n={s.n_reports}  true_mean="
+            f"{result.true_means[epoch]:.4f}  est_mean={s.mean:.4f}"
+        )
+    print(f"mean abs error: {result.mean_abs_error:.4f}")
+    print(
+        f"retained reports: {result.server.n_retained_reports} "
+        f"(events={result.counters.n_events}, "
+        f"samples={result.counters.n_samples})"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .runtime.trace import run_replay, run_selfcheck
 
@@ -412,6 +496,7 @@ _COMMANDS = {
     "selftest": _cmd_selftest,
     "lint": _cmd_lint,
     "kernels": _cmd_kernels,
+    "fleet": _cmd_fleet,
     "trace": _cmd_trace,
 }
 

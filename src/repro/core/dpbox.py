@@ -29,7 +29,12 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, HardwareProtocolError
+from ..errors import (
+    CalibrationError,
+    ConfigurationError,
+    HardwareProtocolError,
+    UncalibratableConfigError,
+)
 from ..privacy.loss import DiscreteMechanismFamily, input_grid_codes
 from ..privacy.thresholds import calibrate_threshold_exact
 from ..rng.cordic import CordicLn
@@ -379,7 +384,15 @@ class DPBox(Module):
         delta = self.config.delta_for_range(d)
         key = (self._nm, self._r_l, self._r_u, self._mode)
         if key not in self._calibration_cache:
-            self._calibration_cache[key] = self._calibrate(d, eps, delta)
+            try:
+                self._calibration_cache[key] = self._calibrate(d, eps, delta)
+            except CalibrationError as exc:
+                # An uncalibratable epsilon/range combination is a refused
+                # command, not a software crash: the hardware cannot build
+                # a guard window within the loss bound for this
+                # configuration, so the FSM reports it as a protocol-level
+                # fault and stays recoverable (reconfigure and retry).
+                raise UncalibratableConfigError(str(exc)) from exc
         k_th, table = self._calibration_cache[key]
         cfg = FxpLaplaceConfig(
             input_bits=self.config.input_bits,

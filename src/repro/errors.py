@@ -57,3 +57,15 @@ class ResampleExhaustedError(PrivacyError):
 
 class HardwareProtocolError(ReproError):
     """The DP-Box command sequence violated the hardware interface protocol."""
+
+
+class UncalibratableConfigError(HardwareProtocolError, CalibrationError):
+    """The DP-Box refused a configuration no guard window can satisfy.
+
+    Raised when a commanded (epsilon, range) combination cannot be
+    calibrated to the loss target on the configured datapath width.  It
+    is both a :class:`CalibrationError` (no threshold exists — widen the
+    datapath or relax epsilon, paper Section III-D) and a
+    :class:`HardwareProtocolError` (the command is refused cleanly and
+    the FSM stays recoverable), so both handling styles work.
+    """

@@ -9,8 +9,9 @@ Tags
 ----
 ``release``
     Code on the privatized-release path: ``mechanisms/``, ``rng/``,
-    ``core/``, ``privacy/``, ``aggregation/``, ``runtime/`` and the CLI.
-    Randomness, float usage and accounting rules apply here.
+    ``core/``, ``privacy/``, ``aggregation/``, ``runtime/``,
+    ``parallel/`` (the sharded fleet workers draw release noise) and the
+    CLI.  Randomness, float usage and accounting rules apply here.
 ``simulation``
     Evaluation/simulation scaffolding (``datasets/``, ``sensors/``,
     ``sim/``, ``analysis/``, ``attacks/``, ``ml/``, ``queries/``,
@@ -34,7 +35,7 @@ from typing import FrozenSet
 __all__ = ["PathPolicy", "RELEASE_DIRS", "SIMULATION_DIRS", "AUDITED_RNG_FILES"]
 
 RELEASE_DIRS = frozenset(
-    {"mechanisms", "rng", "core", "privacy", "aggregation", "runtime"}
+    {"mechanisms", "rng", "core", "privacy", "aggregation", "runtime", "parallel"}
 )
 SIMULATION_DIRS = frozenset(
     {

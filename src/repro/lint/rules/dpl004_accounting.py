@@ -66,6 +66,7 @@ class ReleaseWithoutAccounting(Rule):
             ctx.in_dir("aggregation")
             or ctx.in_dir("core")
             or ctx.in_dir("runtime")
+            or ctx.in_dir("parallel")
             or name == "cli.py"
         )
 

@@ -1,0 +1,28 @@
+"""Multi-core sharded fleet execution.
+
+Splits a fleet epoch across worker processes without giving up the
+repo's headline invariant — determinism.  The device axis is cut into a
+fixed number of shards (:mod:`repro.parallel.sharding`), each shard owns
+an independent audited noise stream spawned from the fleet seed via
+``numpy.random.SeedSequence.spawn`` (:mod:`repro.rng.urng`), and each
+worker privatizes its slice through a private
+:class:`~repro.runtime.ReleasePipeline` (:mod:`repro.parallel.worker`).
+The coordinator (:mod:`repro.parallel.runner`) merges shard outputs in
+shard order, so the result is **bit-identical** for any worker count —
+the shard plan, not the pool size, fixes the noise streams.
+"""
+
+from .sharding import DEFAULT_SHARDS, ShardPlan, plan_shards
+from .worker import CodebookShipment, ShardResult, ShardTask, run_shard
+from .runner import run_fleet_sharded
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "ShardPlan",
+    "plan_shards",
+    "CodebookShipment",
+    "ShardTask",
+    "ShardResult",
+    "run_shard",
+    "run_fleet_sharded",
+]

@@ -1,0 +1,260 @@
+"""The coordinator: plan shards, run them, merge — deterministically.
+
+:func:`run_fleet_sharded` is the multi-core counterpart of
+:func:`repro.aggregation.fleet.run_fleet`'s batched path.  The contract:
+
+* **Determinism across worker counts.**  The shard plan and the
+  per-shard noise streams (``SeedSequence.spawn`` sub-seeds of the fleet
+  seed) depend only on ``(n_devices, shards, source_seed)`` — never on
+  ``workers``.  A run with ``workers=4`` is bit-identical to
+  ``workers=1`` for the single-draw guards (thresholding / baseline /
+  rr); resampling agrees in distribution (its redraw interleaving is
+  batch-shaped, as in the unsharded fleet).
+* **Bridge to the legacy path.**  ``shards=1`` uses the *root* seed
+  sequence (no spawn), so its single shard consumes exactly the stream
+  ``run_fleet(batched=True, source_seed=...)`` consumes — bit-identical
+  to the unsharded fleet, event channels included.
+* **Coordinator-owned simulation randomness.**  Dropout masks are drawn
+  here with the same generator call pattern as the unsharded fleet, then
+  shipped to the workers; workers consume only their audited stream.
+* **Shard-ordered merge.**  Server submissions, trace events
+  (re-numbered through :meth:`~repro.runtime.ReleasePipeline.adopt`),
+  counter aggregates and per-device budget state all fold in shard
+  order, so every merged artifact is reproducible.
+
+Note on traces: in a sharded run each ``ReleaseEvent`` is per
+(epoch, shard) — channel ``epoch-E/shard-S`` — and its
+``budget_remaining`` is the *shard's* remaining budget sum, not the
+fleet's (each worker only sees its slice).  Fleet-wide budget state
+lives on the returned devices, as in the unsharded path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms import SensorSpec, make_mechanism
+from ..rng.codebook import backend_fingerprint, codebook_cache
+from ..rng.urng import shard_seed_sequences
+from ..runtime import CounterSink
+from ..runtime.pipeline import ReleasePipeline, default_pipeline
+from .sharding import ShardPlan, plan_shards
+from .worker import CodebookShipment, ShardResult, ShardTask, install_shipments, run_shard
+
+__all__ = ["run_fleet_sharded"]
+
+
+def _shippable(fingerprint) -> bool:
+    # Identity-keyed fingerprints (unknown backends) cannot be shared
+    # across processes — the worker-side unpickled instance has a new
+    # id, so the worker rebuilds its table (deterministically) instead.
+    return not (len(fingerprint) == 3 and fingerprint[1] == "id")
+
+
+def _codebook_shipments(mechanism) -> List[CodebookShipment]:
+    """Extract the coordinator's resolved codebook for worker warm-up."""
+    rng = getattr(mechanism, "rng", None)
+    if rng is None or not hasattr(rng, "kernel"):
+        return []
+    if rng.kernel != "codebook":
+        return []
+    entry = codebook_cache().peek(rng.config, rng.log_backend)
+    fingerprint = backend_fingerprint(rng.log_backend)
+    if entry is None or not _shippable(fingerprint):
+        return []
+    return [
+        CodebookShipment(
+            config=rng.config, fingerprint=fingerprint, table=entry.table
+        )
+    ]
+
+
+def run_fleet_sharded(
+    true_values: np.ndarray,
+    sensor: SensorSpec,
+    epsilon: float,
+    arm: str = "thresholding",
+    device_budget: Optional[float] = None,
+    dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    source_seed=None,
+    pipeline: Optional[ReleasePipeline] = None,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    streaming: bool = False,
+    count_thresholds: Sequence[float] = (),
+    with_devices: bool = True,
+    **mechanism_kwargs,
+):
+    """Run a fleet epoch matrix sharded across worker processes.
+
+    Parameters beyond :func:`~repro.aggregation.fleet.run_fleet`:
+
+    ``workers``
+        Process count.  ``1`` runs the shards inline (no pool) — same
+        results, no multiprocessing overhead.
+    ``shards``
+        Shard count (default :data:`~repro.parallel.sharding.DEFAULT_SHARDS`,
+        clamped to ``n_devices``).  Part of the reproducibility key.
+    ``streaming``
+        Build the server with ``streaming=True``: shard batches fold
+        into per-epoch running moments, O(epochs) server memory.
+    ``count_thresholds``
+        Thresholds whose count-above counters a streaming server keeps.
+    ``with_devices``
+        ``False`` skips materializing per-device ``Device`` objects
+        (the 50k-device benchmark path); the result's ``devices`` list
+        is then empty.  Budget enforcement is unaffected — it is
+        vectorized in the workers either way.
+    """
+    from ..aggregation.device import Device
+    from ..aggregation.fleet import FleetResult
+    from ..aggregation.server import AggregationServer
+
+    true_values = np.asarray(true_values, dtype=float)
+    if true_values.ndim != 2:
+        raise ConfigurationError("true_values must be (n_epochs, n_devices)")
+    if not 0.0 <= dropout < 1.0:
+        raise ConfigurationError("dropout must be in [0, 1)")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    for forbidden in ("source", "rng", "pipeline"):
+        if forbidden in mechanism_kwargs:
+            raise ConfigurationError(
+                f"run_fleet_sharded derives {forbidden!r} per shard; pass "
+                "source_seed/pipeline instead of a shared instance"
+            )
+    # dplint: allow[DPL001] -- dropout/straggler simulation randomness only;
+    # release noise comes from the per-shard audited sources.
+    rng = rng or np.random.default_rng()
+    n_epochs, n_devices = true_values.shape
+    plan: ShardPlan = plan_shards(n_devices, shards)
+
+    # Coordinator reference mechanism: validates the configuration once,
+    # provides the loss bound, the devices' shared mechanism handle, and
+    # the codebook table to ship.  It consumes no noise (never released).
+    ref_kwargs = dict(mechanism_kwargs)
+    if arm != "ideal":
+        ref_kwargs.setdefault("input_bits", 14)
+    reference = make_mechanism(arm, sensor, epsilon, **ref_kwargs)
+    loss = reference.claimed_loss_bound
+    shipments = _codebook_shipments(reference)
+
+    # All simulation randomness is drawn here, with the exact call
+    # pattern of the unsharded fleet (one `random(n)` per epoch, plus
+    # one `integers(n)` on an all-straggler epoch), so a given `rng`
+    # seed yields the same reporting sets sharded or not.
+    reporting = np.empty((n_epochs, n_devices), dtype=bool)
+    for epoch in range(n_epochs):
+        mask = rng.random(n_devices) >= dropout
+        if not mask.any():
+            mask[int(rng.integers(n_devices))] = True  # never a silent epoch
+        reporting[epoch] = mask
+
+    seqs = shard_seed_sequences(source_seed, plan.n_shards)
+    tasks = [
+        ShardTask(
+            shard_index=s,
+            n_shards=plan.n_shards,
+            start=start,
+            arm=arm,
+            sensor=sensor,
+            epsilon=epsilon,
+            seed_seq=seqs[s],
+            truth=np.ascontiguousarray(true_values[:, start:stop]),
+            reporting=np.ascontiguousarray(reporting[:, start:stop]),
+            device_budget=device_budget,
+            mechanism_kwargs=dict(mechanism_kwargs),
+        )
+        for s, (start, stop) in enumerate(plan.slices)
+    ]
+
+    if workers == 1:
+        results: List[ShardResult] = [run_shard(t) for t in tasks]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, plan.n_shards),
+            initializer=install_shipments,
+            initargs=(shipments,),
+        ) as pool:
+            # map() yields in shard order, so a failing shard surfaces
+            # deterministically (lowest shard index first).
+            results = list(pool.map(run_shard, tasks))
+
+    # ---- merge, in shard order ------------------------------------------
+    lam = sensor.d / epsilon if arm != "rr" else None
+    server = AggregationServer(
+        noise_scale=lam, streaming=streaming, count_thresholds=count_thresholds
+    )
+    for epoch in range(n_epochs):
+        for result in results:
+            values = result.values_by_epoch[epoch]
+            if values.size == 0:
+                continue
+            if streaming:
+                server.submit_array(epoch, values, loss)
+            else:
+                start, stop = plan.slices[result.shard_index]
+                idx = start + np.flatnonzero(reporting[epoch, start:stop])
+                server.submit_array(
+                    epoch,
+                    values,
+                    loss,
+                    device_ids=[f"dev-{i:04d}" for i in idx],
+                )
+    if streaming:
+        # The composition bound, recorded in bulk: every report claims
+        # the same per-release loss, and the report count per device is
+        # fixed by the coordinator-drawn masks.
+        counts = reporting.sum(axis=0)
+        server.record_claimed_losses(
+            {
+                f"dev-{i:04d}": float(counts[i]) * loss
+                for i in np.flatnonzero(counts)
+            }
+        )
+
+    target_pipeline = pipeline if pipeline is not None else default_pipeline()
+    for result in results:
+        target_pipeline.adopt(result.events)
+    counters = functools.reduce(
+        CounterSink.merge, (r.counter for r in results), CounterSink()
+    )
+
+    devices: List[Device] = []
+    if with_devices:
+        devices = [
+            Device(f"dev-{i:04d}", reference, budget=device_budget)
+            for i in range(n_devices)
+        ]
+        for result in results:
+            start = result.start
+            for j in range(result.n_fresh.shape[0]):
+                dev = devices[start + j]
+                dev.n_fresh = int(result.n_fresh[j])
+                dev.n_cached = int(result.n_cached[j])
+                if result.remaining is not None and dev._accountant is not None:
+                    dev._accountant._spent = float(device_budget) - float(
+                        result.remaining[j]
+                    )
+                if not np.isnan(result.cached_codes[j]):
+                    dev._cache.code = result.cached_codes[j]
+
+    true_means = [
+        float(true_values[epoch, reporting[epoch]].mean())
+        for epoch in range(n_epochs)
+    ]
+    estimated = [server.summarize(e).mean for e in server.epochs]
+    return FleetResult(
+        server=server,
+        devices=devices,
+        true_means=true_means,
+        estimated_means=estimated,
+        counters=counters,
+        shard_plan=plan,
+    )

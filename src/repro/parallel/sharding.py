@@ -1,0 +1,75 @@
+"""Deterministic device-axis shard plans.
+
+A :class:`ShardPlan` cuts ``n_devices`` into contiguous, balanced
+slices.  The plan is a pure function of ``(n_devices, shards)`` — it
+never looks at the worker count — which is the root of the sharded
+runner's determinism guarantee: a fleet run executed by 1, 2 or 4
+workers over the *same* plan consumes the *same* per-shard noise
+streams and is therefore bit-identical.  Changing ``shards`` changes
+the streams (each shard seeds its own spawned
+:class:`~numpy.random.SeedSequence`), so the shard count is part of the
+run's reproducibility key, exactly like the fleet seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["DEFAULT_SHARDS", "ShardPlan", "plan_shards"]
+
+#: Default shard count.  Fixed (not ``os.cpu_count()``!) so the default
+#: plan — and with it the noise streams — is identical on every machine;
+#: 8 shards keep pools of up to 8 workers busy and cost nothing beyond
+#: that (idle shards just queue).
+DEFAULT_SHARDS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous balanced partition of the device axis."""
+
+    n_devices: int
+    #: Shard boundaries: shard ``s`` owns devices ``[offsets[s], offsets[s+1])``.
+    offsets: Tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def slices(self) -> List[Tuple[int, int]]:
+        """Per-shard ``(start, stop)`` device index ranges."""
+        return [
+            (self.offsets[s], self.offsets[s + 1]) for s in range(self.n_shards)
+        ]
+
+    def shard_of(self, device_index: int) -> int:
+        """The shard owning a global device index."""
+        if not 0 <= device_index < self.n_devices:
+            raise ConfigurationError(
+                f"device index {device_index} outside [0, {self.n_devices})"
+            )
+        for s, (start, stop) in enumerate(self.slices):
+            if start <= device_index < stop:
+                return s
+        raise ConfigurationError(f"no shard owns device {device_index}")
+
+
+def plan_shards(n_devices: int, shards: int = None) -> ShardPlan:
+    """Build the balanced plan for ``n_devices`` across ``shards`` slices.
+
+    ``shards`` defaults to :data:`DEFAULT_SHARDS` and is clamped to
+    ``n_devices`` so no shard is empty.  Shard sizes differ by at most
+    one device (``i * n // s`` boundaries).
+    """
+    if n_devices < 1:
+        raise ConfigurationError("n_devices must be >= 1")
+    s = DEFAULT_SHARDS if shards is None else shards
+    if s < 1:
+        raise ConfigurationError("shards must be >= 1")
+    s = min(s, n_devices)
+    offsets = tuple(i * n_devices // s for i in range(s + 1))
+    return ShardPlan(n_devices=n_devices, offsets=offsets)

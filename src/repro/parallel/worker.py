@@ -1,0 +1,181 @@
+"""The per-shard worker: one device slice, one noise stream, one pipeline.
+
+Everything a worker needs crosses the process boundary once, as a
+picklable :class:`ShardTask`: the shard's truth slice, its precomputed
+reporting masks (the coordinator draws all dropout randomness so workers
+consume *only* their own audited stream), the spawned
+:class:`~numpy.random.SeedSequence` for that stream, and the mechanism
+recipe.  :func:`run_shard` is a module-level function so it pickles by
+reference into a ``ProcessPoolExecutor``; it also runs inline (no pool)
+for ``workers=1``, which is how the determinism tests compare worker
+counts without multiprocessing noise.
+
+Codebook shipping: pool workers start via :func:`install_shipments`,
+which adopts the coordinator's already-built ``m → k`` table into the
+process-wide :class:`~repro.rng.codebook.CodebookCache` — each worker
+process warms once per (config, backend) instead of re-sweeping the
+``2**Bu`` alphabet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BudgetExhaustedError, ConfigurationError
+from ..mechanisms import SensorSpec, make_mechanism
+from ..rng.codebook import codebook_cache
+from ..rng.urng import SplitStreamSource, audited_generator
+from ..runtime import ArrayCharge, CounterSink, ReleasePipeline, RingBufferSink
+from ..runtime.events import ReleaseEvent
+
+__all__ = [
+    "CodebookShipment",
+    "ShardTask",
+    "ShardResult",
+    "run_shard",
+    "install_shipments",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CodebookShipment:
+    """A pre-built codebook table shipped coordinator → worker.
+
+    The table is a deterministic function of ``(config, backend)``, so
+    adopting it is exactly as audited as rebuilding it — see
+    :meth:`repro.rng.codebook.CodebookCache.install`.
+    """
+
+    config: object  # FxpLaplaceConfig (kept untyped: no rng import cycle)
+    fingerprint: Tuple
+    table: np.ndarray
+
+
+def install_shipments(shipments: Sequence[CodebookShipment]) -> None:
+    """Pool initializer: warm this process's codebook cache."""
+    cache = codebook_cache()
+    for shipment in shipments:
+        cache.install(shipment.config, shipment.fingerprint, shipment.table)
+
+
+@dataclasses.dataclass
+class ShardTask:
+    """Everything one shard needs, picklable."""
+
+    shard_index: int
+    n_shards: int
+    start: int
+    """Global device index of this shard's first device."""
+    arm: str
+    sensor: SensorSpec
+    epsilon: float
+    seed_seq: np.random.SeedSequence
+    """Spawned sub-seed of the fleet seed; this shard's audited stream."""
+    truth: np.ndarray
+    """True values, shape ``(n_epochs, shard_devices)``."""
+    reporting: np.ndarray
+    """Coordinator-drawn reporting masks, same shape, bool."""
+    device_budget: Optional[float]
+    mechanism_kwargs: Dict[str, object]
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """One shard's privatized output plus its trace and budget state."""
+
+    shard_index: int
+    start: int
+    claimed_loss: float
+    values_by_epoch: List[np.ndarray]
+    """Privatized values per epoch (empty array where no device reported)."""
+    n_fresh: np.ndarray
+    n_cached: np.ndarray
+    remaining: Optional[np.ndarray]
+    cached_codes: np.ndarray
+    events: List[ReleaseEvent]
+    counter: CounterSink
+
+
+def _shard_channel(epoch: int, shard_index: int, n_shards: int) -> str:
+    # A single-shard plan reproduces the legacy per-epoch channel names,
+    # so shards=1 traces are indistinguishable from unsharded ones.
+    if n_shards == 1:
+        return f"epoch-{epoch}"
+    return f"epoch-{epoch}/shard-{shard_index}"
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Privatize one shard's device slice across all epochs.
+
+    Mirrors the batched path of
+    :func:`repro.aggregation.fleet.run_fleet` on the shard's slice: one
+    pipeline release per (epoch, shard) with vectorized
+    :class:`~repro.runtime.ArrayCharge` budget accounting.  Shard-epochs
+    with no reporting device are skipped outright — deterministically,
+    since the masks are fixed inputs — so they consume no noise stream.
+    """
+    n_epochs, shard_devices = task.truth.shape
+    kwargs = dict(task.mechanism_kwargs)
+    if task.arm != "ideal":
+        kwargs.setdefault("input_bits", 14)
+        kwargs.setdefault("source", SplitStreamSource(task.seed_seq))
+    else:
+        kwargs.setdefault("rng", audited_generator(task.seed_seq))
+    counter = CounterSink()
+    ring = RingBufferSink(capacity=max(n_epochs + 4, 16))
+    kwargs["pipeline"] = ReleasePipeline(sinks=[counter, ring])
+    mechanism = make_mechanism(task.arm, task.sensor, task.epsilon, **kwargs)
+    if hasattr(mechanism, "rng") and hasattr(mechanism.rng, "kernel"):
+        mechanism.rng.kernel  # resolve the codebook before the epoch loop
+
+    loss = mechanism.claimed_loss_bound
+    remaining = (
+        np.full(shard_devices, float(task.device_budget))
+        if task.device_budget is not None
+        else None
+    )
+    cached_codes = np.full(shard_devices, np.nan)
+    n_fresh = np.zeros(shard_devices, dtype=np.int64)
+    n_cached = np.zeros(shard_devices, dtype=np.int64)
+    values_by_epoch: List[np.ndarray] = []
+
+    for epoch in range(n_epochs):
+        idx = np.flatnonzero(task.reporting[epoch])
+        if idx.size == 0:
+            values_by_epoch.append(np.zeros(0))
+            continue
+        accounting = (
+            ArrayCharge(remaining, cached_codes, loss, index=idx)
+            if remaining is not None
+            else None
+        )
+        try:
+            outcome = mechanism.release(
+                task.truth[epoch, idx],
+                accounting=accounting,
+                channel=_shard_channel(epoch, task.shard_index, task.n_shards),
+            )
+        except BudgetExhaustedError as exc:
+            # Typed, picklable: crosses the pool boundary as the same
+            # error the unsharded fleet raises.
+            raise ConfigurationError(str(exc)) from exc
+        hits = outcome.cache_hits
+        n_fresh[idx] += ~hits
+        n_cached[idx] += hits
+        values_by_epoch.append(np.asarray(outcome.values, dtype=float))
+
+    return ShardResult(
+        shard_index=task.shard_index,
+        start=task.start,
+        claimed_loss=loss,
+        values_by_epoch=values_by_epoch,
+        n_fresh=n_fresh,
+        n_cached=n_cached,
+        remaining=remaining,
+        cached_codes=cached_codes,
+        events=ring.events,
+        counter=counter,
+    )

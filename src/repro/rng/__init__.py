@@ -32,6 +32,8 @@ from .urng import (
     TauswortheSource,
     UniformCodeSource,
     audited_generator,
+    shard_seed_sequences,
+    spawn_shard_sources,
 )
 
 __all__ = [
@@ -69,4 +71,6 @@ __all__ = [
     "TauswortheSource",
     "UniformCodeSource",
     "audited_generator",
+    "shard_seed_sequences",
+    "spawn_shard_sources",
 ]

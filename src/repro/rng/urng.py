@@ -18,7 +18,7 @@ Three sources implement the interface:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -34,10 +34,17 @@ __all__ = [
     "SplitStreamSource",
     "LfsrSource",
     "audited_generator",
+    "shard_seed_sequences",
+    "spawn_shard_sources",
 ]
 
+#: Seed material accepted wherever a stream is derived: a plain integer,
+#: an already-derived ``SeedSequence`` (e.g. a shard sub-seed), or
+#: ``None`` for fresh OS entropy.
+SeedLike = Union[None, int, np.random.SeedSequence]
 
-def audited_generator(seed: Optional[int] = None) -> np.random.Generator:
+
+def audited_generator(seed: SeedLike = None) -> np.random.Generator:
     """The audited construction point for ``numpy.random.Generator``.
 
     Release-path code must not call ``np.random.default_rng`` directly
@@ -113,10 +120,23 @@ class SplitStreamSource(UniformCodeSource):
     stream as repeated size-1 calls, hence scalar and vectorized release
     paths produce **bit-identical** samples (the fleet-equivalence
     guarantee exercised by ``tests/unit/test_runtime_fleet.py``).
+
+    ``seed`` may be an already-derived ``numpy.random.SeedSequence`` — a
+    shard sub-seed from :func:`shard_seed_sequences` — in which case the
+    source's streams are a pure function of that sequence's entropy and
+    spawn key.  This is the sharded-fleet determinism anchor: a worker
+    process rebuilding its source from the shipped sub-seed draws exactly
+    the stream the coordinator would have drawn for that shard in
+    process (``tests/property/test_shard_determinism.py``).
     """
 
-    def __init__(self, seed: Optional[int] = None):
-        code_seq, bit_seq = np.random.SeedSequence(seed).spawn(2)
+    def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, np.random.SeedSequence):
+            seq = seed
+        else:
+            seq = np.random.SeedSequence(seed)
+        self.seed_sequence = seq
+        code_seq, bit_seq = seq.spawn(2)
         self._code_rng = np.random.Generator(np.random.PCG64(code_seq))
         self._bit_rng = np.random.Generator(np.random.PCG64(bit_seq))
 
@@ -127,6 +147,41 @@ class SplitStreamSource(UniformCodeSource):
 
     def random_bits(self, n: int) -> np.ndarray:
         return self._bit_rng.integers(0, 2, size=n, dtype=np.int64)
+
+
+def shard_seed_sequences(seed: SeedLike, n_shards: int) -> List[np.random.SeedSequence]:
+    """Derive ``n_shards`` independent sub-seeds from one fleet seed.
+
+    This is the *only* place shard randomness is derived (keeping the
+    supply greppable, like :func:`audited_generator`).  The contract that
+    makes sharded fleet execution deterministic:
+
+    * the sub-seed of shard ``i`` is a pure function of
+      ``(seed, n_shards, i)`` — independent of how many workers execute
+      the shards, of execution order, and of which process runs them;
+    * ``n_shards == 1`` returns the fleet seed itself, so a single-shard
+      plan consumes **exactly** the unsharded
+      :class:`SplitStreamSource` stream (bit-identical to the legacy
+      batched fleet path);
+    * for ``n_shards > 1`` the sub-seeds are ``SeedSequence.spawn``
+      children of the fleet seed, so no shard stream aliases another or
+      the unsharded stream.
+
+    ``seed=None`` draws fresh OS entropy *once*; the returned sub-seeds
+    still satisfy the invariants within the run (workers=1 and workers=W
+    agree), they just differ between runs.
+    """
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    if n_shards == 1:
+        return [root]
+    return list(root.spawn(n_shards))
+
+
+def spawn_shard_sources(seed: SeedLike, n_shards: int) -> List["SplitStreamSource"]:
+    """Per-shard :class:`SplitStreamSource` list (see :func:`shard_seed_sequences`)."""
+    return [SplitStreamSource(seq) for seq in shard_seed_sequences(seed, n_shards)]
 
 
 class LfsrSource(UniformCodeSource):

@@ -147,6 +147,23 @@ class ReleasePipeline:
         for sink in self._sinks:
             sink.emit(event)
 
+    def adopt(self, events: Sequence[ReleaseEvent]) -> List[ReleaseEvent]:
+        """Re-emit events produced by *another* pipeline, renumbered.
+
+        The sharded fleet runner collects each worker's events and
+        reassembles them here in shard order: every adopted event gets
+        this pipeline's next sequence number (its shard-local ``seq``
+        is discarded) and is routed to this pipeline's sinks, so a
+        sharded run leaves one coherent, monotone trace exactly like an
+        in-process run.  Returns the renumbered events in order.
+        """
+        adopted = [
+            dataclasses.replace(event, seq=self._next_seq()) for event in events
+        ]
+        for event in adopted:
+            self.emit(event)
+        return adopted
+
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq

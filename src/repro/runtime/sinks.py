@@ -63,14 +63,21 @@ class RingBufferSink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Write each event as one JSON line to a file or file-like object."""
+    """Write each event as one JSON line to a file or file-like object.
 
-    def __init__(self, target: Union[str, Path, IO[str]]):
+    ``append=True`` opens path targets in append mode, so successive
+    sinks — per-shard trace files merged shard-by-shard, or one trace
+    grown across several runs — extend the file instead of truncating
+    it.  Each line is still one complete event, so
+    :func:`read_events_jsonl` reads an appended file unchanged.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]], append: bool = False):
         if hasattr(target, "write"):
             self._fh: IO[str] = target  # type: ignore[assignment]
             self._owns = False
         else:
-            self._fh = open(target, "w", encoding="utf-8")
+            self._fh = open(target, "a" if append else "w", encoding="utf-8")
             self._owns = True
         self.n_written = 0
 
@@ -131,6 +138,38 @@ class CounterSink(EventSink):
         )
         kern["events"] += 1
         kern["draws"] += event.draws
+
+    def merge(self, other: "CounterSink") -> "CounterSink":
+        """Fold another counter's aggregates into this one (in place).
+
+        The sharded fleet runner gives every worker its own
+        :class:`CounterSink` and merges them at the coordinator in shard
+        order; merging is exact because every aggregate is either a sum,
+        a max, or a last-write (``last_budget_remaining``, where
+        ``other`` is the later shard).  Returns ``self`` so merges
+        chain: ``reduce(CounterSink.merge, shard_counters, total)``.
+        """
+        self.n_events += other.n_events
+        self.n_samples += other.n_samples
+        self.n_draws += other.n_draws
+        self.n_cache_hits += other.n_cache_hits
+        self.n_exhausted += other.n_exhausted
+        self.charged_total += other.charged_total
+        self.max_rounds_used = max(self.max_rounds_used, other.max_rounds_used)
+        if other.last_budget_remaining is not None:
+            self.last_budget_remaining = other.last_budget_remaining
+        for mech, theirs in other.per_mechanism.items():
+            mine = self.per_mechanism.setdefault(
+                mech,
+                {"events": 0, "samples": 0, "draws": 0, "cache_hits": 0, "charged": 0.0},
+            )
+            for field in theirs:
+                mine[field] = mine.get(field, 0) + theirs[field]
+        for kern, theirs in other.per_kernel.items():
+            mine = self.per_kernel.setdefault(kern, {"events": 0, "draws": 0})
+            for field in theirs:
+                mine[field] = mine.get(field, 0) + theirs[field]
+        return self
 
     def summary(self) -> Dict[str, object]:
         """Aggregate snapshot as a plain dict (JSON-ready)."""

@@ -189,3 +189,134 @@ class TestFleet:
             run_fleet(np.zeros(5), SENSOR, 0.5)
         with pytest.raises(ConfigurationError):
             run_fleet(np.zeros((2, 3)), SENSOR, 0.5, dropout=1.0)
+
+
+class TestTypedEpochErrors:
+    def test_values_unknown_epoch_typed(self):
+        server = AggregationServer()
+        with pytest.raises(ConfigurationError):
+            server.values(7)
+
+    def test_summarize_unknown_epoch_typed(self):
+        server = AggregationServer()
+        with pytest.raises(ConfigurationError):
+            server.summarize(7)
+
+    def test_streaming_unknown_epoch_typed(self):
+        server = AggregationServer(streaming=True)
+        server.submit(Report(device_id="d0", epoch=0, value=1.0, claimed_loss=0.5))
+        with pytest.raises(ConfigurationError):
+            server.summarize(7)
+        with pytest.raises(ConfigurationError):
+            server.count_above(7, 0.0)
+
+
+class TestSubmitArray:
+    def test_retain_mode_materializes_reports(self):
+        server = AggregationServer()
+        server.submit_array(
+            0, np.asarray([1.0, 2.0, 3.0]), 0.5, device_ids=["a", "b", "c"]
+        )
+        reports = server.reports(0)
+        assert [r.device_id for r in reports] == ["a", "b", "c"]
+        assert [r.value for r in reports] == [1.0, 2.0, 3.0]
+        assert all(r.claimed_loss == 0.5 for r in reports)
+        assert np.array_equal(server.values(0), [1.0, 2.0, 3.0])
+
+    def test_retain_mode_requires_device_ids(self):
+        server = AggregationServer()
+        with pytest.raises(ConfigurationError):
+            server.submit_array(0, np.asarray([1.0]), 0.5)
+
+    def test_length_mismatch_rejected(self):
+        server = AggregationServer()
+        with pytest.raises(ConfigurationError):
+            server.submit_array(0, np.asarray([1.0, 2.0]), 0.5, device_ids=["a"])
+
+    def test_worst_case_disclosure_counts_array_submissions(self):
+        server = AggregationServer()
+        server.submit(Report(device_id="a", epoch=0, value=1.0, claimed_loss=0.5))
+        server.submit_array(1, np.asarray([2.0, 3.0]), 0.5, device_ids=["a", "b"])
+        server.submit_array(2, np.asarray([4.0]), 0.5, device_ids=["a"])
+        assert server.worst_case_disclosure("a") == pytest.approx(1.5)
+        assert server.worst_case_disclosure("b") == pytest.approx(0.5)
+        assert server.worst_case_disclosure("ghost") == 0.0
+
+
+class TestStreamingServer:
+    @staticmethod
+    def fill(server, n_epochs=3, n_devices=50):
+        rng = np.random.default_rng(5)
+        batches = rng.normal(4.0, 2.0, size=(n_epochs, n_devices))
+        for epoch in range(n_epochs):
+            server.submit_array(epoch, batches[epoch, :30], 0.5)
+            server.submit_array(epoch, batches[epoch, 30:], 0.5)
+        return batches
+
+    def test_memory_is_o_epochs_not_o_reports(self):
+        # The acceptance check: a streaming server retains zero reports
+        # no matter how many arrive; a retaining server keeps them all.
+        streaming = AggregationServer(streaming=True)
+        self.fill(streaming)
+        assert streaming.n_retained_reports == 0
+
+        retain = AggregationServer()
+        rng = np.random.default_rng(5)
+        for epoch in range(3):
+            retain.submit_array(
+                epoch,
+                rng.normal(size=50),
+                0.5,
+                device_ids=[f"d{i}" for i in range(50)],
+            )
+        assert retain.n_retained_reports == 150
+
+    def test_moments_match_raw_statistics(self):
+        server = AggregationServer(noise_scale=2.0, streaming=True)
+        batches = self.fill(server)
+        for epoch in range(batches.shape[0]):
+            vals = batches[epoch]
+            s = server.summarize(epoch)
+            assert s.n_reports == vals.size
+            assert s.mean == pytest.approx(vals.mean(), rel=1e-12)
+            assert s.variance == pytest.approx(vals.var(), rel=1e-9)
+            assert s.variance_debiased == pytest.approx(
+                max(vals.var() - 2 * 2.0**2, 0.0), rel=1e-9
+            )
+            assert np.isnan(s.median)
+            m = server.moments(epoch)
+            assert m["min"] == vals.min() and m["max"] == vals.max()
+
+    def test_registered_count_above(self):
+        server = AggregationServer(streaming=True, count_thresholds=(4.0,))
+        batches = self.fill(server)
+        assert server.count_above(0, 4.0) == int((batches[0] > 4.0).sum())
+        with pytest.raises(ConfigurationError):
+            server.count_above(0, 1.0)
+
+    def test_raw_report_queries_raise_typed(self):
+        server = AggregationServer(streaming=True)
+        self.fill(server)
+        with pytest.raises(ConfigurationError):
+            server.values(0)
+        with pytest.raises(ConfigurationError):
+            server.reports(0)
+
+    def test_moments_accessor_is_streaming_only(self):
+        server = AggregationServer()
+        with pytest.raises(ConfigurationError):
+            server.moments(0)
+
+    def test_bulk_disclosure_recording(self):
+        server = AggregationServer(streaming=True)
+        self.fill(server)
+        server.record_claimed_losses({"d0": 1.5, "d1": 0.5})
+        server.record_claimed_losses({"d0": 0.5})
+        assert server.worst_case_disclosure("d0") == pytest.approx(2.0)
+        assert server.worst_case_disclosure("d1") == pytest.approx(0.5)
+
+    def test_mean_trend_streaming(self):
+        server = AggregationServer(streaming=True)
+        batches = self.fill(server)
+        trend = server.mean_trend()
+        assert trend == pytest.approx([b.mean() for b in batches], rel=1e-12)

@@ -12,6 +12,7 @@ from repro.errors import (
     PrivacyError,
     PrivacyViolationError,
     ReproError,
+    UncalibratableConfigError,
 )
 
 
@@ -39,6 +40,12 @@ class TestHierarchy:
 
     def test_fixed_point_subtree(self):
         assert issubclass(OverflowPolicyError, FixedPointError)
+
+    def test_uncalibratable_config_is_both(self):
+        # The DP-Box refuses an uncalibratable (epsilon, range) command:
+        # catchable as a calibration failure *and* as a protocol fault.
+        assert issubclass(UncalibratableConfigError, CalibrationError)
+        assert issubclass(UncalibratableConfigError, HardwareProtocolError)
 
     def test_catchable_as_base(self):
         with pytest.raises(ReproError):

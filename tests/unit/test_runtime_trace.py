@@ -120,3 +120,93 @@ class TestTraceCli:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert main(["trace", "--replay", str(path)]) == 1
+
+
+class TestJsonlAppendMode:
+    def test_append_extends_existing_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        device_trace(path, n_reports=3)
+        first = read_events_jsonl(path)
+
+        pipe = ReleasePipeline()
+        sink = pipe.add_sink(JsonlSink(path, append=True))
+        mech = make_mechanism(
+            "thresholding",
+            SensorSpec(0.0, 8.0),
+            0.5,
+            input_bits=12,
+            source=NumpySource(seed=12),
+            pipeline=pipe,
+        )
+        mech.release(np.asarray([1.0]), channel="shard-1")
+        sink.close()
+
+        merged = read_events_jsonl(path)
+        assert len(merged) == len(first) + 1
+        assert [e.to_dict() for e in merged[: len(first)]] == [
+            e.to_dict() for e in first
+        ]
+        assert merged[-1].channel == "shard-1"
+
+    def test_default_mode_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        device_trace(path, n_reports=3)
+        device_trace(path, n_reports=2)
+        assert len(read_events_jsonl(path)) == 2
+
+
+class TestCounterSinkMerge:
+    @staticmethod
+    def counted_trace(seed, n_reports):
+        from repro.runtime import CounterSink
+
+        pipe = ReleasePipeline()
+        counter = pipe.add_sink(CounterSink())
+        mech = make_mechanism(
+            "thresholding",
+            SensorSpec(0.0, 8.0),
+            0.5,
+            input_bits=12,
+            source=NumpySource(seed=seed),
+            pipeline=pipe,
+        )
+        acct = BudgetAccountant(50.0)
+        cache = ReplayCache()
+        for i in range(n_reports):
+            mech.release(
+                np.asarray([float(i % 7)]),
+                accounting=FlatCharge(acct, mech.claimed_loss_bound, cache),
+            )
+        return counter
+
+    def test_merge_equals_unsharded_totals(self):
+        from repro.runtime import CounterSink
+
+        a = self.counted_trace(seed=21, n_reports=3)
+        b = self.counted_trace(seed=22, n_reports=5)
+        merged = CounterSink().merge(a).merge(b)
+        assert merged.n_events == a.n_events + b.n_events
+        assert merged.n_samples == a.n_samples + b.n_samples
+        assert merged.n_draws == a.n_draws + b.n_draws
+        assert merged.charged_total == pytest.approx(
+            a.charged_total + b.charged_total
+        )
+        assert merged.max_rounds_used == max(a.max_rounds_used, b.max_rounds_used)
+        per = merged.per_mechanism["Thresholding"]
+        assert per["samples"] == 8
+        kern = merged.per_kernel["codebook"]
+        assert kern["events"] == 8
+
+    def test_merge_is_last_write_for_budget(self):
+        from repro.runtime import CounterSink
+
+        a = self.counted_trace(seed=21, n_reports=3)
+        b = self.counted_trace(seed=22, n_reports=5)
+        merged = CounterSink().merge(a).merge(b)
+        assert merged.last_budget_remaining == b.last_budget_remaining
+
+    def test_merge_returns_self_for_chaining(self):
+        from repro.runtime import CounterSink
+
+        total = CounterSink()
+        assert total.merge(CounterSink()) is total
