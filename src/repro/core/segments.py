@@ -162,6 +162,10 @@ def build_segment_table(
     base_loss = float(cum_worst[0])
     segments = [Segment(max_offset_codes=0, loss=base_loss)]
     for level in levels:
+        # dplint: allow[DPL008] -- float-comparison guard band on the
+        # level bound, not budget arithmetic: the 1e-12 only absorbs
+        # accumulation error in cum_worst so a level exactly at k·ε is
+        # not dropped; the charged loss itself comes from cum_worst.
         bound = level * epsilon + 1e-12
         ok = np.flatnonzero(cum_worst <= bound)
         if ok.size == 0:

@@ -19,9 +19,18 @@ DPL004    release-without-        every release debits the budget
           accounting              (Section II-A composition, Fig. 13)
 DPL005    unvalidated-epsilon     constructors reject eps <= 0
                                   (Section II-B calibration)
+DPL006    unprivatized-flow-      no raw value reaches a sink without a
+          to-sink                 privatization seam (Section II threat
+                                  model) — cross-module flow analysis
+DPL007    nondet-seed-material    shard plans / stream splits seeded only
+                                  from configuration (bit-identity)
+DPL008    epsilon-arithmetic-     ε-literal arithmetic stays inside the
+          drift                   calibration seam (Section II-B)
 ========  ======================  ==========================================
 
-Usage: ``python -m repro lint [paths] [--format json|text]`` or the
+DPL006-DPL008 run on a whole-project taint analysis (``--flow``; see
+:mod:`repro.lint.flow`).  Usage: ``python -m repro lint [paths]
+[--flow] [--format json|text|sarif] [--changed REF]`` or the
 ``repro-lint`` console script; see ``docs/lint.md`` for the suppression
 (``# dplint: allow[DPL001] -- why``) and baseline workflows.
 """
@@ -32,9 +41,11 @@ from .engine import (
     LintConfig,
     LintEngine,
     LintResult,
+    STALE_SUPPRESSION_RULE,
     SYNTAX_ERROR_RULE,
 )
-from .findings import Finding, Severity
+from .findings import Finding, FlowStep, Severity
+from .flow import FLOW_RULES, flow_rule_ids, render_sarif, run_flow_analysis
 from .paths import PathPolicy
 from .registry import FileContext, Rule, all_rule_ids, get_rules, register
 from .suppress import SuppressionIndex
@@ -44,10 +55,12 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "BAD_SUPPRESSION_RULE",
     "SYNTAX_ERROR_RULE",
+    "STALE_SUPPRESSION_RULE",
     "LintConfig",
     "LintEngine",
     "LintResult",
     "Finding",
+    "FlowStep",
     "Severity",
     "PathPolicy",
     "FileContext",
@@ -56,4 +69,8 @@ __all__ = [
     "get_rules",
     "register",
     "SuppressionIndex",
+    "FLOW_RULES",
+    "flow_rule_ids",
+    "render_sarif",
+    "run_flow_analysis",
 ]

@@ -15,7 +15,9 @@ and count participate in matching.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from collections import Counter
 from typing import Dict, Iterable, List, Tuple
 
@@ -106,9 +108,23 @@ class Baseline:
                 merged.values(), key=lambda e: (e["path"], e["rule"], e["fingerprint"])
             ),
         }
-        pathlib.Path(path).write_text(
-            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        # Atomic replace: a crash mid-write must never leave a truncated
+        # baseline behind (CI would then "pass" against half a file).
+        target = pathlib.Path(path)
+        payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=str(target.parent) or "."
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, str(target))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already replaced/removed
+                pass
+            raise
 
     # ------------------------------------------------------------------
     def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:

@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-from typing import List, Optional
+from typing import FrozenSet, List, Optional
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .engine import LintConfig, LintEngine, LintResult
+from .flow import FLOW_RULES, render_sarif
 from .registry import get_rules
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
@@ -35,10 +38,25 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
+        "--flow",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the cross-module flow analysis (DPL006-DPL008); "
+        "slower, whole-project (default: off)",
+    )
+    parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--changed",
+        metavar="BASE_REF",
+        default=None,
+        help="only report findings in files that differ from the given "
+        "git ref (e.g. origin/main); the flow graph still covers the "
+        "whole tree",
     )
     parser.add_argument(
         "--baseline",
@@ -59,12 +77,43 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--rules",
         metavar="IDS",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all); selecting "
+        "a flow rule (DPL006-DPL008) implies --flow",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
+    )
+
+
+def _changed_files(base_ref: str) -> FrozenSet[str]:
+    """Absolute paths of .py files differing from ``base_ref``.
+
+    Combines ``git diff --name-only BASE_REF`` (tracked changes,
+    deletions excluded — a deleted file cannot be linted) with untracked
+    files, so a brand-new module is linted before its first commit.
+    """
+    def _git(*args: str) -> List[str]:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                capture_output=True,
+                check=True,
+            )
+        except FileNotFoundError:
+            raise ConfigurationError("--changed requires git on PATH")
+        except subprocess.CalledProcessError as exc:
+            detail = exc.stderr.decode("utf-8", "replace").strip()
+            raise ConfigurationError(
+                f"git {' '.join(args[:2])} failed for --changed: {detail}"
+            )
+        return [p for p in out.stdout.decode("utf-8").split("\0") if p]
+
+    names = _git("diff", "--name-only", "-z", "--diff-filter=d", base_ref)
+    names += _git("ls-files", "--others", "--exclude-standard", "-z")
+    return frozenset(
+        os.path.abspath(name) for name in names if name.endswith(".py")
     )
 
 
@@ -89,6 +138,13 @@ def _list_rules() -> str:
         lines.append(f"    {rule.description}")
         if rule.paper_ref:
             lines.append(f"    paper: {rule.paper_ref}")
+    for meta in sorted(FLOW_RULES.values(), key=lambda m: m.rule_id):
+        lines.append(
+            f"{meta.rule_id}  {meta.name} [{meta.severity.value}] (flow)"
+        )
+        lines.append(f"    {meta.description}")
+        if meta.paper_ref:
+            lines.append(f"    paper: {meta.paper_ref}")
     return "\n".join(lines)
 
 
@@ -102,7 +158,13 @@ def run_lint_command(args: argparse.Namespace) -> int:
         if args.rules
         else None
     )
-    config = LintConfig(rule_ids=rule_ids, baseline_path=args.baseline)
+    restrict = _changed_files(args.changed) if args.changed else None
+    config = LintConfig(
+        rule_ids=rule_ids,
+        baseline_path=args.baseline,
+        flow=args.flow,
+        restrict_to=restrict,
+    )
     engine = LintEngine(config)
     result = engine.run(args.paths)
     if args.write_baseline:
@@ -114,6 +176,8 @@ def run_lint_command(args: argparse.Namespace) -> int:
         return 0
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(result.findings), indent=2))
     else:
         print(_render_text(result))
     return 0 if result.ok else 1
@@ -124,7 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="DP-safety static analysis for the repro codebase "
-        "(rules DPL001-DPL005; see docs/lint.md)",
+        "(rules DPL001-DPL008; see docs/lint.md)",
     )
     add_lint_arguments(parser)
     args = parser.parse_args(argv)

@@ -1,10 +1,15 @@
 """The dplint engine: file discovery, parsing, rule dispatch, filtering.
 
 Pipeline per file: read → parse (`ast`) → run every selected rule →
-drop findings suppressed by ``# dplint: allow[...]`` comments → (at the
-run level) subtract the committed baseline.  Unparsable files and
-suppressions naming unknown rule ids surface as findings themselves
-(``DPL900`` / ``DPL901``) so they cannot silently disable analysis.
+drop findings suppressed by ``# dplint: allow[...]`` comments.  At the
+run level, two whole-project passes follow: the cross-module flow
+analysis (DPL006-DPL008, when enabled) walks a graph built from *all*
+parsed files so a flow entering a file outside the lint selection is
+still seen, and the stale-suppression check (DPL902) flags release-code
+annotations that no finding consumed.  The committed baseline is
+subtracted last.  Unparsable files and suppressions naming unknown rule
+ids surface as findings themselves (``DPL900`` / ``DPL901``) so they
+cannot silently disable analysis.
 """
 
 from __future__ import annotations
@@ -13,22 +18,32 @@ import ast
 import dataclasses
 import os
 import pathlib
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .baseline import Baseline
 from .findings import Finding, Severity
+from .flow import ProjectGraph, run_flow_analysis
+from .flow.rules import FLOW_RULES
 from .paths import PathPolicy
 from .registry import FileContext, Rule, all_rule_ids, get_rules
 from .suppress import SuppressionIndex
 
-__all__ = ["LintConfig", "LintResult", "LintEngine", "SYNTAX_ERROR_RULE",
-           "BAD_SUPPRESSION_RULE"]
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "LintEngine",
+    "SYNTAX_ERROR_RULE",
+    "BAD_SUPPRESSION_RULE",
+    "STALE_SUPPRESSION_RULE",
+]
 
 #: Pseudo-rule id for files the parser rejects.
 SYNTAX_ERROR_RULE = "DPL900"
 #: Pseudo-rule id for suppressions naming unknown rules.
 BAD_SUPPRESSION_RULE = "DPL901"
+#: Pseudo-rule id for suppressions that suppress nothing (stale).
+STALE_SUPPRESSION_RULE = "DPL902"
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
 
@@ -41,6 +56,12 @@ class LintConfig:
     baseline_path: Optional[str] = None
     #: Root that findings' paths are reported relative to (default: cwd).
     root: Optional[str] = None
+    #: Run the cross-module flow analysis (DPL006-DPL008).
+    flow: bool = False
+    #: When set (absolute paths), only these files produce findings;
+    #: the rest of the tree still feeds the flow graph.  Used by
+    #: ``--changed`` for fast CI runs.
+    restrict_to: Optional[FrozenSet[str]] = None
 
 
 @dataclasses.dataclass
@@ -81,12 +102,31 @@ class LintEngine:
 
     def __init__(self, config: Optional[LintConfig] = None):
         self.config = config or LintConfig()
-        self.rules: List[Rule] = get_rules(self.config.rule_ids)
         self.policy = PathPolicy()
-        self._known_ids = set(all_rule_ids()) | {
-            SYNTAX_ERROR_RULE,
-            BAD_SUPPRESSION_RULE,
-        }
+        self._known_ids = (
+            set(all_rule_ids())
+            | set(FLOW_RULES)
+            | {SYNTAX_ERROR_RULE, BAD_SUPPRESSION_RULE, STALE_SUPPRESSION_RULE}
+        )
+        ids = self.config.rule_ids
+        if ids is None:
+            self.rules: List[Rule] = get_rules(None)
+            self.flow_rule_ids: Optional[List[str]] = None  # all flow rules
+            self.flow_enabled = self.config.flow
+        else:
+            ids = list(ids)
+            selectable = set(all_rule_ids()) | set(FLOW_RULES)
+            unknown = sorted(set(ids) - selectable)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown rule id(s): {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(selectable))}"
+                )
+            self.flow_rule_ids = [rid for rid in ids if rid in FLOW_RULES]
+            self.rules = get_rules([rid for rid in ids if rid not in FLOW_RULES])
+            # Selecting a flow rule implies the flow pass, with or
+            # without --flow; selecting only per-file rules disables it.
+            self.flow_enabled = bool(self.flow_rule_ids)
 
     # ------------------------------------------------------------------
     # File discovery
@@ -126,23 +166,44 @@ class LintEngine:
     # Per-file analysis
     # ------------------------------------------------------------------
     def lint_source(self, display_path: str, source: str) -> List[Finding]:
-        """Run the rules over one in-memory module (suppression-aware)."""
+        """Run the per-file rules over one in-memory module.
+
+        This is the single-file public API (used by editor integrations
+        and most tests): suppression-aware per-file rules plus the
+        DPL900/DPL901 pseudo-rules.  Whole-project passes (flow rules,
+        DPL902) need the full tree and only run under :meth:`run`.
+        """
         self._last_suppressed = 0
-        try:
-            tree = ast.parse(source, filename=display_path)
-        except SyntaxError as exc:
-            return [
-                Finding(
-                    rule_id=SYNTAX_ERROR_RULE,
-                    severity=Severity.ERROR,
-                    path=display_path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"file does not parse: {exc.msg}",
-                    source_line="",
-                )
-            ]
+        parsed = self._parse(display_path, source)
+        if isinstance(parsed, Finding):
+            return [parsed]
         suppressions = SuppressionIndex.from_source(source)
+        findings = self._run_file_rules(display_path, source, parsed, suppressions)
+        findings.extend(self._bad_suppression_findings(display_path, suppressions))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _parse(self, display_path: str, source: str):
+        try:
+            return ast.parse(source, filename=display_path)
+        except SyntaxError as exc:
+            return Finding(
+                rule_id=SYNTAX_ERROR_RULE,
+                severity=Severity.ERROR,
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                source_line="",
+            )
+
+    def _run_file_rules(
+        self,
+        display_path: str,
+        source: str,
+        tree: ast.Module,
+        suppressions: SuppressionIndex,
+    ) -> List[Finding]:
         ctx = FileContext(display_path, source, tree, self.policy)
         findings: List[Finding] = []
         for rule in self.rules:
@@ -151,6 +212,12 @@ class LintEngine:
                     self._last_suppressed += 1
                 else:
                     findings.append(finding)
+        return findings
+
+    def _bad_suppression_findings(
+        self, display_path: str, suppressions: SuppressionIndex
+    ) -> List[Finding]:
+        findings = []
         unknown = suppressions.declared_ids() - self._known_ids
         for rid in sorted(unknown):
             findings.append(
@@ -164,7 +231,6 @@ class LintEngine:
                     source_line="",
                 )
             )
-        findings.sort(key=Finding.sort_key)
         return findings
 
     # ------------------------------------------------------------------
@@ -172,14 +238,62 @@ class LintEngine:
     # ------------------------------------------------------------------
     def run(self, paths: Sequence[str]) -> LintResult:
         files = self.discover(paths)
+        restrict = self.config.restrict_to
+        selected = {
+            path
+            for path in files
+            if restrict is None or os.path.abspath(path) in restrict
+        }
         all_findings: List[Finding] = []
         n_suppressed = 0
+        #: (display, source, tree) of every parsed file — the flow graph
+        #: sees the whole tree even when findings are restricted.
+        parsed: List[Tuple[str, str, ast.Module]] = []
+        index_by_display: Dict[str, SuppressionIndex] = {}
+        source_by_display: Dict[str, str] = {}
+        selected_displays = set()
         for path in files:
             display = self._display_path(path)
             source = pathlib.Path(path).read_text(encoding="utf-8")
-            found = self.lint_source(display, source)
+            in_selection = path in selected
+            if in_selection:
+                selected_displays.add(display)
+            result = self._parse(display, source)
+            if isinstance(result, Finding):
+                if in_selection:
+                    all_findings.append(result)
+                continue
+            suppressions = SuppressionIndex.from_source(source)
+            parsed.append((display, source, result))
+            index_by_display[display] = suppressions
+            source_by_display[display] = source
+            if not in_selection:
+                continue
+            self._last_suppressed = 0
+            all_findings.extend(
+                self._run_file_rules(display, source, result, suppressions)
+            )
+            all_findings.extend(
+                self._bad_suppression_findings(display, suppressions)
+            )
             n_suppressed += self._last_suppressed
-            all_findings.extend(found)
+        if self.flow_enabled:
+            graph = ProjectGraph.build(parsed, self.policy)
+            for finding in run_flow_analysis(graph, self.flow_rule_ids):
+                if finding.path not in selected_displays:
+                    continue
+                suppressions = index_by_display.get(finding.path)
+                if suppressions is not None and suppressions.is_suppressed(
+                    finding.rule_id, finding.line
+                ):
+                    n_suppressed += 1
+                else:
+                    all_findings.append(finding)
+            stale, stale_suppressed = self._stale_suppression_findings(
+                selected_displays, index_by_display, source_by_display
+            )
+            all_findings.extend(stale)
+            n_suppressed += stale_suppressed
         all_findings.sort(key=Finding.sort_key)
         if self.config.baseline_path:
             baseline = Baseline.load(self.config.baseline_path)
@@ -188,8 +302,61 @@ class LintEngine:
             fresh, absorbed = list(all_findings), 0
         return LintResult(
             findings=fresh,
-            n_files=len(files),
+            n_files=len(selected),
             n_suppressed=n_suppressed,
             n_baselined=absorbed,
             all_findings=all_findings,
         )
+
+    def _stale_suppression_findings(
+        self,
+        selected_displays,
+        index_by_display: Dict[str, SuppressionIndex],
+        source_by_display: Dict[str, str],
+    ) -> Tuple[List[Finding], int]:
+        """DPL902: release-code suppressions no finding ever consumed.
+
+        Only meaningful when the complete analysis ran: with a rule
+        subset (or without the flow pass) an annotation can look unused
+        simply because its rule did not run, so the check stays off.
+        Simulation files are also exempt — the documented convention is
+        that they may carry ``allow[...]`` annotations as documentation
+        even where the hazard rules stay silent.
+        """
+        if self.config.rule_ids is not None:
+            return [], 0
+        findings: List[Finding] = []
+        n_suppressed = 0
+        for display in sorted(selected_displays):
+            if not self.policy.is_release(display):
+                continue
+            suppressions = index_by_display.get(display)
+            if suppressions is None:
+                continue
+            lines = source_by_display.get(display, "").splitlines()
+            for line, rid in suppressions.unused_sites():
+                if rid not in self._known_ids:
+                    continue  # DPL901's domain
+                report_line = max(1, line)
+                finding = Finding(
+                    rule_id=STALE_SUPPRESSION_RULE,
+                    severity=Severity.WARNING,
+                    path=display,
+                    line=report_line,
+                    col=0,
+                    message=(
+                        f"stale suppression: allow[{rid}] "
+                        f"{'(file scope) ' if line == 0 else ''}"
+                        f"suppresses nothing; delete it"
+                    ),
+                    source_line=(
+                        lines[report_line - 1].strip()
+                        if report_line <= len(lines)
+                        else ""
+                    ),
+                )
+                if suppressions.is_suppressed(STALE_SUPPRESSION_RULE, report_line):
+                    n_suppressed += 1
+                else:
+                    findings.append(finding)
+        return findings, n_suppressed

@@ -13,7 +13,7 @@ import enum
 import hashlib
 from typing import Any, Dict
 
-__all__ = ["Severity", "Finding"]
+__all__ = ["Severity", "FlowStep", "Finding"]
 
 
 class Severity(enum.Enum):
@@ -32,6 +32,23 @@ class Severity(enum.Enum):
 
 
 @dataclasses.dataclass(frozen=True)
+class FlowStep:
+    """One hop of a cross-module dataflow witness (source → … → sink).
+
+    Flow-analysis findings (DPL006-DPL008) attach a tuple of these so a
+    reviewer — or a SARIF viewer, via ``codeFlows`` — can walk the path
+    instead of reverse-engineering it from the sink line alone.
+    """
+
+    path: str
+    line: int
+    note: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+
+@dataclasses.dataclass(frozen=True)
 class Finding:
     """One rule violation at a specific source location."""
 
@@ -43,6 +60,8 @@ class Finding:
     message: str
     #: The stripped text of the offending source line (fingerprint input).
     source_line: str = ""
+    #: Dataflow witness steps (flow-analysis findings only, else empty).
+    flow: "tuple" = ()
 
     @property
     def fingerprint(self) -> str:
@@ -54,7 +73,7 @@ class Finding:
         return (self.path, self.line, self.col, self.rule_id)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "rule": self.rule_id,
             "severity": self.severity.value,
             "path": self.path,
@@ -63,6 +82,9 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
+        if self.flow:
+            doc["flow"] = [step.to_dict() for step in self.flow]
+        return doc
 
     def render_text(self) -> str:
         return (

@@ -1,0 +1,28 @@
+"""dplint flow analysis: whole-project taint and determinism checking.
+
+The per-file rules (DPL001-005) inspect one AST at a time; this package
+sees the project.  :class:`~repro.lint.flow.graph.ProjectGraph` builds
+module/import/call structure from the parsed trees (``ast`` only — no
+analyzed code is imported or executed), the taint engine in
+:mod:`~repro.lint.flow.taint` pushes labeled roots through assignments,
+calls and returns across module boundaries, and
+:func:`~repro.lint.flow.rules.run_flow_analysis` turns sink hits into
+findings for DPL006 (unprivatized flow to sink), DPL007
+(nondeterministic seed material) and DPL008 (ε-arithmetic drift), each
+carrying a :class:`~repro.lint.findings.FlowStep` witness chain.
+:func:`~repro.lint.flow.sarif.render_sarif` serializes any lint result
+— flow or per-file — as SARIF 2.1.0 with the witness as a ``codeFlow``.
+"""
+
+from .graph import ProjectGraph
+from .rules import FLOW_RULES, FlowRuleMeta, flow_rule_ids, run_flow_analysis
+from .sarif import render_sarif
+
+__all__ = [
+    "ProjectGraph",
+    "FLOW_RULES",
+    "FlowRuleMeta",
+    "flow_rule_ids",
+    "run_flow_analysis",
+    "render_sarif",
+]

@@ -1,0 +1,316 @@
+"""Whole-project module and call graph for the dplint flow pass.
+
+The per-file rules (DPL001-DPL005) see one AST at a time; the flow rules
+(DPL006-DPL008) need to follow a value across files — a helper in
+``aggregation/`` forwarding an unprivatized reading into a sink in
+``runtime/``.  This module builds the project-level structure those
+rules walk:
+
+* **module naming** — dotted names derived from the analyzed file set
+  itself: a directory is a package iff the set contains its
+  ``__init__.py``, so ``src/repro/parallel/sharding.py`` becomes
+  ``repro.parallel.sharding`` without importing anything (``ast`` only;
+  no analyzed code ever executes);
+* **import resolution** — ``import a.b as c``, ``from a.b import f``,
+  and relative ``from .x import y`` forms resolve to dotted targets
+  inside the analyzed set (externals like ``numpy`` stay opaque);
+* **function table** — every function/method gets a
+  :class:`FunctionInfo` keyed ``module:qualname``;
+* **call resolution** — direct calls, imported names, ``self.method()``,
+  constructor calls, and attribute calls on locals whose class is known
+  via the lightweight type inference in :mod:`repro.lint.flow.taint`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..paths import PathPolicy
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectGraph"]
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method in the analyzed project."""
+
+    module: str
+    qualname: str  # "plan_shards" or "Device.report"
+    path: str  # display path of the defining file
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def func_id(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods, dataclass-ish field order, and bases."""
+
+    module: str
+    name: str
+    path: str
+    methods: Dict[str, FunctionInfo]
+    #: Annotated class-level fields, in declaration order (dataclasses).
+    field_order: List[str]
+    #: Base-class dotted names as written (resolved lazily).
+    bases: List[str]
+
+    @property
+    def class_id(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+class ModuleInfo:
+    """Parsed module plus its local-name → dotted-target import map."""
+
+    def __init__(self, name: str, path: str, source: str, tree: ast.Module):
+        self.name = name
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: local alias → dotted target ("np" → "numpy",
+        #: "plan_shards" → "repro.parallel.sharding.plan_shards").
+        self.imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _package_of(module_name: str, is_package: bool) -> str:
+    if is_package:
+        return module_name
+    return module_name.rsplit(".", 1)[0] if "." in module_name else ""
+
+
+class ProjectGraph:
+    """All analyzed modules, with name/import/call resolution."""
+
+    def __init__(self, policy: Optional[PathPolicy] = None):
+        self.policy = policy or PathPolicy()
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: display path → module name (for suppression lookups).
+        self.by_path: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        sources: Sequence[Tuple[str, str, ast.Module]],
+        policy: Optional[PathPolicy] = None,
+    ) -> "ProjectGraph":
+        """Build from ``(display_path, source, tree)`` triples.
+
+        Package structure is inferred from the file set: a directory
+        counts as a package iff its ``__init__.py`` is among the
+        analyzed files, so the naming needs no filesystem access and
+        works for test fixtures as well as the real tree.
+        """
+        graph = cls(policy)
+        package_dirs = {
+            str(pathlib.PurePath(path).parent).replace("\\", "/")
+            for path, _, _ in sources
+            if pathlib.PurePath(path).name == "__init__.py"
+        }
+        for path, source, tree in sources:
+            name, is_pkg = graph._module_name(path, package_dirs)
+            info = ModuleInfo(name, path, source, tree)
+            info.is_package = is_pkg
+            graph.modules[name] = info
+            graph.by_path[path] = name
+        for info in graph.modules.values():
+            graph._index_module(info)
+        return graph
+
+    @staticmethod
+    def _module_name(path: str, package_dirs) -> Tuple[str, bool]:
+        p = pathlib.PurePath(path)
+        is_pkg = p.name == "__init__.py"
+        parts: List[str] = [] if is_pkg else [p.stem]
+        cur = p.parent
+        while str(cur).replace("\\", "/") in package_dirs:
+            parts.append(cur.name)
+            cur = cur.parent
+        return ".".join(reversed(parts)) or p.stem, is_pkg
+
+    # ------------------------------------------------------------------
+    def _index_module(self, info: ModuleInfo) -> None:
+        package = _package_of(info.name, getattr(info, "is_package", False))
+        # Imports are collected from the whole tree, not just module
+        # scope: deferred function-level imports (a common cycle-breaking
+        # idiom in the CLI) resolve the same names.
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node, info.name, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(info.name, node.name, info.path, node)
+                info.functions[node.name] = fn
+                self.functions[fn.func_id] = fn
+            elif isinstance(node, ast.ClassDef):
+                methods: Dict[str, FunctionInfo] = {}
+                field_order: List[str] = []
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionInfo(
+                            info.name,
+                            f"{node.name}.{stmt.name}",
+                            info.path,
+                            stmt,
+                            class_name=node.name,
+                        )
+                        methods[stmt.name] = fn
+                        self.functions[fn.func_id] = fn
+                    elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        field_order.append(stmt.target.id)
+                bases = []
+                for b in node.bases:
+                    dotted = _dotted(b)
+                    if dotted:
+                        bases.append(dotted)
+                ci = ClassInfo(
+                    module=info.name,
+                    name=node.name,
+                    path=info.path,
+                    methods=methods,
+                    field_order=field_order,
+                    bases=bases,
+                )
+                info.classes[node.name] = ci
+                self.classes[ci.class_id] = ci
+
+    @staticmethod
+    def _resolve_from(
+        node: ast.ImportFrom, module_name: str, package: str
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: climb from the module's package.
+        base_parts = package.split(".") if package else []
+        up = node.level - 1
+        if up > len(base_parts):
+            return None
+        base_parts = base_parts[: len(base_parts) - up]
+        if node.module:
+            base_parts.extend(node.module.split("."))
+        return ".".join(base_parts)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def expand(self, module: ModuleInfo, dotted: str) -> str:
+        """Expand the leading segment of ``dotted`` through the imports."""
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def lookup(self, dotted: str) -> Optional[object]:
+        """A FunctionInfo or ClassInfo for a fully-dotted name, if ours."""
+        # Longest-prefix module match, then walk the remainder.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = self.modules.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                hit = mod.functions.get(rest[0]) or mod.classes.get(rest[0])
+                if hit is not None:
+                    return hit
+                # Re-exported name (``from .x import f`` in __init__).
+                reexport = mod.imports.get(rest[0])
+                if reexport is not None and reexport != dotted:
+                    return self.lookup(reexport)
+            elif len(rest) == 2:
+                ci = mod.classes.get(rest[0])
+                if ci is not None:
+                    return ci.methods.get(rest[1])
+        return None
+
+    def resolve_name(self, module: ModuleInfo, name: str) -> Optional[object]:
+        """Resolve a bare Name used in ``module`` to a function/class."""
+        if name in module.functions:
+            return module.functions[name]
+        if name in module.classes:
+            return module.classes[name]
+        if name in module.imports:
+            return self.lookup(module.imports[name])
+        return None
+
+    def resolve_dotted(self, module: ModuleInfo, dotted: str) -> Optional[object]:
+        """Resolve a dotted expression (``pkg.mod.func``) in ``module``."""
+        if "." not in dotted:
+            return self.resolve_name(module, dotted)
+        return self.lookup(self.expand(module, dotted))
+
+    def resolve_method(self, class_id: str, method: str) -> Optional[FunctionInfo]:
+        """Find ``method`` on a class or (project-resolvable) bases."""
+        seen = set()
+        stack = [class_id]
+        while stack:
+            cid = stack.pop(0)
+            if cid in seen:
+                continue
+            seen.add(cid)
+            ci = self.classes.get(cid)
+            if ci is None:
+                continue
+            if method in ci.methods:
+                return ci.methods[method]
+            mod = self.modules.get(ci.module)
+            for base in ci.bases:
+                target = (
+                    self.resolve_dotted(mod, base) if mod is not None else None
+                )
+                if isinstance(target, ClassInfo):
+                    stack.append(target.class_id)
+        return None
+
+    def module_of_path(self, path: str) -> Optional[ModuleInfo]:
+        name = self.by_path.get(path)
+        return self.modules.get(name) if name else None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,388 @@
+"""The cross-module flow rules: DPL006, DPL007, DPL008.
+
+Each rule is one configuration of the taint engine — a set of
+:class:`~repro.lint.flow.taint.SourceSpec`/`SinkSpec` plus a scope
+filter — run as an independent analysis so labels never cross-
+contaminate (an ε-named value is not "raw data", a wall-clock read is
+not "seed material" unless it feeds a seed).
+
+DPL006 — unprivatized flow to sink (error)
+    A raw-sensor value (``sensors/``/``datasets/`` readers,
+    ``read_raw``/``digitize`` calls, fleet truth matrices) reaches a
+    release sink (``server.submit*``, ``ReleaseEvent``, sink ``emit``,
+    CLI ``print``) without passing a privatization seam.  This is the
+    end-to-end form of the paper's guarantee; the per-file rules cannot
+    see it once the flow crosses a module boundary.
+
+DPL007 — nondeterministic seed material on the release path (error)
+    ``os.cpu_count()``, wall-clock reads, ``os.urandom``/``secrets``,
+    or an argless ``SeedSequence()`` feeding shard planning or stream
+    splitting.  The sharded fleet's bit-identity guarantee (results
+    independent of worker count) only holds when every seed derives
+    from the experiment configuration.
+
+DPL008 — ε-arithmetic drift outside the calibration seam (warning)
+    A value rooted in an ``epsilon``/``eps`` name combined with a bare
+    numeric literal in orchestration code (``aggregation/``,
+    ``parallel/``, ``runtime/``, ``core/``, the CLI).  Budget arithmetic
+    belongs in ``privacy/`` and the mechanism calibration seam, where
+    DPL005 and the accounting tests watch it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding, FlowStep, Severity
+from .graph import ProjectGraph
+from .taint import SinkHit, SinkSpec, SourceSpec, TaintAnalysis
+
+__all__ = [
+    "FlowRuleMeta",
+    "FLOW_RULES",
+    "flow_rule_ids",
+    "run_flow_analysis",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowRuleMeta:
+    """Catalog entry for one flow rule (mirrors the per-file Rule API)."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    paper_ref: str = ""
+
+
+FLOW_RULES: Dict[str, FlowRuleMeta] = {
+    "DPL006": FlowRuleMeta(
+        rule_id="DPL006",
+        name="cross-module unprivatized flow to sink",
+        severity=Severity.ERROR,
+        description=(
+            "a raw sensor/dataset value reaches a release sink "
+            "(server.submit*, ReleaseEvent, sink emit, CLI output) "
+            "without passing privatize*/release(accounting=)/"
+            "charge_and_emit"
+        ),
+        paper_ref="§2 threat model: only privatized values leave a device",
+    ),
+    "DPL007": FlowRuleMeta(
+        rule_id="DPL007",
+        name="nondeterministic seed material on release path",
+        severity=Severity.ERROR,
+        description=(
+            "cpu_count/wall-clock/os.urandom/argless SeedSequence() "
+            "feeds shard planning or stream splitting, breaking the "
+            "sharded fleet's bit-identity guarantee"
+        ),
+        paper_ref="§4 seeded, auditable randomness",
+    ),
+    "DPL008": FlowRuleMeta(
+        rule_id="DPL008",
+        name="epsilon arithmetic outside calibration seam",
+        severity=Severity.WARNING,
+        description=(
+            "an epsilon-derived value is combined with a numeric "
+            "literal in orchestration code; budget arithmetic belongs "
+            "in the privacy/ accounting seam"
+        ),
+        paper_ref="§3 budget accounting is centralized",
+    ),
+}
+
+
+def flow_rule_ids() -> List[str]:
+    return sorted(FLOW_RULES)
+
+
+# ---------------------------------------------------------------------------
+# Rule configurations
+# ---------------------------------------------------------------------------
+#: Parameter names that carry raw (pre-privatization) data by contract.
+_RAW_PARAM_NAMES = frozenset(
+    {
+        "true_values",
+        "truth",
+        "raw_value",
+        "raw_values",
+        "physical",
+        "reading",
+        "readings",
+        "secret",
+    }
+)
+_RAW_CALL_ATTRS = frozenset({"read_raw", "digitize"})
+_RAW_SOURCE_DIRS = frozenset({"sensors", "datasets"})
+_RAW_SINK_ATTRS = frozenset({"submit", "submit_all", "submit_array", "emit"})
+_RAW_SINK_NAMES = frozenset({"print", "ReleaseEvent"})
+
+#: Files that *implement* the sink/seam layer; a ``submit`` or ``emit``
+#: inside them is the sink's own body, not a flow into it.
+_SEAM_IMPL_FILES: Tuple[Tuple[str, str], ...] = (
+    ("runtime", "pipeline.py"),
+    ("runtime", "sinks.py"),
+    ("runtime", "events.py"),
+    ("aggregation", "server.py"),
+)
+
+_NONDET_DOTTED = frozenset(
+    {
+        "os.cpu_count",
+        "os.getpid",
+        "os.urandom",
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+_NONDET_ARGLESS = frozenset(
+    {
+        "SeedSequence",
+        "default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.default_rng",
+    }
+)
+_NONDET_SINK_NAMES = frozenset(
+    {
+        "plan_shards",
+        "shard_seed_sequences",
+        "spawn_shard_sources",
+        "SplitStreamSource",
+        "SeedSequence",
+        "audited_generator",
+    }
+)
+_NONDET_SINK_ATTRS = frozenset({"spawn"})
+#: ``workers=`` is deliberately absent: worker COUNT must not affect
+#: results (that is the bit-identity property), only seed material does.
+_NONDET_SINK_KWARGS = frozenset({"seed", "source_seed", "seed_seq", "shards"})
+
+_EPS_PARAM_NAMES = frozenset({"epsilon", "eps"})
+_EPS_VALUE_ATTRS = frozenset({"epsilon", "eps"})
+#: Where ε-literal arithmetic is a drift hazard (the seam — privacy/,
+#: mechanisms/, rng/ — is exempt: calibration lives there by design).
+_EPS_SCOPE_DIRS = frozenset({"aggregation", "parallel", "runtime", "core"})
+
+
+def _is_seam_impl(path: str) -> bool:
+    p = pathlib.PurePath(path)
+    name = p.name
+    parents = set(p.parts[:-1])
+    return any(d in parents and name == fn for d, fn in _SEAM_IMPL_FILES)
+
+
+def _build_raw_analysis(graph: ProjectGraph) -> TaintAnalysis:
+    policy = graph.policy
+
+    def raw_site(path: str) -> bool:
+        return (
+            policy.is_release(path)
+            and not policy.in_dir(path, "mechanisms")
+            and not _is_seam_impl(path)
+        )
+
+    return TaintAnalysis(
+        graph,
+        sources=[
+            SourceSpec(
+                label="raw",
+                call_attrs=_RAW_CALL_ATTRS,
+                param_names=_RAW_PARAM_NAMES,
+                source_dirs=_RAW_SOURCE_DIRS,
+            )
+        ],
+        sinks=[
+            SinkSpec(
+                label="raw",
+                call_attrs=_RAW_SINK_ATTRS,
+                call_names=_RAW_SINK_NAMES,
+                site_filter=raw_site,
+            )
+        ],
+    )
+
+
+def _build_nondet_analysis(graph: ProjectGraph) -> TaintAnalysis:
+    policy = graph.policy
+
+    def nondet_site(path: str) -> bool:
+        return policy.is_release(path) and not policy.is_audited_rng(path)
+
+    return TaintAnalysis(
+        graph,
+        sources=[
+            SourceSpec(
+                label="nondet",
+                dotted_calls=_NONDET_DOTTED,
+                argless_calls=_NONDET_ARGLESS,
+            )
+        ],
+        sinks=[
+            SinkSpec(
+                label="nondet",
+                call_names=_NONDET_SINK_NAMES,
+                call_attrs=_NONDET_SINK_ATTRS,
+                kwargs=_NONDET_SINK_KWARGS,
+                site_filter=nondet_site,
+            )
+        ],
+    )
+
+
+def _build_epsilon_analysis(graph: ProjectGraph) -> TaintAnalysis:
+    return TaintAnalysis(
+        graph,
+        sources=[
+            SourceSpec(
+                label="epsilon",
+                param_names=_EPS_PARAM_NAMES,
+                value_attrs=_EPS_VALUE_ATTRS,
+            )
+        ],
+        sinks=[],
+        track_epsilon_ops=True,
+    )
+
+
+def _in_epsilon_scope(graph: ProjectGraph, path: str) -> bool:
+    policy = graph.policy
+    p = pathlib.PurePath(path)
+    if any(policy.in_dir(path, d) for d in _EPS_SCOPE_DIRS):
+        return True
+    # The repro CLI is orchestration too; lint's own cli.py is not
+    # release-tagged (see PathPolicy.RELEASE_FILES).
+    return p.name == "cli.py" and policy.is_release(path)
+
+
+# ---------------------------------------------------------------------------
+# Finding construction
+# ---------------------------------------------------------------------------
+def _source_line(graph: ProjectGraph, path: str, line: int) -> str:
+    mod = graph.module_of_path(path)
+    return mod.source_line(line).strip() if mod is not None else ""
+
+
+def _sink_findings(
+    graph: ProjectGraph,
+    analysis: TaintAnalysis,
+    rule_id: str,
+    message: str,
+) -> List[Finding]:
+    meta = FLOW_RULES[rule_id]
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int]] = set()
+    for hit in sorted(analysis.sink_hits, key=lambda h: (h.path, h.line, h.col)):
+        if (hit.path, hit.line) in seen:
+            continue
+        flow = analysis.trace(hit)
+        if flow is None:
+            continue  # symbolic taint no real caller activates
+        seen.add((hit.path, hit.line))
+        origin = flow[0]
+        findings.append(
+            Finding(
+                rule_id=rule_id,
+                severity=meta.severity,
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                message=(
+                    f"{message}: {origin.note} "
+                    f"({origin.path}:{origin.line}) {hit.sink_desc} "
+                    f"without a sanitizing seam"
+                ),
+                source_line=_source_line(graph, hit.path, hit.line),
+                flow=tuple(flow),
+            )
+        )
+    return findings
+
+
+def _epsilon_findings(graph: ProjectGraph, analysis: TaintAnalysis) -> List[Finding]:
+    meta = FLOW_RULES["DPL008"]
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int]] = set()
+    for hit in sorted(analysis.op_hits, key=lambda h: (h.path, h.line, h.col)):
+        if not _in_epsilon_scope(graph, hit.path):
+            continue
+        if (hit.path, hit.line) in seen:
+            continue
+        seen.add((hit.path, hit.line))
+        origin = min(hit.roots, key=lambda r: (r.path, r.line))
+        steps: List[FlowStep] = []
+        if (origin.path, origin.line) != (hit.path, hit.line):
+            steps.append(FlowStep(origin.path, origin.line, origin.note))
+        steps.append(FlowStep(hit.path, hit.line, hit.op_desc))
+        findings.append(
+            Finding(
+                rule_id="DPL008",
+                severity=meta.severity,
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                message=(
+                    f"ε-arithmetic outside the calibration seam: "
+                    f"{hit.op_desc}; move budget math into privacy/ "
+                    f"accounting (rooted at {origin.path}:{origin.line})"
+                ),
+                source_line=_source_line(graph, hit.path, hit.line),
+                flow=tuple(steps),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def run_flow_analysis(
+    graph: ProjectGraph, rule_ids: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the selected flow rules over a built project graph."""
+    selected = set(rule_ids) if rule_ids is not None else set(FLOW_RULES)
+    findings: List[Finding] = []
+    if "DPL006" in selected:
+        analysis = _build_raw_analysis(graph)
+        analysis.run()
+        findings.extend(
+            _sink_findings(
+                graph,
+                analysis,
+                "DPL006",
+                "unprivatized flow to sink",
+            )
+        )
+    if "DPL007" in selected:
+        analysis = _build_nondet_analysis(graph)
+        analysis.run()
+        findings.extend(
+            _sink_findings(
+                graph,
+                analysis,
+                "DPL007",
+                "nondeterministic seed material",
+            )
+        )
+    if "DPL008" in selected:
+        analysis = _build_epsilon_analysis(graph)
+        analysis.run()
+        findings.extend(_epsilon_findings(graph, analysis))
+    findings.sort(key=Finding.sort_key)
+    return findings

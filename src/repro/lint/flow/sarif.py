@@ -1,0 +1,169 @@
+"""SARIF 2.1.0 emission for dplint.
+
+One ``run`` with the full rule catalog (per-file DPL001-005, flow
+DPL006-008, pseudo DPL900-902) as ``reportingDescriptors`` so viewers
+can show rule help without a side channel, and one ``result`` per
+finding.  Flow findings carry their witness chain as a
+``codeFlow``/``threadFlow`` so SARIF-aware UIs (GitHub code scanning,
+VS Code) render the source → hop → sink path as navigable steps.
+
+SARIF is 1-based for lines *and* columns; dplint columns are 0-based
+(``ast`` convention), so ``startColumn`` is shifted here and only here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ... import __version__ as _REPRO_VERSION
+from ..findings import Finding, Severity
+from ..registry import get_rules
+from .rules import FLOW_RULES
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+_INFO_URI = "https://github.com/example/repro/blob/main/docs/lint.md"
+
+#: Engine pseudo-rules (importing engine here would cycle).
+_PSEUDO_RULES = (
+    ("DPL900", "file does not parse", Severity.ERROR,
+     "the file could not be parsed; no analysis ran on it"),
+    ("DPL901", "suppression names unknown rule", Severity.ERROR,
+     "a dplint: allow[...] comment names a rule id that does not exist"),
+    ("DPL902", "stale suppression", Severity.WARNING,
+     "a dplint: allow[...] comment in release code suppresses nothing "
+     "and should be deleted"),
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors: List[Dict[str, Any]] = []
+    for rule in get_rules():
+        desc = rule.description
+        if rule.paper_ref:
+            desc = f"{desc} (paper: {rule.paper_ref})"
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "name": _camel(rule.name),
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": desc},
+                "helpUri": _INFO_URI,
+                "defaultConfiguration": {"level": _level(rule.severity)},
+            }
+        )
+    for meta in FLOW_RULES.values():
+        desc = meta.description
+        if meta.paper_ref:
+            desc = f"{desc} (paper: {meta.paper_ref})"
+        descriptors.append(
+            {
+                "id": meta.rule_id,
+                "name": _camel(meta.name),
+                "shortDescription": {"text": meta.name},
+                "fullDescription": {"text": desc},
+                "helpUri": _INFO_URI,
+                "defaultConfiguration": {"level": _level(meta.severity)},
+            }
+        )
+    for rid, name, severity, desc in _PSEUDO_RULES:
+        descriptors.append(
+            {
+                "id": rid,
+                "name": _camel(name),
+                "shortDescription": {"text": name},
+                "fullDescription": {"text": desc},
+                "helpUri": _INFO_URI,
+                "defaultConfiguration": {"level": _level(severity)},
+            }
+        )
+    descriptors.sort(key=lambda d: d["id"])
+    return descriptors
+
+
+def _camel(name: str) -> str:
+    """``"stale suppression"`` → ``"StaleSuppression"`` (SARIF rule.name)."""
+    return "".join(
+        part.capitalize() for part in name.replace("-", " ").split() if part.isalnum()
+    ) or "Rule"
+
+
+def _location(path: str, line: int, col: Optional[int] = None,
+              note: Optional[str] = None) -> Dict[str, Any]:
+    region: Dict[str, Any] = {"startLine": max(1, line)}
+    if col is not None:
+        region["startColumn"] = col + 1  # 0-based (ast) → 1-based (SARIF)
+    loc: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": region,
+        }
+    }
+    if note is not None:
+        loc["message"] = {"text": note}
+    return loc
+
+
+def _code_flow(finding: Finding) -> Dict[str, Any]:
+    return {
+        "threadFlows": [
+            {
+                "locations": [
+                    {"location": _location(step.path, step.line, note=step.note)}
+                    for step in finding.flow
+                ]
+            }
+        ]
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "partialFingerprints": {"dplintFingerprint/v1": finding.fingerprint},
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if finding.flow:
+        result["codeFlows"] = [_code_flow(finding)]
+    return result
+
+
+def render_sarif(findings: List[Finding]) -> Dict[str, Any]:
+    """Render findings as a complete SARIF 2.1.0 log object."""
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "dplint",
+                        "version": _REPRO_VERSION,
+                        "informationUri": _INFO_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }

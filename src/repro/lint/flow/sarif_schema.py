@@ -1,0 +1,205 @@
+"""Vendored, trimmed SARIF 2.1.0 JSON schema.
+
+The full OASIS schema is ~330 kB and mostly describes objects dplint
+never emits.  This subset keeps — verbatim in structure and constraint
+— every definition reachable from what :mod:`repro.lint.flow.sarif`
+produces (log → run → tool/driver/rules, results with locations,
+partialFingerprints and codeFlows), so ``jsonschema`` validation of our
+output is as strict as against the full schema, without shipping 330 kB
+or fetching anything at test time.  ``additionalProperties`` is left
+open exactly as in the original: SARIF consumers must ignore unknown
+properties.
+"""
+
+from __future__ import annotations
+
+SARIF_2_1_0_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "Static Analysis Results Format (SARIF) Version 2.1.0 (trimmed)",
+    "type": "object",
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 0,
+            "items": {"$ref": "#/definitions/run"},
+        },
+    },
+    "required": ["version", "runs"],
+    "definitions": {
+        "run": {
+            "type": "object",
+            "properties": {
+                "tool": {"$ref": "#/definitions/tool"},
+                "results": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/result"},
+                },
+                "columnKind": {
+                    "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                },
+                "originalUriBaseIds": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "$ref": "#/definitions/artifactLocation"
+                    },
+                },
+            },
+            "required": ["tool"],
+        },
+        "tool": {
+            "type": "object",
+            "properties": {
+                "driver": {"$ref": "#/definitions/toolComponent"}
+            },
+            "required": ["driver"],
+        },
+        "toolComponent": {
+            "type": "object",
+            "properties": {
+                "name": {"type": "string"},
+                "version": {"type": "string"},
+                "informationUri": {"type": "string", "format": "uri"},
+                "rules": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/reportingDescriptor"},
+                },
+            },
+            "required": ["name"],
+        },
+        "reportingDescriptor": {
+            "type": "object",
+            "properties": {
+                "id": {"type": "string"},
+                "name": {"type": "string", "pattern": "^[A-Za-z0-9]+$"},
+                "shortDescription": {
+                    "$ref": "#/definitions/multiformatMessageString"
+                },
+                "fullDescription": {
+                    "$ref": "#/definitions/multiformatMessageString"
+                },
+                "helpUri": {"type": "string", "format": "uri"},
+                "defaultConfiguration": {
+                    "$ref": "#/definitions/reportingConfiguration"
+                },
+            },
+            "required": ["id"],
+        },
+        "reportingConfiguration": {
+            "type": "object",
+            "properties": {
+                "level": {"enum": ["none", "note", "warning", "error"]}
+            },
+        },
+        "multiformatMessageString": {
+            "type": "object",
+            "properties": {
+                "text": {"type": "string"},
+                "markdown": {"type": "string"},
+            },
+            "required": ["text"],
+        },
+        "message": {
+            "type": "object",
+            "properties": {
+                "text": {"type": "string"},
+                "markdown": {"type": "string"},
+                "id": {"type": "string"},
+            },
+            "anyOf": [{"required": ["text"]}, {"required": ["id"]}],
+        },
+        "result": {
+            "type": "object",
+            "properties": {
+                "ruleId": {"type": "string"},
+                "ruleIndex": {"type": "integer", "minimum": 0},
+                "level": {"enum": ["none", "note", "warning", "error"]},
+                "message": {"$ref": "#/definitions/message"},
+                "locations": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/location"},
+                },
+                "partialFingerprints": {
+                    "type": "object",
+                    "additionalProperties": {"type": "string"},
+                },
+                "codeFlows": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/codeFlow"},
+                },
+            },
+            "required": ["message"],
+        },
+        "location": {
+            "type": "object",
+            "properties": {
+                "physicalLocation": {
+                    "$ref": "#/definitions/physicalLocation"
+                },
+                "message": {"$ref": "#/definitions/message"},
+            },
+        },
+        "physicalLocation": {
+            "type": "object",
+            "properties": {
+                "artifactLocation": {
+                    "$ref": "#/definitions/artifactLocation"
+                },
+                "region": {"$ref": "#/definitions/region"},
+            },
+            "anyOf": [
+                {"required": ["artifactLocation"]},
+                {"required": ["address"]},
+            ],
+        },
+        "artifactLocation": {
+            "type": "object",
+            "properties": {
+                "uri": {"type": "string", "format": "uri-reference"},
+                "uriBaseId": {"type": "string"},
+                "description": {"$ref": "#/definitions/message"},
+            },
+        },
+        "region": {
+            "type": "object",
+            "properties": {
+                "startLine": {"type": "integer", "minimum": 1},
+                "startColumn": {"type": "integer", "minimum": 1},
+                "endLine": {"type": "integer", "minimum": 1},
+                "endColumn": {"type": "integer", "minimum": 1},
+            },
+        },
+        "codeFlow": {
+            "type": "object",
+            "properties": {
+                "threadFlows": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {"$ref": "#/definitions/threadFlow"},
+                }
+            },
+            "required": ["threadFlows"],
+        },
+        "threadFlow": {
+            "type": "object",
+            "properties": {
+                "locations": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {"$ref": "#/definitions/threadFlowLocation"},
+                }
+            },
+            "required": ["locations"],
+        },
+        "threadFlowLocation": {
+            "type": "object",
+            "properties": {
+                "location": {"$ref": "#/definitions/location"},
+                "importance": {
+                    "enum": ["important", "essential", "unimportant"]
+                },
+            },
+        },
+    },
+}

@@ -10,8 +10,21 @@ Tags
 ``release``
     Code on the privatized-release path: ``mechanisms/``, ``rng/``,
     ``core/``, ``privacy/``, ``aggregation/``, ``runtime/``,
-    ``parallel/`` (the sharded fleet workers draw release noise) and the
-    CLI.  Randomness, float usage and accounting rules apply here.
+    ``parallel/`` (the sharded fleet workers draw release noise),
+    ``fixedpoint/`` and the repro CLI (``repro/cli.py`` — *not*
+    ``lint/cli.py``, which only reports findings).  Randomness, float
+    usage and accounting rules apply here.
+``fxp-datapath``
+    ``fixedpoint/`` specifically.  It was originally tagged
+    ``simulation`` because it has no randomness of its own, but that
+    was wrong in kind: the FxP datapath is the *release arithmetic* —
+    every mechanism's noise is quantized through it before leaving the
+    device, so a float leaking into it, or a raw value flowing through
+    it to a sink, breaks the deployed guarantee, not a simulation.  It
+    therefore carries ``release`` (all release-path rules apply) plus
+    this marker tag so rules that only make sense for stochastic code
+    (e.g. seed-material checks) can recognize the deterministic
+    datapath if they ever need to.
 ``simulation``
     Evaluation/simulation scaffolding (``datasets/``, ``sensors/``,
     ``sim/``, ``analysis/``, ``attacks/``, ``ml/``, ``queries/``,
@@ -32,11 +45,28 @@ from __future__ import annotations
 import pathlib
 from typing import FrozenSet
 
-__all__ = ["PathPolicy", "RELEASE_DIRS", "SIMULATION_DIRS", "AUDITED_RNG_FILES"]
+__all__ = [
+    "PathPolicy",
+    "RELEASE_DIRS",
+    "FXP_DATAPATH_DIRS",
+    "SIMULATION_DIRS",
+    "AUDITED_RNG_FILES",
+]
 
 RELEASE_DIRS = frozenset(
-    {"mechanisms", "rng", "core", "privacy", "aggregation", "runtime", "parallel"}
+    {
+        "mechanisms",
+        "rng",
+        "core",
+        "privacy",
+        "aggregation",
+        "runtime",
+        "parallel",
+        "fixedpoint",
+    }
 )
+#: ``fixedpoint/`` additionally carries this marker (see module docs).
+FXP_DATAPATH_DIRS = frozenset({"fixedpoint"})
 SIMULATION_DIRS = frozenset(
     {
         "datasets",
@@ -49,12 +79,15 @@ SIMULATION_DIRS = frozenset(
         "benchmarks",
         "examples",
         "tests",
-        "fixedpoint",
     }
 )
 #: Files allowed to construct raw generators: the audited abstraction.
 AUDITED_RNG_FILES = frozenset({"urng.py", "tausworthe.py", "lfsr.py", "codebook.py"})
-#: Top-level release files (not inside a release directory).
+#: Top-level release files (not inside a release directory).  Matched by
+#: basename, but only when the file sits directly under a ``repro``
+#: package dir (or is given as a bare name): ``src/repro/cli.py`` is the
+#: release CLI, ``src/repro/lint/cli.py`` is the linter's own front end
+#: and must not be release-tagged (the linter would flag itself).
 RELEASE_FILES = frozenset({"cli.py"})
 
 
@@ -65,11 +98,16 @@ class PathPolicy:
         parts = pathlib.PurePath(path).parts
         name = parts[-1] if parts else ""
         dirs = set(parts[:-1])
+        release_file = name in RELEASE_FILES and (
+            len(parts) == 1 or parts[-2] == "repro"
+        )
         tags = set()
         if dirs & SIMULATION_DIRS:
             tags.add("simulation")
-        elif dirs & RELEASE_DIRS or name in RELEASE_FILES:
+        elif dirs & RELEASE_DIRS or release_file:
             tags.add("release")
+        if dirs & FXP_DATAPATH_DIRS:
+            tags.add("fxp-datapath")
         if name in AUDITED_RNG_FILES and "rng" in dirs:
             tags.add("audited-rng")
         return frozenset(tags)

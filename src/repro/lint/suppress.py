@@ -105,3 +105,16 @@ class SuppressionIndex:
         for line in sorted(self._line_rules):
             sites.extend((line, rid) for rid in sorted(self._line_rules[line]))
         return sites
+
+    def unused_sites(self) -> Sequence[Tuple[int, str]]:
+        """Declared sites no :meth:`is_suppressed` hit ever consumed.
+
+        Only meaningful after the full analysis has run over the file;
+        the engine turns these into ``DPL902`` (stale suppression)
+        findings so dead annotations cannot accumulate.
+        """
+        return [
+            (line, rid)
+            for line, rid in self.suppression_sites()
+            if (line, rid) not in self._used
+        ]

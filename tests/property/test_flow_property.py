@@ -1,0 +1,104 @@
+"""Property test: the flow analysis is complete on synthetic fixtures.
+
+Generates a two-module sensor → forwarding-chain → sink fixture with a
+random chain depth and a sanitizer inserted at a random hop (or not at
+all), then asserts the exact dichotomy the linter promises:
+
+* no sanitizer anywhere on the path  →  DPL006 fires at the sink;
+* a ``privatize`` seam at *any* hop  →  nothing fires.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.flow import ProjectGraph, run_flow_analysis
+
+SENSOR = "def load_reading():\n    return 42.0\n"
+
+
+def build_fixture(depth, sanitize_at, use_alias):
+    """Files for a chain entry → h{depth-1} → … → h0 → server.submit.
+
+    ``sanitize_at`` is -1 (never), ``depth`` (at the entry), or a hop
+    index; ``use_alias`` routes the value through an extra local in each
+    hop so renaming does not launder taint.
+    """
+    hops = []
+    for i in range(depth):
+        body = []
+        if use_alias:
+            body.append("    w = v")
+            val = "w"
+        else:
+            val = "v"
+        if sanitize_at == i:
+            body.append(f"    {val} = mech.privatize({val})")
+        if i == 0:
+            body.append(f"    server.submit({val})")
+        else:
+            body.append(f"    h{i - 1}(server, mech, {val})")
+        hops.append(f"def h{i}(server, mech, v):\n" + "\n".join(body))
+
+    entry = ["def entry(server, mech):", "    v = load_reading()"]
+    if sanitize_at == depth:
+        entry.append("    v = mech.privatize(v)")
+    if depth:
+        entry.append(f"    h{depth - 1}(server, mech, v)")
+    else:
+        entry.append("    server.submit(v)")
+
+    relay_imports = ["from sensors.probe import load_reading"]
+    files = {
+        "sensors/__init__.py": "",
+        "sensors/probe.py": SENSOR,
+        "aggregation/__init__.py": "",
+    }
+    if depth:
+        files["runtime/__init__.py"] = ""
+        files["runtime/emit.py"] = "\n\n".join(hops) + "\n"
+        relay_imports.append(f"from runtime.emit import h{depth - 1}")
+    files["aggregation/relay.py"] = (
+        "\n".join(relay_imports) + "\n\n\n" + "\n".join(entry) + "\n"
+    )
+    return files
+
+
+def analyze(files):
+    graph = ProjectGraph.build(
+        [(path, src, ast.parse(src)) for path, src in files.items()]
+    )
+    return run_flow_analysis(graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    depth=st.integers(min_value=0, max_value=4),
+    sanitize=st.booleans(),
+    position=st.integers(min_value=0, max_value=4),
+    use_alias=st.booleans(),
+)
+def test_sensor_to_sink_dichotomy(depth, sanitize, position, use_alias):
+    sanitize_at = min(position, depth) if sanitize else -1
+    files = build_fixture(depth, sanitize_at, use_alias)
+    findings = analyze(files)
+
+    if not sanitize:
+        dpl006 = [f for f in findings if f.rule_id == "DPL006"]
+        assert len(dpl006) == 1, (
+            f"unprivatized depth-{depth} chain must be flagged exactly "
+            f"once, got {[f.render_text() for f in findings]}"
+        )
+        f = dpl006[0]
+        sink_file = "runtime/emit.py" if depth else "aggregation/relay.py"
+        assert f.path == sink_file
+        # The witness starts where the raw value enters the program.
+        assert f.flow[0].path == "aggregation/relay.py"
+        assert f.flow[-1].path == sink_file
+        assert f.flow[-1].line == f.line
+    else:
+        assert findings == [], (
+            f"seam at hop {sanitize_at} of {depth} must sanitize, got "
+            f"{[f.render_text() for f in findings]}"
+        )

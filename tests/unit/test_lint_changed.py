@@ -1,0 +1,133 @@
+"""``--changed BASE_REF``: changed-files gating against a real git repo."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not available"
+)
+
+VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    def make_noise(n):
+        rng = np.random.default_rng()
+        return rng.normal(size=n)
+    """
+)
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-C", str(repo), *args],
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    """A committed git repo with two violating mechanism files."""
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "dev@example.com")
+    _git(tmp_path, "config", "user.name", "dev")
+    mech = tmp_path / "mechanisms"
+    mech.mkdir()
+    (mech / "a.py").write_text(VIOLATION)
+    (mech / "b.py").write_text(VIOLATION)
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_only_changed_files_reported(repo, capsys):
+    (repo / "mechanisms" / "b.py").write_text(VIOLATION + "\nX = 1\n")
+    code = main(["--changed", "HEAD", "."])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "mechanisms/b.py" in out
+    assert "mechanisms/a.py" not in out
+    assert "in 1 file(s)" in out
+
+
+def test_clean_when_nothing_changed(repo, capsys):
+    code = main(["--changed", "HEAD", "."])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s) in 0 file(s)" in out
+
+
+def test_untracked_files_count_as_changed(repo, capsys):
+    (repo / "mechanisms" / "c.py").write_text(VIOLATION)
+    code = main(["--changed", "HEAD", "."])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "mechanisms/c.py" in out
+    assert "mechanisms/a.py" not in out
+
+
+def test_non_python_changes_ignored(repo, capsys):
+    (repo / "notes.txt").write_text("nothing to lint\n")
+    code = main(["--changed", "HEAD", "."])
+    assert code == 0
+    assert "in 0 file(s)" in capsys.readouterr().out
+
+
+def test_flow_graph_still_covers_whole_tree(repo, capsys):
+    """A changed sink file is flagged even when its source module is not
+    part of the diff — the restriction limits *findings*, not the graph."""
+    (repo / "sensors").mkdir()
+    (repo / "sensors" / "__init__.py").write_text("")
+    (repo / "sensors" / "probe.py").write_text(
+        "def load_reading():\n    return 42.0\n"
+    )
+    (repo / "aggregation").mkdir()
+    (repo / "aggregation" / "__init__.py").write_text("")
+    (repo / "aggregation" / "relay.py").write_text(
+        "from sensors.probe import load_reading\n\n\n"
+        "def forward(server):\n"
+        "    server.submit(load_reading())\n"
+    )
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "flow fixture")
+    # Only the sink file changes.
+    (repo / "aggregation" / "relay.py").write_text(
+        "from sensors.probe import load_reading\n\n\n"
+        "def forward(server):\n"
+        "    value = load_reading()\n"
+        "    server.submit(value)\n"
+    )
+    code = main(["--changed", "HEAD", "--flow", "--rules", "DPL006", "."])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "aggregation/relay.py" in out and "DPL006" in out
+
+
+def test_bad_ref_is_a_configuration_error(repo, capsys):
+    code = main(["--changed", "no-such-ref", "."])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--changed" in err
+
+
+def test_changed_composes_with_sarif(repo, capsys):
+    import json
+
+    (repo / "mechanisms" / "b.py").write_text(VIOLATION + "\nX = 1\n")
+    code = main(["--changed", "HEAD", "--format", "sarif", "."])
+    log = json.loads(capsys.readouterr().out)
+    assert code == 1
+    uris = {
+        r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        for r in log["runs"][0]["results"]
+    }
+    assert uris == {"mechanisms/b.py"}

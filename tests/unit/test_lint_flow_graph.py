@@ -1,0 +1,139 @@
+"""ProjectGraph construction: module naming, import and call resolution."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.flow.graph import ClassInfo, FunctionInfo, ProjectGraph
+
+
+def build(*files):
+    """files: (path, source) pairs → ProjectGraph."""
+    return ProjectGraph.build(
+        [(path, src, ast.parse(src)) for path, src in files]
+    )
+
+
+PKG = [
+    ("pkg/__init__.py", "from .core import helper\n"),
+    (
+        "pkg/core.py",
+        "def helper():\n    return 1\n\n"
+        "class Base:\n"
+        "    def shared(self):\n        return 2\n",
+    ),
+    (
+        "pkg/sub/__init__.py",
+        "",
+    ),
+    (
+        "pkg/sub/leaf.py",
+        "from ..core import helper as h\n"
+        "import pkg.core\n"
+        "from pkg.core import Base\n\n"
+        "class Child(Base):\n"
+        "    def own(self):\n        return h()\n\n"
+        "def caller():\n    return pkg.core.helper()\n",
+    ),
+]
+
+
+# ----------------------------------------------------------------------
+# Module naming
+# ----------------------------------------------------------------------
+def test_module_names_follow_init_membership():
+    g = build(*PKG)
+    assert set(g.modules) == {"pkg", "pkg.core", "pkg.sub", "pkg.sub.leaf"}
+    assert g.by_path["pkg/sub/leaf.py"] == "pkg.sub.leaf"
+
+
+def test_orphan_file_gets_bare_stem():
+    g = build(("scripts/tool.py", "def f():\n    return 0\n"))
+    # No __init__.py anywhere → not a package; stem is the module name.
+    assert "tool" in g.modules
+    assert g.modules["tool"].functions["f"].func_id == "tool:f"
+
+
+# ----------------------------------------------------------------------
+# Function and class tables
+# ----------------------------------------------------------------------
+def test_functions_and_methods_indexed():
+    g = build(*PKG)
+    assert isinstance(g.functions["pkg.core:helper"], FunctionInfo)
+    child_own = g.functions["pkg.sub.leaf:Child.own"]
+    assert child_own.class_name == "Child"
+    assert child_own.name == "own"
+    assert isinstance(g.classes["pkg.sub.leaf:Child"], ClassInfo)
+
+
+def test_dataclass_field_order():
+    g = build(
+        (
+            "pkg/__init__.py",
+            "",
+        ),
+        (
+            "pkg/model.py",
+            "import dataclasses\n\n"
+            "@dataclasses.dataclass\n"
+            "class Box:\n"
+            "    first: int\n"
+            "    second: str = 'x'\n",
+        ),
+    )
+    assert g.classes["pkg.model:Box"].field_order == ["first", "second"]
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def test_relative_import_resolves():
+    g = build(*PKG)
+    leaf = g.modules["pkg.sub.leaf"]
+    assert leaf.imports["h"] == "pkg.core.helper"
+    assert g.resolve_name(leaf, "h") is g.functions["pkg.core:helper"]
+
+
+def test_dotted_call_resolves_through_plain_import():
+    g = build(*PKG)
+    leaf = g.modules["pkg.sub.leaf"]
+    assert (
+        g.resolve_dotted(leaf, "pkg.core.helper")
+        is g.functions["pkg.core:helper"]
+    )
+
+
+def test_reexport_through_package_init():
+    g = build(*PKG)
+    # pkg/__init__.py re-exports helper; "pkg.helper" must chase it.
+    assert g.lookup("pkg.helper") is g.functions["pkg.core:helper"]
+
+
+def test_method_resolution_walks_bases():
+    g = build(*PKG)
+    shared = g.resolve_method("pkg.sub.leaf:Child", "shared")
+    assert shared is g.functions["pkg.core:Base.shared"]
+    assert g.resolve_method("pkg.sub.leaf:Child", "own").name == "own"
+    assert g.resolve_method("pkg.sub.leaf:Child", "missing") is None
+
+
+def test_function_level_imports_are_indexed():
+    g = build(
+        ("pkg/__init__.py", ""),
+        ("pkg/util.py", "def target():\n    return 9\n"),
+        (
+            "pkg/late.py",
+            "def run():\n"
+            "    from pkg.util import target\n"
+            "    return target()\n",
+        ),
+    )
+    late = g.modules["pkg.late"]
+    assert g.resolve_name(late, "target") is g.functions["pkg.util:target"]
+
+
+def test_external_imports_stay_opaque():
+    g = build(("pkg/__init__.py", ""), ("pkg/a.py", "import numpy as np\n"))
+    a = g.modules["pkg.a"]
+    assert a.imports["np"] == "numpy"
+    assert g.resolve_dotted(a, "np.random.default_rng") is None

@@ -1,0 +1,227 @@
+"""Pseudo-rules DPL900/DPL901/DPL902 through the engine's run() path,
+their baseline interaction, and the atomic baseline write."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    BAD_SUPPRESSION_RULE,
+    STALE_SUPPRESSION_RULE,
+    SYNTAX_ERROR_RULE,
+    LintConfig,
+    LintEngine,
+)
+from repro.lint.findings import Severity
+
+
+def run_tree(tmp_path, files, rules=None, flow=True, baseline=None):
+    for rel, src in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(src))
+    config = LintConfig(
+        rule_ids=rules,
+        flow=flow,
+        root=str(tmp_path),
+        baseline_path=baseline,
+    )
+    return LintEngine(config).run([str(tmp_path)])
+
+
+# ----------------------------------------------------------------------
+# DPL900 — syntax errors, via the full run() path
+# ----------------------------------------------------------------------
+class TestDpl900:
+    FILES = {"mechanisms/broken.py": "def broken(:\n"}
+
+    def test_reported_from_run(self, tmp_path):
+        result = run_tree(tmp_path, self.FILES)
+        assert [f.rule_id for f in result.findings] == [SYNTAX_ERROR_RULE]
+        assert result.findings[0].severity is Severity.ERROR
+        assert result.findings[0].path == "mechanisms/broken.py"
+
+    def test_baseline_absorbs_it(self, tmp_path):
+        first = run_tree(tmp_path, self.FILES)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.all_findings).write(str(baseline_path))
+        again = run_tree(tmp_path, {}, baseline=str(baseline_path))
+        assert again.ok and again.n_baselined == 1
+
+    def test_unparsable_file_does_not_break_flow_pass(self, tmp_path):
+        """The flow graph is built from the files that *do* parse."""
+        files = {
+            **self.FILES,
+            "sensors/__init__.py": "",
+            "sensors/probe.py": "def load_reading():\n    return 1.0\n",
+            "aggregation/__init__.py": "",
+            "aggregation/relay.py": """
+                from sensors.probe import load_reading
+
+                def forward(server):
+                    server.submit(load_reading())
+                """,
+        }
+        result = run_tree(tmp_path, files)
+        ids = {f.rule_id for f in result.findings}
+        assert SYNTAX_ERROR_RULE in ids and "DPL006" in ids
+
+
+# ----------------------------------------------------------------------
+# DPL901 — suppression naming an unknown rule
+# ----------------------------------------------------------------------
+class TestDpl901:
+    FILES = {"mechanisms/m.py": "x = 1  # dplint: allow[DPL042]\n"}
+
+    def test_reported_from_run(self, tmp_path):
+        result = run_tree(tmp_path, self.FILES)
+        assert [f.rule_id for f in result.findings] == [BAD_SUPPRESSION_RULE]
+        assert "DPL042" in result.findings[0].message
+
+    def test_flow_rule_ids_are_known(self, tmp_path):
+        """allow[DPL006..8] must not trip DPL901 even with flow off."""
+        files = {
+            "mechanisms/m.py": (
+                "x = 1  # dplint: allow[DPL006] -- forwarded demo value\n"
+            )
+        }
+        result = run_tree(tmp_path, files, flow=False)
+        assert all(
+            f.rule_id != BAD_SUPPRESSION_RULE for f in result.findings
+        )
+
+    def test_baseline_absorbs_it(self, tmp_path):
+        first = run_tree(tmp_path, self.FILES)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.all_findings).write(str(baseline_path))
+        again = run_tree(tmp_path, {}, baseline=str(baseline_path))
+        assert again.ok and again.n_baselined == 1
+
+
+# ----------------------------------------------------------------------
+# DPL902 — stale suppressions
+# ----------------------------------------------------------------------
+STALE = {
+    "mechanisms/m.py": """
+        def f(x):
+            return x + 1  # dplint: allow[DPL002] -- obsolete
+        """,
+}
+
+
+class TestDpl902:
+    def test_unused_release_suppression_flagged(self, tmp_path):
+        result = run_tree(tmp_path, STALE, flow=True)
+        assert [f.rule_id for f in result.findings] == [STALE_SUPPRESSION_RULE]
+        f = result.findings[0]
+        assert f.severity is Severity.WARNING
+        assert "allow[DPL002]" in f.message and "suppresses nothing" in f.message
+
+    def test_file_scope_site_reported_on_line_one(self, tmp_path):
+        files = {
+            "mechanisms/m.py": (
+                "# dplint: allow-file[DPL002] -- file-wide, obsolete\n"
+                "def f(x):\n"
+                "    return x + 1\n"
+            )
+        }
+        result = run_tree(tmp_path, files, flow=True)
+        assert [f.rule_id for f in result.findings] == [STALE_SUPPRESSION_RULE]
+        assert result.findings[0].line == 1
+        assert "file scope" in result.findings[0].message
+
+    def test_used_suppression_not_stale(self, tmp_path):
+        files = {
+            "mechanisms/m.py": """
+                import numpy as np
+
+                def make_noise(n):
+                    rng = np.random.default_rng()  # dplint: allow[DPL001] -- test rig
+                    return rng.normal(size=n)
+                """,
+        }
+        result = run_tree(tmp_path, files, flow=True)
+        assert all(
+            f.rule_id != STALE_SUPPRESSION_RULE for f in result.findings
+        )
+
+    def test_off_without_flow(self, tmp_path):
+        result = run_tree(tmp_path, STALE, flow=False)
+        assert result.findings == []
+
+    def test_off_under_rule_subset(self, tmp_path):
+        # With only DPL006 selected, allow[DPL002] looks unused merely
+        # because DPL002 never ran; the check must stay silent.
+        result = run_tree(tmp_path, STALE, rules=["DPL006"], flow=True)
+        assert result.findings == []
+
+    def test_simulation_files_exempt(self, tmp_path):
+        files = {"datasets/gen.py": STALE["mechanisms/m.py"]}
+        result = run_tree(tmp_path, files, flow=True)
+        assert result.findings == []
+
+    def test_unknown_id_left_to_dpl901(self, tmp_path):
+        files = {"mechanisms/m.py": "x = 1  # dplint: allow[DPL042]\n"}
+        result = run_tree(tmp_path, files, flow=True)
+        assert [f.rule_id for f in result.findings] == [BAD_SUPPRESSION_RULE]
+
+    def test_dpl902_itself_suppressible(self, tmp_path):
+        files = {
+            "mechanisms/m.py": """
+                def f(x):
+                    return x + 1  # dplint: allow[DPL002,DPL902] -- kept on purpose
+                """,
+        }
+        result = run_tree(tmp_path, files, flow=True)
+        assert result.findings == []
+        assert result.n_suppressed >= 1
+
+
+# ----------------------------------------------------------------------
+# Atomic baseline write
+# ----------------------------------------------------------------------
+class TestAtomicBaselineWrite:
+    def _baseline(self):
+        from repro.lint.findings import Finding
+
+        return Baseline.from_findings(
+            [
+                Finding(
+                    rule_id="DPL001",
+                    severity=Severity.ERROR,
+                    path="mechanisms/m.py",
+                    line=3,
+                    col=0,
+                    message="m",
+                    source_line="rng = np.random.default_rng()",
+                )
+            ]
+        )
+
+    def test_write_replaces_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{\"stale\": true}")
+        self._baseline().write(str(target))
+        assert len(Baseline.load(str(target))) == 1
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "baseline.json"
+        original = '{"version": 1, "tool": "dplint", "entries": []}\n'
+        target.write_text(original)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            self._baseline().write(str(target))
+        # The committed file is untouched and the temp file was removed.
+        assert target.read_text() == original
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []

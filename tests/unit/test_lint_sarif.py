@@ -1,0 +1,140 @@
+"""SARIF 2.1.0 emission: structure, schema validity, code flows."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import jsonschema
+import pytest
+
+from repro.lint.engine import LintConfig, LintEngine
+from repro.lint.findings import Finding, FlowStep, Severity
+from repro.lint.flow.sarif import SARIF_VERSION, render_sarif
+from repro.lint.flow.sarif_schema import SARIF_2_1_0_SCHEMA
+
+
+def _finding(**over):
+    base = dict(
+        rule_id="DPL006",
+        severity=Severity.ERROR,
+        path="aggregation/relay.py",
+        line=5,
+        col=4,
+        message="raw flow to sink",
+        source_line="server.submit(value)",
+    )
+    base.update(over)
+    return Finding(**base)
+
+
+FLOW = (
+    FlowStep(path="sensors/probe.py", line=2, note="raw sensor read"),
+    FlowStep(path="aggregation/relay.py", line=5, note="submitted to server"),
+)
+
+
+def test_empty_log_is_schema_valid():
+    log = render_sarif([])
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    jsonschema.validate(log, SARIF_2_1_0_SCHEMA)
+    assert log["runs"][0]["results"] == []
+
+
+def test_rule_catalog_complete_and_sorted():
+    rules = render_sarif([])["runs"][0]["tool"]["driver"]["rules"]
+    ids = [r["id"] for r in rules]
+    assert ids == sorted(ids)
+    # 5 per-file + 3 flow + 3 pseudo.
+    assert ids == [
+        "DPL001", "DPL002", "DPL003", "DPL004", "DPL005",
+        "DPL006", "DPL007", "DPL008",
+        "DPL900", "DPL901", "DPL902",
+    ]
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_result_fields_and_rule_index():
+    log = render_sarif([_finding()])
+    jsonschema.validate(log, SARIF_2_1_0_SCHEMA)
+    run = log["runs"][0]
+    result = run["results"][0]
+    assert result["ruleId"] == "DPL006"
+    # ruleIndex points back into the driver catalog.
+    assert run["tool"]["driver"]["rules"][result["ruleIndex"]]["id"] == "DPL006"
+    assert result["level"] == "error"
+    assert result["partialFingerprints"]["dplintFingerprint/v1"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    # dplint columns are 0-based (ast); SARIF is 1-based.
+    assert region["startColumn"] == 4 + 1
+
+
+def test_flow_witness_becomes_code_flow():
+    log = render_sarif([_finding(flow=FLOW)])
+    jsonschema.validate(log, SARIF_2_1_0_SCHEMA)
+    steps = log["runs"][0]["results"][0]["codeFlows"][0]["threadFlows"][0][
+        "locations"
+    ]
+    assert len(steps) == len(FLOW)
+    first = steps[0]["location"]
+    assert (
+        first["physicalLocation"]["artifactLocation"]["uri"]
+        == "sensors/probe.py"
+    )
+    assert first["message"]["text"] == "raw sensor read"
+
+
+def test_no_code_flow_without_witness():
+    log = render_sarif([_finding()])
+    assert "codeFlows" not in log["runs"][0]["results"][0]
+
+
+def test_warning_severity_maps_to_warning_level():
+    log = render_sarif([_finding(rule_id="DPL008", severity=Severity.WARNING)])
+    assert log["runs"][0]["results"][0]["level"] == "warning"
+
+
+def test_log_is_json_serializable():
+    blob = json.dumps(render_sarif([_finding(flow=FLOW)]))
+    assert json.loads(blob)["version"] == "2.1.0"
+
+
+def test_end_to_end_engine_findings_validate(tmp_path):
+    """SARIF built from a real engine run over a flow fixture validates."""
+    files = {
+        "sensors/__init__.py": "",
+        "sensors/probe.py": "def load_reading():\n    return 42.0\n",
+        "aggregation/__init__.py": "",
+        "aggregation/relay.py": textwrap.dedent(
+            """
+            from sensors.probe import load_reading
+
+            def forward(server):
+                server.submit(load_reading())
+            """
+        ),
+    }
+    for rel, src in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    config = LintConfig(rule_ids=["DPL006"], root=str(tmp_path))
+    result = LintEngine(config).run([str(tmp_path)])
+    assert result.findings, "fixture must produce a flow finding"
+    log = render_sarif(result.findings)
+    jsonschema.validate(log, SARIF_2_1_0_SCHEMA)
+    sarif_result = log["runs"][0]["results"][0]
+    assert sarif_result["ruleId"] == "DPL006"
+    assert sarif_result["codeFlows"], "flow finding must carry its witness"
+
+
+def test_vendored_schema_rejects_bad_logs():
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate({"version": "2.1.0"}, SARIF_2_1_0_SCHEMA)
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(
+            {"version": "9.9.9", "runs": []}, SARIF_2_1_0_SCHEMA
+        )
