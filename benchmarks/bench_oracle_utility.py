@@ -1,0 +1,179 @@
+"""Frequency-oracle utility bench — RR vs OUE vs OLH across ε.
+
+Runs the three categorical oracle arms over the same skewed population
+at each ε and reports the utility-vs-ε table the oracle-selection
+guidance in docs/api.md cites: closed-form rare-item standard error,
+empirical mean absolute error, and — the ULP axis — per-report bits on
+the wire (k-RR ships ``ceil(log2 d)`` bits, OUE ships ``d``, OLH ships
+``ceil(log2 g)`` with ``g ≈ e^ε + 1``).
+
+It also *asserts* the statistical contract: over repeated trials each
+arm's estimate of the tracked category must be unbiased, with the mean
+estimate within 3σ of the truth (σ from the closed-form variance of the
+mean of T trials — ``sqrt(Var[f̂]/T)``), and the empirical per-trial
+variance must agree with the closed form within a generous Monte Carlo
+band.  A bias or a variance-formula error fails the bench, not just a
+number in a table.
+
+Machine-readable results land in ``BENCH_oracles.json`` at the repo
+root.  Standalone script (not pytest-benchmark): CI runs ``--quick`` as
+the oracle-smoke job and uploads the JSON as an artifact.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.mechanisms import make_oracle
+from repro.queries import estimate_frequencies, frequency_variance, ideal_oracle_variance
+from repro.rng import SplitStreamSource, audited_generator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_JSON = REPO_ROOT / "BENCH_oracles.json"
+
+SEED = 20260808
+ARMS = ("krr", "oue", "olh")
+ARM_LABELS = {"krr": "k-RR", "oue": "OUE", "olh": "OLH"}
+#: Unbiasedness gate: |mean(f_hat) - f| <= 3 sigma of the trial mean.
+BIAS_SIGMAS = 3.0
+#: Empirical/closed-form variance ratio band (Monte Carlo tolerance).
+VAR_BAND = (0.4, 2.5)
+
+
+def _population(rng, d, n):
+    """Fixed skewed population: one heavy category, uniform tail."""
+    p = np.r_[0.3, np.full(d - 1, 0.7 / (d - 1))]
+    return rng.choice(d, size=n, p=p)
+
+
+def _run_arm(kind, d, epsilon, values, trials, seed0):
+    """T trials of one arm on one dataset; per-trial tracked estimates."""
+    n = values.size
+    f_true = np.bincount(values, minlength=d) / n
+    tracked = int(np.argmax(f_true))  # the heavy category
+    estimates, maes = [], []
+    t0 = time.perf_counter()
+    for t in range(trials):
+        arm = make_oracle(kind, d, epsilon, source=SplitStreamSource(seed0 + t))
+        est = estimate_frequencies(arm, arm.report(values))
+        estimates.append(float(est.frequencies[tracked]))
+        maes.append(float(np.abs(est.frequencies - f_true).mean()))
+    elapsed = time.perf_counter() - t0
+    arm = make_oracle(kind, d, epsilon, source=SplitStreamSource(seed0))
+    p, q = arm.estimator_params()
+    closed_var = frequency_variance(n, p, q, float(f_true[tracked]))
+    rare_sigma = math.sqrt(frequency_variance(n, p, q, 0.0))
+    mean_est = float(np.mean(estimates))
+    bias = mean_est - float(f_true[tracked])
+    bias_sigma = math.sqrt(closed_var / trials)
+    emp_var = float(np.var(estimates, ddof=1)) if trials > 1 else float("nan")
+    return {
+        "arm": ARM_LABELS[kind],
+        "kind": kind,
+        "epsilon": epsilon,
+        "exact_epsilon": round(arm.exact_epsilon(), 6),
+        "report_bits": int(arm.report_bits),
+        "tracked_f": round(float(f_true[tracked]), 6),
+        "mean_estimate": round(mean_est, 6),
+        "bias": round(bias, 6),
+        "bias_z": round(bias / bias_sigma, 3),
+        "closed_form_var": closed_var,
+        "empirical_var": emp_var,
+        "var_ratio": round(emp_var / closed_var, 3),
+        "rare_sigma": round(rare_sigma, 6),
+        "ideal_rare_sigma": round(
+            math.sqrt(ideal_oracle_variance(n, epsilon)), 6
+        ),
+        "mae": round(float(np.mean(maes)), 6),
+        "seconds": round(elapsed, 3),
+        "unbiased_3sigma": bool(abs(bias) <= BIAS_SIGMAS * bias_sigma),
+        "var_in_band": bool(VAR_BAND[0] <= emp_var / closed_var <= VAR_BAND[1]),
+    }
+
+
+def _render(rows):
+    head = (
+        f"{'eps':>4} {'arm':<5} {'exact eps':>9} {'bits':>5} "
+        f"{'rare sigma':>10} {'MAE':>8} {'bias z':>7} {'var ratio':>9}"
+    )
+    print(head)
+    print("-" * len(head))
+    for r in rows:
+        print(
+            f"{r['epsilon']:>4g} {r['arm']:<5} {r['exact_epsilon']:>9.4f} "
+            f"{r['report_bits']:>5d} {r['rare_sigma']:>10.4f} "
+            f"{r['mae']:>8.4f} {r['bias_z']:>7.2f} {r['var_ratio']:>9.2f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--categories", type=int, default=32)
+    parser.add_argument("--devices", type=int, default=20_000)
+    parser.add_argument("--trials", type=int, default=24)
+    parser.add_argument(
+        "--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0]
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small domain/population, fewer trials",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        d, n, trials, epsilons = 8, 4_000, 10, [1.0, 2.0]
+    else:
+        d, n, trials, epsilons = (
+            args.categories, args.devices, args.trials, args.epsilons
+        )
+
+    values = _population(audited_generator(SEED), d, n)
+    print(f"population: d={d} n={n} trials={trials} epsilons={epsilons}")
+
+    rows = []
+    for epsilon in epsilons:
+        for kind in ARMS:
+            rows.append(
+                _run_arm(kind, d, epsilon, values, trials, SEED + len(rows) * 1000)
+            )
+    _render(rows)
+
+    failures = [
+        f"{r['arm']} @ eps={r['epsilon']}: "
+        + ("biased" if not r["unbiased_3sigma"] else "variance off")
+        for r in rows
+        if not (r["unbiased_3sigma"] and r["var_in_band"])
+    ]
+
+    payload = {
+        "schema": 1,
+        "categories": d,
+        "devices": n,
+        "trials": trials,
+        "epsilons": epsilons,
+        "bias_sigmas": BIAS_SIGMAS,
+        "var_band": list(VAR_BAND),
+        "quick": args.quick,
+        "rows": rows,
+        "failures": failures,
+    }
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULTS_JSON}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"all arms unbiased within {BIAS_SIGMAS} sigma; "
+          f"variances within {VAR_BAND}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

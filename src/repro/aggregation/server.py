@@ -43,6 +43,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..queries.estimators import debiased_variance
+from ..queries.frequency import FrequencyEstimate, estimate_from_counts
 from .protocol import Report
 
 __all__ = ["AggregationServer", "EpochSummary"]
@@ -113,6 +114,27 @@ class _EpochMoments:
         }
 
 
+class _EpochCategoryCounts:
+    """Per-epoch categorical support counts — O(d) state, both modes.
+
+    Support counts are exact integers and addition is associative, so
+    folding shard batches in shard order is trivially bit-identical for
+    any worker count; there is nothing to retain beyond the counts and
+    the report tally, which is why the categorical path is streaming-
+    native even on a retaining server.
+    """
+
+    __slots__ = ("counts", "n")
+
+    def __init__(self, n_categories: int):
+        self.counts = np.zeros(int(n_categories), dtype=np.int64)
+        self.n = 0
+
+    def fold(self, counts: np.ndarray, n: int) -> None:
+        self.counts += counts
+        self.n += int(n)
+
+
 @dataclasses.dataclass
 class _ReportBatch:
     """A column-oriented batch of reports (retain mode, array submission)."""
@@ -143,6 +165,8 @@ class AggregationServer:
         self._epochs: Dict[int, List[Union[Report, _ReportBatch]]] = {}
         #: Streaming mode: per-epoch running moments.
         self._moments: Dict[int, _EpochMoments] = {}
+        #: Categorical path (both modes): per-epoch support counts.
+        self._categories: Dict[int, _EpochCategoryCounts] = {}
         #: Running per-device claimed-loss totals (both modes) — the
         #: server-side composition bound behind
         #: :meth:`worst_case_disclosure`.
@@ -215,6 +239,47 @@ class AggregationServer:
                 claimed_loss=float(claimed_loss),
             )
         )
+
+    def submit_counts(
+        self,
+        epoch: int,
+        counts: np.ndarray,
+        n_reports: int,
+        claimed_loss: float,
+        device_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Accept one epoch batch of categorical *support counts*.
+
+        The categorical analogue of :meth:`submit_array`: the client (or
+        shard worker) aggregates its reports into the O(d) support-count
+        vector via ``mechanism.support_counts`` and ships only that —
+        the vector-valued generalization of the streaming fold, and the
+        only categorical submission path (raw categorical reports are
+        never retained server-side, in either mode).  ``device_ids`` is
+        optional exactly as in streaming ``submit_array``; bulk callers
+        use :meth:`record_claimed_losses` instead.
+        """
+        counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+        if counts.size < 2:
+            raise ConfigurationError("support counts need >= 2 categories")
+        if n_reports <= 0:
+            raise ConfigurationError("submit_counts needs a positive report count")
+        if counts.min() < 0:
+            raise ConfigurationError("support counts must be nonnegative")
+        bucket = self._categories.get(epoch)
+        if bucket is None:
+            bucket = self._categories[epoch] = _EpochCategoryCounts(counts.size)
+        elif bucket.counts.size != counts.size:
+            raise ConfigurationError(
+                f"epoch {epoch} categorical domain changed: "
+                f"{bucket.counts.size} -> {counts.size} categories"
+            )
+        bucket.fold(counts, n_reports)
+        if device_ids is not None:
+            for device_id in device_ids:
+                self._disclosure[device_id] = (
+                    self._disclosure.get(device_id, 0.0) + claimed_loss
+                )
 
     def record_claimed_losses(self, losses: Mapping[str, float]) -> None:
         """Bulk-add per-device claimed losses to the disclosure bound.
@@ -375,6 +440,31 @@ class AggregationServer:
                 )
             return counters[key]
         return int(np.count_nonzero(self.values(epoch) > threshold))
+
+    # ------------------------------------------------------------------
+    # Categorical queries (support counts submitted via submit_counts)
+    # ------------------------------------------------------------------
+    @property
+    def categorical_epochs(self) -> List[int]:
+        """Epochs with categorical support counts, ascending."""
+        return sorted(self._categories)
+
+    def category_counts(self, epoch: int) -> Tuple[np.ndarray, int]:
+        """``(support counts, n reports)`` of one categorical epoch."""
+        bucket = self._categories.get(epoch)
+        if bucket is None:
+            raise ConfigurationError(f"no categorical counts for epoch {epoch}")
+        return bucket.counts.copy(), bucket.n
+
+    def frequency_estimates(self, epoch: int, mechanism) -> FrequencyEstimate:
+        """Unbiased per-category frequency estimates for one epoch.
+
+        ``mechanism`` supplies the realized support channel ``(p, q)``
+        (any :class:`~repro.mechanisms.categorical.CategoricalMechanism`
+        — the server needs only its public metadata, never its URNG).
+        """
+        counts, n = self.category_counts(epoch)
+        return estimate_from_counts(mechanism, counts, n)
 
     def mean_trend(self) -> List[float]:
         """Per-epoch means across all collected epochs."""

@@ -11,6 +11,8 @@ Tags
     Code on the privatized-release path: ``mechanisms/``, ``rng/``,
     ``core/``, ``privacy/``, ``aggregation/``, ``runtime/``,
     ``parallel/`` (the sharded fleet workers draw release noise),
+    ``queries/`` (the frequency-oracle server side debiases by channel
+    parameters and the PEM cascade *drives* per-level releases),
     ``fixedpoint/`` and the repro CLI (``repro/cli.py`` — *not*
     ``lint/cli.py``, which only reports findings).  Randomness, float
     usage and accounting rules apply here.
@@ -27,7 +29,7 @@ Tags
     datapath if they ever need to.
 ``simulation``
     Evaluation/simulation scaffolding (``datasets/``, ``sensors/``,
-    ``sim/``, ``analysis/``, ``attacks/``, ``ml/``, ``queries/``,
+    ``sim/``, ``analysis/``, ``attacks/``, ``ml/``,
     benchmarks, examples, tests).  Hazard rules stay silent; the code may
     still carry ``# dplint: allow[...]`` annotations as documentation.
 ``audited-rng``
@@ -62,6 +64,7 @@ RELEASE_DIRS = frozenset(
         "aggregation",
         "runtime",
         "parallel",
+        "queries",
         "fixedpoint",
     }
 )
@@ -75,7 +78,6 @@ SIMULATION_DIRS = frozenset(
         "analysis",
         "attacks",
         "ml",
-        "queries",
         "benchmarks",
         "examples",
         "tests",

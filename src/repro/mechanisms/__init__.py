@@ -9,10 +9,19 @@ from typing import Optional
 
 from ..errors import ConfigurationError
 from .base import LocalMechanism, SensorSpec
+from .categorical import CategoricalMechanism
 from .fxp_baseline import FxpBaselineMechanism
 from .generic import GuardedNoiseMechanism
 from .fxp_common import DEFAULT_INPUT_BITS, DEFAULT_OUTPUT_BITS, FxpMechanismBase
 from .ideal_laplace import IdealLaplaceMechanism
+from .oracles import (
+    DEFAULT_ORACLE_BITS,
+    KaryRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+    ORACLE_NAMES,
+    make_oracle,
+)
 from .resampling import ResamplingMechanism
 from .rr_mode import DpBoxRandomizedResponse
 from .thresholding import ThresholdingMechanism
@@ -20,6 +29,7 @@ from .thresholding import ThresholdingMechanism
 __all__ = [
     "LocalMechanism",
     "SensorSpec",
+    "CategoricalMechanism",
     "FxpBaselineMechanism",
     "GuardedNoiseMechanism",
     "FxpMechanismBase",
@@ -27,6 +37,12 @@ __all__ = [
     "ResamplingMechanism",
     "ThresholdingMechanism",
     "DpBoxRandomizedResponse",
+    "KaryRandomizedResponse",
+    "OptimizedUnaryEncoding",
+    "OptimizedLocalHashing",
+    "make_oracle",
+    "ORACLE_NAMES",
+    "DEFAULT_ORACLE_BITS",
     "DEFAULT_INPUT_BITS",
     "DEFAULT_OUTPUT_BITS",
     "make_mechanism",

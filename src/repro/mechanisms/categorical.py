@@ -1,0 +1,192 @@
+"""The categorical LDP protocol seam: encode → perturb → report.
+
+The LDP frequency-oracle literature (Qin et al., PAPERS.md) factors
+every categorical protocol into four stages: the *client* encodes its
+value and perturbs the encoding, the *server* aggregates the perturbed
+reports into per-category support counts and estimates frequencies with
+an unbiased linear inversion.  :class:`CategoricalMechanism` is the
+client half of that contract plus the exact channel parameters the
+server half (:mod:`repro.queries.frequency`) needs:
+
+* :meth:`~CategoricalMechanism.encode` — value → encoded codes;
+* :meth:`~CategoricalMechanism.perturb` — encoded codes → reports,
+  **through the release pipeline** (clip→draw→guard→charge→cache→emit),
+  so every categorical report is a :class:`~repro.runtime.ReleaseEvent`
+  with budget charging and dplint-audited randomness for free;
+* :meth:`~CategoricalMechanism.support_counts` — reports → per-category
+  support counts ``c_v`` (the aggregate stage);
+* :meth:`~CategoricalMechanism.estimator_params` — the exact channel
+  probabilities ``(p, q)`` with ``p = Pr[support v | true v]`` and
+  ``q = Pr[support v | true v' != v]``, from which the estimate stage
+  inverts ``f̂_v = (c_v/n - q)/(p - q)`` unbiasedly.
+
+Every mechanism here reports its *realized* channel: perturbation
+probabilities are dyadic rationals ``t / 2**bits`` realized exactly by
+comparing URNG codes against integer thresholds, and the advertised
+``exact_epsilon`` is computed from those realized probabilities — the
+same finite-precision honesty the paper demands of the Laplace datapath.
+
+:class:`~repro.mechanisms.rr_mode.DpBoxRandomizedResponse` is re-homed
+onto this protocol (binary special case, DP-Box hardware channel);
+:mod:`repro.mechanisms.oracles` provides the OUE/OLH/k-RR arms.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runtime import ReleaseOutcome, ReleasePipeline, ReleaseRequest, default_pipeline
+
+__all__ = ["CategoricalMechanism", "check_categories"]
+
+
+def check_categories(values: np.ndarray, n_categories: int) -> np.ndarray:
+    """Validate a 1-D integer category vector in ``0..n_categories-1``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ConfigurationError("empty category input")
+    if not np.issubdtype(values.dtype, np.integer):
+        raise ConfigurationError("categories must be integers")
+    values = values.reshape(-1).astype(np.int64)
+    if values.min() < 0 or values.max() >= n_categories:
+        raise ConfigurationError(f"categories must be in 0..{n_categories - 1}")
+    return values
+
+
+class CategoricalMechanism(abc.ABC):
+    """Client side of the four-stage categorical LDP protocol.
+
+    Subclasses implement the encode and perturb stages (the perturb
+    stage must route its randomness through a
+    :class:`~repro.runtime.ReleaseRequest`) plus the channel metadata
+    the server-side stages consume.  :meth:`report` composes the two
+    client stages; the aggregate/estimate stages live in
+    :mod:`repro.queries.frequency` and operate on any object satisfying
+    this interface.
+
+    ``user_offset`` threads the *global* user index through encode and
+    support counting: protocols with per-user public randomness (OLH's
+    per-user hash) derive it from that index, so sharded fleet execution
+    stays worker-count bit-identical — the hash of device ``i`` never
+    depends on which shard or process privatizes it.
+    """
+
+    #: Short name used in result tables ("OUE", "OLH", ...).
+    name: str = "categorical"
+
+    #: Domain size ``d`` (set by subclass constructors).
+    n_categories: int = 0
+
+    # Subclass constructors also set ``self.epsilon`` (the per-report
+    # privacy claim) after validating it — validation lives with the
+    # concrete constructors, which dplint DPL005 watches.
+
+    # -- pipeline plumbing (mirrors LocalMechanism; standalone oracles
+    # -- are not LocalMechanisms, they have no sensor range) -----------
+    @property
+    def pipeline(self) -> ReleasePipeline:
+        """The release pipeline this mechanism perturbs through."""
+        pipe = getattr(self, "_pipeline", None)
+        return pipe if pipe is not None else default_pipeline()
+
+    @pipeline.setter
+    def pipeline(self, value: Optional[ReleasePipeline]) -> None:
+        self._pipeline = value
+
+    # -- the client stages ---------------------------------------------
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray, user_offset: int = 0) -> np.ndarray:
+        """Encode true categories into the protocol's input alphabet.
+
+        Returns one encoded row per user: shape ``(n,)`` for index
+        encodings (RR, OLH), ``(n, d)`` for unary encodings (OUE).
+        """
+
+    @abc.abstractmethod
+    def perturb_request(
+        self, encoded: np.ndarray, user_offset: int = 0
+    ) -> ReleaseRequest:
+        """Describe the perturbation of ``encoded`` as a pipeline release."""
+
+    def perturb(
+        self,
+        encoded: np.ndarray,
+        accounting=None,
+        channel: Optional[str] = None,
+        user_offset: int = 0,
+    ) -> np.ndarray:
+        """Perturb encoded rows through the pipeline; returns reports."""
+        encoded = np.asarray(encoded)
+        request = self.perturb_request(encoded, user_offset=user_offset)
+        if channel is not None:
+            request.channel = channel
+        outcome = self.pipeline.release(request, accounting=accounting)
+        return self._reports_from_outcome(outcome, encoded)
+
+    def report(
+        self,
+        values: np.ndarray,
+        accounting=None,
+        channel: Optional[str] = None,
+        user_offset: int = 0,
+    ) -> np.ndarray:
+        """encode ∘ perturb: true categories → privatized reports."""
+        encoded = self.encode(values, user_offset=user_offset)
+        return self.perturb(
+            encoded, accounting=accounting, channel=channel, user_offset=user_offset
+        )
+
+    def _reports_from_outcome(
+        self, outcome: ReleaseOutcome, encoded: np.ndarray
+    ) -> np.ndarray:
+        """Reshape pipeline output back to per-user report rows."""
+        return np.asarray(outcome.values).reshape(encoded.shape)
+
+    # -- server-side metadata ------------------------------------------
+    @abc.abstractmethod
+    def support_counts(
+        self, reports: np.ndarray, user_offset: int = 0
+    ) -> np.ndarray:
+        """Per-category support counts ``c_v`` of a report batch.
+
+        ``c_v`` counts the reports that *support* category ``v`` under
+        the protocol's support predicate (bit ``v`` set for OUE, report
+        equal to the user's hash of ``v`` for OLH, report equal to ``v``
+        for RR).  Counts are exact integers, so folding shard batches is
+        associative — the sharded aggregation path is bit-identical for
+        any worker count.
+        """
+
+    @abc.abstractmethod
+    def estimator_params(self) -> Tuple[float, float]:
+        """Exact realized ``(p, q)`` of the support channel.
+
+        ``p = Pr[report supports v | true value v]`` and ``q = Pr[report
+        supports v | true value != v]`` — the two numbers that make
+        ``f̂_v = (c_v/n - q)/(p - q)`` unbiased for the *realized*
+        (finite-precision) channel, not the ideal one.
+        """
+
+    @property
+    @abc.abstractmethod
+    def report_bits(self) -> int:
+        """Bits on the wire per report (the ULP radio-budget axis)."""
+
+    @abc.abstractmethod
+    def exact_epsilon(self) -> float:
+        """Exact ε of the realized channel (≤ the configured claim)."""
+
+    # -- shared conveniences -------------------------------------------
+    @property
+    def claimed_loss_bound(self) -> float:
+        """Per-report loss claim (the configured ε)."""
+        return self.epsilon
+
+    def n_reports(self, reports: np.ndarray) -> int:
+        """Number of user reports in a report batch."""
+        reports = np.asarray(reports)
+        return int(reports.shape[0])

@@ -9,6 +9,12 @@ response with flip probability ``q = Pr[x + n crosses the midpoint]``.
 :class:`DpBoxRandomizedResponse` computes the induced 2x2 channel
 *exactly* from the fixed-point noise PMF, reports the exact ε it
 provides, and exposes the debiased frequency estimator used in Fig. 14.
+
+It is also the binary arm of the categorical oracle protocol
+(:class:`~repro.mechanisms.categorical.CategoricalMechanism`): encode
+maps a bit to its sensor endpoint, perturb is the zero-threshold DP-Box
+release (unchanged — the re-homing is bit-identical), and the exact 2x2
+channel supplies the ``(p, q)`` the frequency estimators invert.
 """
 
 from __future__ import annotations
@@ -21,17 +27,21 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..privacy.definitions import LossReport, pointwise_loss
 from ..privacy.randomized_response import debias_frequency
-from ..runtime import ReleaseRequest
+from ..runtime import ReleaseOutcome, ReleaseRequest
 from .base import SensorSpec
+from .categorical import CategoricalMechanism
 from .fxp_common import FxpMechanismBase
 
 __all__ = ["DpBoxRandomizedResponse"]
 
 
-class DpBoxRandomizedResponse(FxpMechanismBase):
+class DpBoxRandomizedResponse(FxpMechanismBase, CategoricalMechanism):
     """Binary randomized response realized by a zero-threshold DP-Box."""
 
     name = "DP-Box RR"
+
+    #: Binary domain: the two sensor endpoints.
+    n_categories = 2
 
     def __init__(self, sensor: SensorSpec, epsilon: float, **kwargs):
         super().__init__(sensor, epsilon, **kwargs)
@@ -72,14 +82,49 @@ class DpBoxRandomizedResponse(FxpMechanismBase):
         return self.ldp_report().worst_loss
 
     # ------------------------------------------------------------------
-    def privatize_bits(self, bits: np.ndarray) -> np.ndarray:
-        """Privatize 0/1 data (0 → m, 1 → M) and return 0/1 reports."""
-        bits = np.asarray(bits)
+    # Categorical-protocol client stages (encode -> perturb).  The
+    # perturb stage is the *unchanged* zero-threshold DP-Box release, so
+    # re-homing onto CategoricalMechanism is bit-identical by
+    # construction (regression-locked in tests/unit/test_rr_mode.py).
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray, user_offset: int = 0) -> np.ndarray:
+        """Encode 0/1 data onto the sensor endpoints (0 → m, 1 → M)."""
+        bits = np.asarray(values)
         if not np.all((bits == 0) | (bits == 1)):
             raise ConfigurationError("RR mode expects 0/1 data")
-        values = np.where(bits == 1, self.sensor.M, self.sensor.m)
-        reported = self.privatize(values)
+        return np.where(bits == 1, self.sensor.M, self.sensor.m)
+
+    def perturb_request(self, encoded, user_offset: int = 0) -> ReleaseRequest:
+        """The perturbation IS the zero-threshold DP-Box release."""
+        return self.release_request(np.asarray(encoded, dtype=float))
+
+    def _reports_from_outcome(
+        self, outcome: ReleaseOutcome, encoded: np.ndarray
+    ) -> np.ndarray:
+        """Quantize released endpoint values back to 0/1 reports."""
+        reported = np.asarray(outcome.values, dtype=float).reshape(
+            np.asarray(encoded).shape
+        )
         return (reported >= (self._k_mid * self.delta) - 0.5 * self.delta).astype(int)
+
+    def privatize_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Privatize 0/1 data (0 → m, 1 → M) and return 0/1 reports."""
+        return self.perturb(self.encode(bits))
+
+    def support_counts(self, reports, user_offset: int = 0) -> np.ndarray:
+        """Per-endpoint support counts ``[#0-reports, #1-reports]``."""
+        reports = np.asarray(reports).reshape(-1)
+        ones = int(np.count_nonzero(reports))
+        return np.array([reports.size - ones, ones], dtype=np.int64)
+
+    def estimator_params(self) -> Tuple[float, float]:
+        """Exact realized channel ``(p, q)`` for the 1-endpoint."""
+        return 1.0 - self._flip_from_M, self._flip_from_m
+
+    @property
+    def report_bits(self) -> int:
+        """One bit on the wire per report."""
+        return 1
 
     def release_request(self, x: np.ndarray) -> ReleaseRequest:
         """RR release: threshold-0 window ``[k_m, k_M]``, endpoint decode.

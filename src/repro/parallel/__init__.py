@@ -12,6 +12,13 @@ shard order, so the result is **bit-identical** for any worker count —
 the shard plan, not the pool size, fixes the noise streams.
 """
 
+from .categorical import (
+    CategoricalFleetResult,
+    CategoricalShardResult,
+    CategoricalShardTask,
+    run_categorical_shard,
+    run_fleet_categorical,
+)
 from .sharding import DEFAULT_SHARDS, ShardPlan, plan_shards
 from .worker import CodebookShipment, ShardResult, ShardTask, run_shard
 from .runner import run_fleet_sharded
@@ -25,4 +32,9 @@ __all__ = [
     "ShardResult",
     "run_shard",
     "run_fleet_sharded",
+    "CategoricalFleetResult",
+    "CategoricalShardTask",
+    "CategoricalShardResult",
+    "run_categorical_shard",
+    "run_fleet_categorical",
 ]

@@ -1,0 +1,319 @@
+"""Sharded categorical fleet: vector-valued reports, O(d) merges.
+
+The categorical counterpart of :mod:`repro.parallel.runner`.  Each shard
+privatizes its device slice through a frequency-oracle arm
+(:func:`~repro.mechanisms.make_oracle`) on its own spawned audited
+stream, then *aggregates locally*: what crosses the process boundary is
+the shard's per-epoch support-count vector (O(d) integers), never the
+reports.  Counts fold by integer addition, which is associative, so the
+merged counts — and everything estimated from them — are bit-identical
+for any worker count; as in the numeric runner, the shard count (not the
+pool size) is part of the reproducibility key.
+
+Per-user public randomness survives sharding: OLH's hash is a pure
+function of the *global* device index, which the coordinator threads to
+every shard as explicit index arrays (dropout makes the reporting set
+non-contiguous), so shard layout never changes any user's hash.
+
+The trace substrate rides along unchanged: every shard runs a private
+:class:`~repro.runtime.ReleasePipeline` with a
+:class:`~repro.runtime.CounterSink` and ring buffer; the coordinator
+merges counters via :meth:`~repro.runtime.CounterSink.merge`, adopts the
+events (renumbered) into the target pipeline, and optionally appends
+them shard-by-shard to a JSONL trace via
+:class:`~repro.runtime.JsonlSink` in append mode.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import functools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.oracles import make_oracle
+from ..queries.frequency import FrequencyEstimate
+from ..rng.urng import SplitStreamSource, shard_seed_sequences
+from ..runtime import CounterSink, JsonlSink, ReleasePipeline, RingBufferSink
+from ..runtime.events import ReleaseEvent
+from ..runtime.pipeline import default_pipeline
+from .sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "CategoricalFleetResult",
+    "CategoricalShardTask",
+    "CategoricalShardResult",
+    "run_categorical_shard",
+    "run_fleet_categorical",
+]
+
+
+@dataclasses.dataclass
+class CategoricalShardTask:
+    """Everything one categorical shard needs, picklable."""
+
+    shard_index: int
+    n_shards: int
+    start: int
+    oracle: str
+    n_categories: int
+    epsilon: float
+    seed_seq: np.random.SeedSequence
+    truth: np.ndarray
+    """True categories, shape ``(n_epochs, shard_devices)`` int64."""
+    reporting: np.ndarray
+    """Coordinator-drawn reporting masks, same shape, bool."""
+    oracle_kwargs: Dict[str, object]
+
+
+@dataclasses.dataclass
+class CategoricalShardResult:
+    """One shard's aggregated output: counts, never reports."""
+
+    shard_index: int
+    start: int
+    claimed_loss: float
+    counts_by_epoch: List[np.ndarray]
+    """Per-epoch support counts (all-zeros where no device reported)."""
+    n_by_epoch: List[int]
+    events: List[ReleaseEvent]
+    counter: CounterSink
+
+
+def _shard_channel(epoch: int, shard_index: int, n_shards: int) -> str:
+    if n_shards == 1:
+        return f"epoch-{epoch}"
+    return f"epoch-{epoch}/shard-{shard_index}"
+
+
+def run_categorical_shard(task: CategoricalShardTask) -> CategoricalShardResult:
+    """Privatize and locally aggregate one shard's slice across epochs.
+
+    One pipeline release per (epoch, shard); the reports are folded into
+    the shard's support-count vector immediately and discarded — the
+    streaming discipline starts at the worker.
+    """
+    n_epochs, _ = task.truth.shape
+    counter = CounterSink()
+    ring = RingBufferSink(capacity=max(n_epochs + 4, 16))
+    arm = make_oracle(
+        task.oracle,
+        task.n_categories,
+        task.epsilon,
+        source=SplitStreamSource(task.seed_seq),
+        pipeline=ReleasePipeline(sinks=[counter, ring]),
+        **task.oracle_kwargs,
+    )
+    loss = arm.claimed_loss_bound
+    counts_by_epoch: List[np.ndarray] = []
+    n_by_epoch: List[int] = []
+    zeros = np.zeros(task.n_categories, dtype=np.int64)
+
+    for epoch in range(n_epochs):
+        idx = np.flatnonzero(task.reporting[epoch])
+        if idx.size == 0:
+            counts_by_epoch.append(zeros.copy())
+            n_by_epoch.append(0)
+            continue
+        # Global device indices: the per-user public randomness key.
+        users = task.start + idx
+        reports = arm.report(
+            task.truth[epoch, idx],
+            channel=_shard_channel(epoch, task.shard_index, task.n_shards),
+            user_offset=users,
+        )
+        counts_by_epoch.append(
+            np.asarray(arm.support_counts(reports, user_offset=users), dtype=np.int64)
+        )
+        n_by_epoch.append(int(idx.size))
+
+    return CategoricalShardResult(
+        shard_index=task.shard_index,
+        start=task.start,
+        claimed_loss=loss,
+        counts_by_epoch=counts_by_epoch,
+        n_by_epoch=n_by_epoch,
+        events=ring.events,
+        counter=counter,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoricalFleetResult:
+    """Outcome of a categorical fleet simulation."""
+
+    server: object
+    #: The coordinator's reference oracle (public channel metadata only —
+    #: it never consumed noise).
+    oracle: object
+    #: Per-epoch unbiased frequency estimates.
+    estimates: List[FrequencyEstimate]
+    #: Per-epoch true frequencies (over the devices that reported).
+    true_frequencies: List[np.ndarray]
+    counters: CounterSink
+    shard_plan: ShardPlan
+
+    @property
+    def mean_abs_error(self) -> float:
+        """MAE of the per-epoch frequency vectors, averaged over epochs."""
+        errs = [
+            float(np.abs(est.frequencies - f).mean())
+            for est, f in zip(self.estimates, self.true_frequencies)
+        ]
+        return float(np.mean(errs))
+
+
+def run_fleet_categorical(
+    true_values: np.ndarray,
+    n_categories: int,
+    epsilon: float,
+    oracle: str = "oue",
+    dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    source_seed=None,
+    pipeline: Optional[ReleasePipeline] = None,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    streaming: bool = True,
+    count_thresholds: Sequence[float] = (),
+    trace_path=None,
+    **oracle_kwargs,
+) -> CategoricalFleetResult:
+    """Run a categorical fleet epoch matrix sharded across processes.
+
+    ``true_values`` is an ``(n_epochs, n_devices)`` integer category
+    matrix; each reporting device sends one privatized report per epoch
+    through the chosen frequency-oracle arm.  The server receives only
+    per-shard support counts (``submit_counts``) — the categorical path
+    is streaming-native, ``streaming`` only controls the server's mode
+    flag for any numeric traffic sharing it.  ``trace_path`` appends
+    every shard's release events to one JSONL trace, shard by shard, via
+    :class:`~repro.runtime.JsonlSink` in append mode.
+
+    Determinism contract: bit-identical for any ``workers``; the
+    ``(shards, source_seed, n_devices)`` triple fixes the streams.
+    """
+    from ..aggregation.server import AggregationServer
+
+    true_values = np.asarray(true_values)
+    if true_values.ndim != 2:
+        raise ConfigurationError("true_values must be (n_epochs, n_devices)")
+    if not np.issubdtype(true_values.dtype, np.integer):
+        raise ConfigurationError("categorical fleet values must be integers")
+    true_values = true_values.astype(np.int64)
+    if true_values.min() < 0 or true_values.max() >= n_categories:
+        raise ConfigurationError(f"categories must be in 0..{n_categories - 1}")
+    if not 0.0 <= dropout < 1.0:
+        raise ConfigurationError("dropout must be in [0, 1)")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    for forbidden in ("source", "pipeline"):
+        if forbidden in oracle_kwargs:
+            raise ConfigurationError(
+                f"run_fleet_categorical derives {forbidden!r} per shard; pass "
+                "source_seed/pipeline instead of a shared instance"
+            )
+    # dplint: allow[DPL001] -- dropout/straggler simulation randomness only;
+    # release noise comes from the per-shard audited sources.
+    rng = rng or np.random.default_rng()
+    n_epochs, n_devices = true_values.shape
+    plan: ShardPlan = plan_shards(n_devices, shards)
+
+    # Reference oracle: validates the configuration once and supplies the
+    # public channel metadata for estimation.  It consumes no noise.
+    reference = make_oracle(oracle, n_categories, epsilon, **oracle_kwargs)
+    loss = reference.claimed_loss_bound
+
+    # Coordinator-owned simulation randomness, same call pattern as the
+    # numeric fleet, so a given rng seed picks the same reporting sets.
+    reporting = np.empty((n_epochs, n_devices), dtype=bool)
+    for epoch in range(n_epochs):
+        mask = rng.random(n_devices) >= dropout
+        if not mask.any():
+            mask[int(rng.integers(n_devices))] = True  # never a silent epoch
+        reporting[epoch] = mask
+
+    seqs = shard_seed_sequences(source_seed, plan.n_shards)
+    tasks = [
+        CategoricalShardTask(
+            shard_index=s,
+            n_shards=plan.n_shards,
+            start=start,
+            oracle=oracle,
+            n_categories=int(n_categories),
+            epsilon=float(epsilon),
+            seed_seq=seqs[s],
+            truth=np.ascontiguousarray(true_values[:, start:stop]),
+            reporting=np.ascontiguousarray(reporting[:, start:stop]),
+            oracle_kwargs=dict(oracle_kwargs),
+        )
+        for s, (start, stop) in enumerate(plan.slices)
+    ]
+
+    if workers == 1:
+        results: List[CategoricalShardResult] = [
+            run_categorical_shard(t) for t in tasks
+        ]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, plan.n_shards)
+        ) as pool:
+            results = list(pool.map(run_categorical_shard, tasks))
+
+    # ---- merge, in shard order ------------------------------------------
+    server = AggregationServer(
+        streaming=streaming, count_thresholds=count_thresholds
+    )
+    for epoch in range(n_epochs):
+        for result in results:
+            n = result.n_by_epoch[epoch]
+            if n == 0:
+                continue
+            server.submit_counts(epoch, result.counts_by_epoch[epoch], n, loss)
+    # Composition bound, in bulk: report counts per device are fixed by
+    # the coordinator-drawn masks.
+    per_device = reporting.sum(axis=0)
+    server.record_claimed_losses(
+        {
+            f"dev-{i:04d}": float(per_device[i]) * loss
+            for i in np.flatnonzero(per_device)
+        }
+    )
+
+    target_pipeline = pipeline if pipeline is not None else default_pipeline()
+    for result in results:
+        target_pipeline.adopt(result.events)
+    if trace_path is not None:
+        # One append-mode sink per shard: successive sinks extend the
+        # file, which is exactly the JsonlSink(append=True) contract.
+        for result in results:
+            with JsonlSink(trace_path, append=True) as sink:
+                for event in result.events:
+                    # dplint: allow[DPL006] -- ReleaseEvents are already
+                    # privatized pipeline outputs; the taint is via the
+                    # shard-result container, which also carries the
+                    # simulation ground truth used for utility scoring.
+                    sink.emit(event)
+    counters = functools.reduce(
+        CounterSink.merge, (r.counter for r in results), CounterSink()
+    )
+
+    estimates = [
+        server.frequency_estimates(e, reference) for e in server.categorical_epochs
+    ]
+    true_frequencies = [
+        np.bincount(true_values[epoch, reporting[epoch]], minlength=n_categories)
+        / max(int(reporting[epoch].sum()), 1)
+        for epoch in range(n_epochs)
+    ]
+    return CategoricalFleetResult(
+        server=server,
+        oracle=reference,
+        estimates=estimates,
+        true_frequencies=true_frequencies,
+        counters=counters,
+        shard_plan=plan,
+    )

@@ -3,6 +3,15 @@
 from .base import Query
 from .counting import CountingQuery
 from .estimators import debiased_count_above, debiased_mean, debiased_variance
+from .frequency import (
+    FrequencyEstimate,
+    aggregate_reports,
+    estimate_frequencies,
+    estimate_from_counts,
+    frequency_variance,
+    ideal_oracle_variance,
+)
+from .heavy_hitters import HeavyHitterLevel, HeavyHittersResult, pem_heavy_hitters
 from .histogram import HistogramQuery, bucketize, histogram_via_krr
 from .mean import MeanQuery
 from .quantile import QuantileQuery
@@ -13,6 +22,15 @@ from .variance import VarianceQuery
 __all__ = [
     "Query",
     "CountingQuery",
+    "FrequencyEstimate",
+    "aggregate_reports",
+    "estimate_frequencies",
+    "estimate_from_counts",
+    "frequency_variance",
+    "ideal_oracle_variance",
+    "HeavyHitterLevel",
+    "HeavyHittersResult",
+    "pem_heavy_hitters",
     "HistogramQuery",
     "bucketize",
     "histogram_via_krr",

@@ -1,0 +1,199 @@
+"""Server half of the categorical LDP protocol: aggregate → estimate.
+
+The client half (:class:`~repro.mechanisms.categorical.
+CategoricalMechanism`) produces perturbed reports and publishes the
+exact realized support channel ``(p, q)``; this module inverts it.  For
+any frequency oracle the per-category support count ``c_v`` has
+
+    E[c_v] = n·(f_v·p + (1 - f_v)·q),
+
+so the linear inversion
+
+    f̂_v = (c_v/n - q) / (p - q)
+
+is unbiased for every category simultaneously, and because ``c_v`` is a
+sum of independent Bernoulli supports its variance is closed-form:
+
+    Var[f̂_v] = [f_v·p(1-p) + (1 - f_v)·q(1-q)] / (n·(p - q)²).
+
+For OUE/OLH at their ideal calibration (p = 1/2, q = 1/(e^ε + 1)) and
+rare items (f → 0) this is the literature's ``4e^ε/(n(e^ε - 1)²)``
+(:func:`ideal_oracle_variance`).  All estimates here use the *realized*
+dyadic ``(p, q)``, so they stay unbiased under finite precision.
+
+Counts are plain int64 vectors, so the aggregate stage is associative:
+shard batches fold by addition (:func:`aggregate_reports` accepts a
+``user_offset`` for protocols with per-user public randomness), and the
+streaming :class:`~repro.aggregation.AggregationServer` accumulates them
+in O(d) memory via ``submit_counts``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.categorical import CategoricalMechanism
+
+__all__ = [
+    "FrequencyEstimate",
+    "aggregate_reports",
+    "estimate_frequencies",
+    "estimate_from_counts",
+    "frequency_variance",
+    "ideal_oracle_variance",
+]
+
+
+def frequency_variance(n: int, p: float, q: float, f: float = 0.0) -> float:
+    """Closed-form ``Var[f̂_v]`` of the unbiased support-count estimator.
+
+    ``[f·p(1-p) + (1-f)·q(1-q)] / (n·(p-q)²)`` — exact for independent
+    reports through a support channel with keep/cross probabilities
+    ``(p, q)``.  ``f`` is the (unknown) true frequency; ``f = 0`` gives
+    the rare-item variance usually quoted for oracle comparison.
+    """
+    if n <= 0:
+        raise ConfigurationError("variance needs a positive report count")
+    if not 0.0 <= q < p <= 1.0:
+        raise ConfigurationError("support channel needs 0 <= q < p <= 1")
+    if not 0.0 <= f <= 1.0:
+        raise ConfigurationError("true frequency must be in [0, 1]")
+    num = f * p * (1.0 - p) + (1.0 - f) * q * (1.0 - q)
+    return num / (n * (p - q) ** 2)
+
+
+def ideal_oracle_variance(n: int, epsilon: float) -> float:
+    """Ideal OUE/OLH rare-item variance ``4e^ε / (n·(e^ε - 1)²)``.
+
+    The benchmark yardstick: the realized dyadic channels approach it
+    from above as the URNG grid refines.
+    """
+    if n <= 0:
+        raise ConfigurationError("variance needs a positive report count")
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    e = math.exp(epsilon)
+    return 4.0 * e / (n * (e - 1.0) ** 2)
+
+
+@dataclass
+class FrequencyEstimate:
+    """Unbiased per-category frequency estimates with exact variances.
+
+    ``frequencies`` are the raw linear inversions — individually
+    unbiased, hence occasionally negative for rare categories; use
+    :meth:`normalized` when a proper distribution is needed (at the cost
+    of bias).  ``variances`` plug the estimates themselves in for the
+    unknown true ``f`` (clipped to [0, 1]), which is the standard
+    plug-in error bar.
+    """
+
+    #: Per-category unbiased estimates ``f̂_v``.
+    frequencies: np.ndarray
+    #: Per-category support counts ``c_v``.
+    counts: np.ndarray
+    #: Number of user reports aggregated.
+    n: int
+    #: Realized support channel.
+    p: float
+    q: float
+    #: Oracle arm name ("OUE", "OLH", ...).
+    oracle: str = "categorical"
+    #: Plug-in closed-form variances (filled in __post_init__).
+    variances: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.frequencies = np.asarray(self.frequencies, dtype=float)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.variances is None:
+            plug = np.clip(self.frequencies, 0.0, 1.0)
+            self.variances = np.array(
+                [frequency_variance(self.n, self.p, self.q, float(f)) for f in plug]
+            )
+
+    @property
+    def n_categories(self) -> int:
+        return int(self.frequencies.size)
+
+    def std_errors(self) -> np.ndarray:
+        """Per-category plug-in standard errors ``sqrt(Var[f̂_v])``."""
+        return np.sqrt(self.variances)
+
+    def normalized(self) -> np.ndarray:
+        """Clip to [0, 1] and renormalize to a proper distribution."""
+        clipped = np.clip(self.frequencies, 0.0, None)
+        total = clipped.sum()
+        if total <= 0.0:
+            return np.full_like(clipped, 1.0 / clipped.size)
+        return clipped / total
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` largest estimates, largest first."""
+        if k <= 0:
+            raise ConfigurationError("top_k needs k >= 1")
+        k = min(k, self.frequencies.size)
+        order = np.argsort(self.frequencies, kind="stable")[::-1]
+        return order[:k]
+
+
+def aggregate_reports(
+    mechanism: CategoricalMechanism,
+    reports: np.ndarray,
+    user_offset: int = 0,
+) -> Tuple[np.ndarray, int]:
+    """Aggregate stage: reports → ``(support counts, n)``.
+
+    A thin naming seam over ``mechanism.support_counts`` that also
+    returns the report count, in the shape ``submit_counts`` and
+    :func:`estimate_from_counts` consume.  Associative: summing the
+    counts (and ``n``) of disjoint batches equals aggregating the
+    concatenation, which is what makes the sharded path bit-identical.
+    """
+    counts = mechanism.support_counts(reports, user_offset=user_offset)
+    return np.asarray(counts, dtype=np.int64), mechanism.n_reports(reports)
+
+
+def estimate_from_counts(
+    mechanism: CategoricalMechanism,
+    counts: np.ndarray,
+    n: int,
+) -> FrequencyEstimate:
+    """Estimate stage: pre-aggregated support counts → frequencies.
+
+    This is the entry point for streaming/sharded aggregation, where the
+    raw reports were never retained — only the O(d) count vector.
+    """
+    counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+    if counts.size != mechanism.n_categories:
+        raise ConfigurationError(
+            f"expected {mechanism.n_categories} support counts, got {counts.size}"
+        )
+    if n <= 0:
+        raise ConfigurationError("estimation needs a positive report count")
+    p, q = mechanism.estimator_params()
+    if not q < p:
+        raise ConfigurationError("degenerate support channel: p <= q")
+    frequencies = (counts / float(n) - q) / (p - q)
+    return FrequencyEstimate(
+        frequencies=frequencies,
+        counts=counts,
+        n=int(n),
+        p=float(p),
+        q=float(q),
+        oracle=mechanism.name,
+    )
+
+
+def estimate_frequencies(
+    mechanism: CategoricalMechanism,
+    reports: np.ndarray,
+    user_offset: int = 0,
+) -> FrequencyEstimate:
+    """aggregate ∘ estimate: a report batch → frequency estimates."""
+    counts, n = aggregate_reports(mechanism, reports, user_offset=user_offset)
+    return estimate_from_counts(mechanism, counts, n)

@@ -1,0 +1,194 @@
+"""Heavy hitters over a large domain: the Prefix Extending Method (PEM).
+
+When the domain is too large to estimate every frequency (``d = 2^B``
+for B in the tens), the standard LDP workload finds the top-k *heavy
+hitters* by growing them one prefix chunk at a time (Wang et al.'s PEM;
+see PAPERS.md).  The population is split into one group per level; group
+``j`` reports the ``l_j``-bit prefix of its value through a fresh
+frequency oracle whose domain is only the *candidate* set — the top-k
+survivors of the previous level extended by every ``η``-bit suffix, plus
+one explicit "other" bucket for prefixes that fell off the frontier.
+Each user reports exactly once, so each report spends the full per-user
+ε (no composition across levels).
+
+The whole cascade rides the four-stage protocol: every level is an
+ordinary :func:`~repro.mechanisms.make_oracle` arm reporting through the
+release pipeline and estimated by
+:func:`~repro.queries.frequency.estimate_frequencies`, so heavy hitters
+inherit ReleaseEvents, budget charging and the dplint randomness audit
+without any new privacy surface.  Group membership and per-level URNG
+sources are derived deterministically from one ``SeedSequence``, so a
+fixed seed gives a bit-identical cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..mechanisms.oracles import make_oracle
+from ..rng.urng import SplitStreamSource, shard_seed_sequences
+from .frequency import FrequencyEstimate, estimate_frequencies
+
+__all__ = ["HeavyHitterLevel", "HeavyHittersResult", "pem_heavy_hitters"]
+
+
+@dataclass
+class HeavyHitterLevel:
+    """One level of the prefix cascade (diagnostics, not estimates)."""
+
+    #: Prefix length (bits) reported at this level.
+    prefix_bits: int
+    #: Candidate prefixes scored (excludes the "other" bucket).
+    n_candidates: int
+    #: Users in this level's group.
+    n_users: int
+    #: Surviving candidate prefixes, best first.
+    survivors: np.ndarray
+    #: Estimated frequency mass that fell off the frontier.
+    other_mass: float
+
+
+@dataclass
+class HeavyHittersResult:
+    """Top-k heavy hitters with final-level frequency estimates."""
+
+    #: Identified heavy-hitter values (full ``domain_bits`` wide), best first.
+    items: np.ndarray
+    #: Unbiased frequency estimates for ``items`` (final level's group).
+    frequencies: np.ndarray
+    #: Plug-in standard errors aligned with ``frequencies``.
+    std_errors: np.ndarray
+    #: Per-level diagnostics.
+    levels: List[HeavyHitterLevel]
+    #: Final level's full estimate (candidates + "other" bucket).
+    final_estimate: FrequencyEstimate
+
+
+def _level_plan(domain_bits: int, eta: int) -> List[int]:
+    """Prefix lengths per level: η, 2η, ..., domain_bits."""
+    plan = list(range(eta, domain_bits, eta))
+    plan.append(domain_bits)
+    return plan
+
+
+def _check_domain(values: np.ndarray, domain_bits: int) -> np.ndarray:
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ConfigurationError("heavy hitters need a nonempty population")
+    if not np.issubdtype(values.dtype, np.integer):
+        raise ConfigurationError("heavy-hitter values must be integers")
+    values = values.reshape(-1).astype(np.int64)
+    if values.min() < 0 or values.max() >= (1 << domain_bits):
+        raise ConfigurationError(
+            f"values must be in 0..2^{domain_bits}-1 for the prefix domain"
+        )
+    return values
+
+
+def pem_heavy_hitters(
+    values: np.ndarray,
+    domain_bits: int,
+    epsilon: float,
+    k: int,
+    oracle: str = "olh",
+    eta: int = 2,
+    seed=None,
+    pipeline=None,
+    accounting=None,
+) -> HeavyHittersResult:
+    """Find the top-``k`` values of a ``2^domain_bits`` domain under LDP.
+
+    ``values`` is the raw population (one integer per user); each user
+    contributes one report at one level, privatized with the full
+    ``epsilon``.  ``oracle`` names the per-level frequency-oracle arm
+    (``"olh"`` default — the candidate domains grow to ``k·2^η + 1``).
+    ``seed`` feeds one ``SeedSequence`` from which every level's URNG
+    source is spawned, making the cascade reproducible bit for bit.
+    """
+    if not 1 <= eta <= 16:
+        raise ConfigurationError("eta must be in 1..16")
+    if domain_bits < 1 or domain_bits > 62:
+        raise ConfigurationError("domain_bits must be in 1..62")
+    if k < 1:
+        raise ConfigurationError("need k >= 1")
+    values = _check_domain(values, domain_bits)
+    plan = _level_plan(domain_bits, eta)
+    n_levels = len(plan)
+    if values.size < n_levels:
+        raise ConfigurationError(
+            f"population of {values.size} cannot cover {n_levels} PEM levels"
+        )
+
+    # Per-level URNG sub-seeds come from the audited derivation seam
+    # (the same one the sharded fleet uses), keeping the entropy supply
+    # greppable; levels are the "shards" of the cascade.
+    level_seeds = shard_seed_sequences(seed, n_levels)
+
+    # Deterministic contiguous grouping: group j = users in
+    # [bounds[j], bounds[j+1]).  Each user reports exactly once.
+    bounds = np.linspace(0, values.size, n_levels + 1).astype(np.int64)
+
+    survivors = np.zeros(1, dtype=np.int64)  # the empty prefix
+    prev_bits = 0
+    levels: List[HeavyHitterLevel] = []
+    final_estimate: Optional[FrequencyEstimate] = None
+
+    for j, bits in enumerate(plan):
+        step = bits - prev_bits
+        # Candidates: every survivor extended by every step-bit suffix.
+        suffixes = np.arange(1 << step, dtype=np.int64)
+        candidates = ((survivors[:, None] << step) | suffixes[None, :]).reshape(-1)
+        d = candidates.size + 1  # + the "other" bucket
+        other = candidates.size
+
+        group = values[bounds[j] : bounds[j + 1]]
+        prefixes = group >> (domain_bits - bits)
+        # Map each user's prefix to its candidate index, or "other".
+        order = np.argsort(candidates, kind="stable")
+        pos = np.searchsorted(candidates, prefixes, sorter=order)
+        pos = np.minimum(pos, candidates.size - 1)
+        hit = candidates[order[pos]] == prefixes
+        cats = np.where(hit, order[pos], other).astype(np.int64)
+
+        arm = make_oracle(
+            oracle,
+            d,
+            epsilon,
+            source=SplitStreamSource(level_seeds[j]),
+            **({"pipeline": pipeline} if pipeline is not None else {}),
+        )
+        user_offset = int(bounds[j])
+        reports = arm.report(
+            cats, accounting=accounting, user_offset=user_offset,
+            channel=f"pem/level{j}",
+        )
+        est = estimate_frequencies(arm, reports, user_offset=user_offset)
+
+        cand_freq = est.frequencies[:other]
+        keep = np.argsort(cand_freq, kind="stable")[::-1][: min(k, other)]
+        survivors = candidates[keep]
+        levels.append(
+            HeavyHitterLevel(
+                prefix_bits=bits,
+                n_candidates=int(other),
+                n_users=int(group.size),
+                survivors=survivors.copy(),
+                other_mass=float(est.frequencies[other]),
+            )
+        )
+        final_estimate = est
+        final_keep = keep
+        prev_bits = bits
+
+    assert final_estimate is not None
+    return HeavyHittersResult(
+        items=survivors,
+        frequencies=final_estimate.frequencies[final_keep],
+        std_errors=final_estimate.std_errors()[final_keep],
+        levels=levels,
+        final_estimate=final_estimate,
+    )

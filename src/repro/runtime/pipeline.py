@@ -87,6 +87,16 @@ class ReleaseRequest:
     """Sampling kernel behind ``draw`` (``codebook``/``live``), recorded
     on the event; ``None`` when the draw path does not report one."""
 
+    modulus: Optional[int] = None
+    """Categorical alphabet size: when set, the draw combines as
+    ``(codes + draw(n)) % modulus`` instead of plain addition.  This is
+    how the frequency-oracle arms express their perturbation — k-ary
+    randomized response is exactly additive noise on Z_g, and a per-bit
+    flip is the ``modulus=2`` special case — so categorical perturbation
+    runs through the same draw/guard/charge/emit stages as numeric
+    noise.  Only valid with ``guard="none"`` (categorical alphabets have
+    no order, hence no window to clamp or resample into)."""
+
 
 @dataclasses.dataclass
 class ReleaseOutcome:
@@ -182,15 +192,27 @@ class ReleasePipeline:
         codes = np.asarray(request.codes).reshape(-1)
         n = codes.shape[0]
         rounds = np.ones(n, dtype=np.int64) if n else np.zeros(0, dtype=np.int64)
+        if request.modulus is not None:
+            if request.guard != "none":
+                raise ConfigurationError(
+                    "modulus (categorical alphabet) releases take no guard: "
+                    f"got guard={request.guard!r}"
+                )
+            if request.modulus < 2:
+                raise ConfigurationError("modulus must be >= 2")
 
         # draw + guard
         if n == 0:
             k_y = codes.copy()
         elif request.guard == "none":
             k_y = codes + request.draw(n)
+            if request.modulus is not None:
+                np.mod(k_y, request.modulus, out=k_y)
         elif request.guard == "threshold":
-            lo, hi = self._window(request)
-            k_y = np.clip(codes + request.draw(n), lo, hi)
+            # Fused clamp: add and clip in place — one output buffer, no
+            # extra elementwise round-trips (ROADMAP fast-path note).
+            k_y = codes + request.draw(n)
+            k_y = self._clamp(k_y, *self._window(request))
         elif request.guard == "resample":
             k_y = self._resample(request, codes, rounds)
         else:
@@ -291,25 +313,63 @@ class ReleasePipeline:
             )
         return request.window
 
+    @staticmethod
+    def _clamp(k_y: np.ndarray, lo, hi) -> np.ndarray:
+        """Clamp ``k_y`` into ``[lo, hi]`` in place where dtypes allow.
+
+        Integer codes with an integral window (every fixed-point arm)
+        clip without a temporary; a fractional window over integer codes
+        falls back to the upcasting out-of-place clip, preserving the
+        pre-fusion semantics.
+        """
+        if k_y.dtype.kind in "iu":
+            ilo, ihi = int(lo), int(hi)
+            if ilo != lo or ihi != hi:
+                return np.clip(k_y, lo, hi)
+            lo, hi = ilo, ihi
+        np.clip(k_y, lo, hi, out=k_y)
+        return k_y
+
+    @staticmethod
+    def _out_of_window(k: np.ndarray, lo, hi, span) -> np.ndarray:
+        """Membership test ``(k < lo) | (k > hi)`` as one fused pass.
+
+        For integer codes the two comparisons and the ``|`` fuse into a
+        single unsigned range check: ``uint(k - lo) > hi - lo`` is true
+        exactly when ``k`` is outside ``[lo, hi]`` (a negative ``k - lo``
+        wraps to a huge unsigned value).  Float codes keep the two-pass
+        comparison — the wrap trick has no float analogue.
+        """
+        if k.dtype.kind in "iu" and span is not None:
+            return (k - lo).astype(np.uint64) > span
+        return (k < lo) | (k > hi)
+
     def _resample(
         self, request: ReleaseRequest, codes: np.ndarray, rounds: np.ndarray
     ) -> np.ndarray:
         """Vectorized redraw-until-in-window; mutates ``rounds`` in place."""
         lo, hi = self._window(request)
+        # The fused unsigned range check needs an exact integer span;
+        # fractional windows disable it (span=None -> two-pass compare).
+        span = None
+        if int(lo) == lo and int(hi) == hi:
+            span = np.uint64(int(hi) - int(lo))
+            lo = int(lo)
+            hi = int(hi)
         n = codes.shape[0]
         k_y = codes + request.draw(n)
         # dplint note: the redraw loop below is the paper's Fig. 12
         # timing channel, reproduced deliberately; its round counts are
         # surfaced on every ReleaseEvent so attacks/timing.py can measure
         # it from the trace instead of re-instrumenting mechanisms.
-        pending = np.flatnonzero((k_y < lo) | (k_y > hi))
+        pending = np.flatnonzero(self._out_of_window(k_y, lo, hi, span))
         for _ in range(request.max_rounds - 1):
             if pending.size == 0:
                 break
-            k_y[pending] = codes[pending] + request.draw(pending.size)
+            redrawn = codes[pending] + request.draw(pending.size)
+            k_y[pending] = redrawn
             rounds[pending] += 1
-            redrawn = k_y[pending]
-            pending = pending[(redrawn < lo) | (redrawn > hi)]
+            pending = pending[self._out_of_window(redrawn, lo, hi, span)]
         if pending.size:
             self._emit_for(request, n, rounds, exhausted=True)
             raise ResampleExhaustedError(

@@ -1,0 +1,130 @@
+"""AggregationServer categorical path: counts, streaming memory, errors."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggregationServer
+from repro.errors import ConfigurationError
+from repro.mechanisms import KaryRandomizedResponse
+from repro.queries import estimate_frequencies
+from repro.rng import SplitStreamSource
+
+
+@pytest.fixture()
+def oracle():
+    return KaryRandomizedResponse(4, 2.0, source=SplitStreamSource(8))
+
+
+class TestSubmitCounts:
+    def test_counts_fold_across_batches(self):
+        server = AggregationServer(streaming=True)
+        server.submit_counts(0, np.array([5, 1, 0, 2]), 8, 2.0)
+        server.submit_counts(0, np.array([1, 1, 1, 1]), 4, 2.0)
+        counts, n = server.category_counts(0)
+        assert counts.tolist() == [6, 2, 1, 3]
+        assert n == 12
+
+    def test_epochs_tracked_separately(self):
+        server = AggregationServer(streaming=True)
+        server.submit_counts(3, np.array([1, 0]), 1, 1.0)
+        server.submit_counts(1, np.array([0, 1]), 1, 1.0)
+        assert server.categorical_epochs == [1, 3]
+
+    def test_domain_change_rejected(self):
+        server = AggregationServer(streaming=True)
+        server.submit_counts(0, np.array([1, 0, 0]), 1, 1.0)
+        with pytest.raises(ConfigurationError):
+            server.submit_counts(0, np.array([1, 0]), 1, 1.0)
+
+    def test_invalid_submissions_rejected(self):
+        server = AggregationServer(streaming=True)
+        with pytest.raises(ConfigurationError):
+            server.submit_counts(0, np.array([5]), 5, 1.0)  # < 2 categories
+        with pytest.raises(ConfigurationError):
+            server.submit_counts(0, np.array([1, 2]), 0, 1.0)  # n <= 0
+        with pytest.raises(ConfigurationError):
+            server.submit_counts(0, np.array([-1, 2]), 1, 1.0)  # negative
+
+    def test_unknown_epoch_raises(self):
+        server = AggregationServer(streaming=True)
+        with pytest.raises(ConfigurationError):
+            server.category_counts(0)
+
+    def test_works_on_retaining_server_too(self):
+        # The categorical path is streaming-native regardless of mode.
+        server = AggregationServer(streaming=False)
+        server.submit_counts(0, np.array([2, 3]), 5, 1.0)
+        counts, n = server.category_counts(0)
+        assert counts.tolist() == [2, 3] and n == 5
+        assert server.n_retained_reports == 0
+
+
+class TestStreamingMemoryContract:
+    def test_o_epochs_memory(self, oracle):
+        # Many large categorical batches: the server retains only the
+        # O(d) counters per epoch, never a report.
+        server = AggregationServer(streaming=True)
+        rng = np.random.default_rng(0)
+        for epoch in range(5):
+            for _ in range(3):
+                values = rng.integers(0, 4, size=2000)
+                reports = oracle.report(values)
+                counts = oracle.support_counts(reports)
+                server.submit_counts(epoch, counts, values.size, oracle.epsilon)
+        assert server.n_retained_reports == 0
+        assert len(server.categorical_epochs) == 5
+        _, n = server.category_counts(0)
+        assert n == 6000
+
+    def test_raw_report_queries_refused_in_streaming(self, oracle):
+        server = AggregationServer(streaming=True)
+        reports = oracle.report(np.array([0, 1, 2, 3]))
+        server.submit_counts(
+            0, oracle.support_counts(reports), 4, oracle.epsilon
+        )
+        with pytest.raises(ConfigurationError):
+            server.values(0)
+        with pytest.raises(ConfigurationError):
+            server.reports(0)
+
+    def test_count_above_counters_still_work(self):
+        # Numeric count-above counters coexist with categorical counts.
+        server = AggregationServer(streaming=True, count_thresholds=(0.5,))
+        server.submit_array(0, np.array([0.2, 0.7, 0.9]), 1.0)
+        server.submit_counts(0, np.array([1, 2]), 3, 1.0)
+        assert server.count_above(0, 0.5) == 2
+        with pytest.raises(ConfigurationError):
+            server.count_above(0, 0.25)  # unregistered threshold
+
+
+class TestFrequencyEstimates:
+    def test_matches_direct_estimation(self, oracle):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 4, size=5000)
+        reports = oracle.report(values)
+        direct = estimate_frequencies(oracle, reports)
+
+        server = AggregationServer(streaming=True)
+        # Same counts split across three submissions.
+        counts = oracle.support_counts(reports)
+        a = counts // 3
+        b = (counts - a) // 2
+        c = counts - a - b
+        server.submit_counts(0, a, 2000, oracle.epsilon)
+        server.submit_counts(0, b, 1500, oracle.epsilon)
+        server.submit_counts(0, c, 1500, oracle.epsilon)
+        via_server = server.frequency_estimates(0, oracle)
+        np.testing.assert_array_equal(via_server.counts, direct.counts)
+        np.testing.assert_allclose(via_server.frequencies, direct.frequencies)
+
+    def test_disclosure_accounting(self, oracle):
+        server = AggregationServer(streaming=True)
+        server.submit_counts(
+            0, np.array([1, 1, 0, 0]), 2, oracle.epsilon,
+            device_ids=["dev-a", "dev-b"],
+        )
+        server.record_claimed_losses({"dev-a": oracle.epsilon})
+        assert server.worst_case_disclosure("dev-a") == pytest.approx(
+            2 * oracle.epsilon
+        )
+        assert server.worst_case_disclosure("dev-b") == pytest.approx(oracle.epsilon)

@@ -140,3 +140,40 @@ class TestSelftest:
         assert code == 0
         assert "PASSED" in out
         assert "urng-monobit" in out
+
+
+class TestOracleCommand:
+    def test_frequency_estimation_runs(self, capsys):
+        code = main(
+            [
+                "oracle", "--oracle", "oue", "--categories", "6",
+                "--devices", "600", "--epochs", "2", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oracle: OUE" in out
+        assert "bits/report" in out
+        assert "retained reports: 0" in out
+
+    def test_reproducible_for_fixed_seed(self, capsys):
+        argv = [
+            "oracle", "--oracle", "olh", "--categories", "8",
+            "--devices", "500", "--seed", "9",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_heavy_hitters_mode(self, capsys):
+        code = main(
+            [
+                "oracle", "--heavy-hitters", "3", "--domain-bits", "8",
+                "--devices", "4000", "--epsilon", "3", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heavy hitters: top-3" in out
+        assert "est freq" in out

@@ -1,0 +1,182 @@
+"""Frequency estimation and PEM heavy hitters: the server-side stages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mechanisms import make_oracle
+from repro.queries import (
+    FrequencyEstimate,
+    aggregate_reports,
+    estimate_frequencies,
+    estimate_from_counts,
+    frequency_variance,
+    ideal_oracle_variance,
+    pem_heavy_hitters,
+)
+from repro.rng import SplitStreamSource
+
+
+class TestVarianceFormulas:
+    def test_closed_form_value(self):
+        # f=0: Var = q(1-q) / (n (p-q)^2).
+        v = frequency_variance(100, 0.5, 0.25)
+        assert v == pytest.approx(0.25 * 0.75 / (100 * 0.25**2))
+
+    def test_f_interpolates(self):
+        lo = frequency_variance(100, 0.5, 0.25, f=0.0)
+        hi = frequency_variance(100, 0.5, 0.25, f=1.0)
+        mid = frequency_variance(100, 0.5, 0.25, f=0.5)
+        assert mid == pytest.approx((lo + hi) / 2)
+
+    def test_ideal_oracle_variance(self):
+        import math
+
+        eps, n = 2.0, 1000
+        e = math.exp(eps)
+        assert ideal_oracle_variance(n, eps) == pytest.approx(
+            4 * e / (n * (e - 1) ** 2)
+        )
+        # The realized OUE channel approaches the ideal from above.
+        o = make_oracle("oue", 8, eps, source=SplitStreamSource(0))
+        p, q = o.estimator_params()
+        realized = frequency_variance(n, p, q, 0.0)
+        assert realized >= ideal_oracle_variance(n, eps) * 0.95
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            frequency_variance(0, 0.5, 0.25)
+        with pytest.raises(ConfigurationError):
+            frequency_variance(10, 0.25, 0.5)  # p <= q
+        with pytest.raises(ConfigurationError):
+            frequency_variance(10, 0.5, 0.25, f=1.5)
+        with pytest.raises(ConfigurationError):
+            ideal_oracle_variance(10, 0.0)
+
+
+class TestFrequencyEstimate:
+    def _estimate(self):
+        return FrequencyEstimate(
+            frequencies=np.array([0.6, 0.5, -0.1]),
+            counts=np.array([60, 50, 2]),
+            n=100,
+            p=0.5,
+            q=0.1,
+        )
+
+    def test_plug_in_variances(self):
+        est = self._estimate()
+        assert est.variances[0] == pytest.approx(
+            frequency_variance(100, 0.5, 0.1, 0.6)
+        )
+        # Negative estimates clip to 0 for the plug-in.
+        assert est.variances[2] == pytest.approx(
+            frequency_variance(100, 0.5, 0.1, 0.0)
+        )
+        np.testing.assert_allclose(est.std_errors(), np.sqrt(est.variances))
+
+    def test_normalized_is_distribution(self):
+        norm = self._estimate().normalized()
+        assert norm.min() >= 0.0
+        assert norm.sum() == pytest.approx(1.0)
+
+    def test_top_k(self):
+        est = self._estimate()
+        assert est.top_k(2).tolist() == [0, 1]
+        assert est.top_k(10).tolist() == [0, 1, 2]
+        with pytest.raises(ConfigurationError):
+            est.top_k(0)
+
+
+class TestEstimationPipeline:
+    def test_aggregate_then_estimate_equals_direct(self):
+        o = make_oracle("oue", 5, 2.0, source=SplitStreamSource(9))
+        values = np.random.default_rng(2).integers(0, 5, size=4000)
+        reports = o.report(values)
+        counts, n = aggregate_reports(o, reports)
+        assert n == 4000
+        via_counts = estimate_from_counts(o, counts, n)
+        direct = estimate_frequencies(o, reports)
+        np.testing.assert_array_equal(via_counts.frequencies, direct.frequencies)
+        assert direct.oracle == "OUE"
+
+    def test_estimator_inverts_channel_exactly(self):
+        # With counts set to the exact expectation, the estimate must
+        # recover the true frequency exactly (unbiasedness, no noise).
+        o = make_oracle("krr", 4, 2.0, source=SplitStreamSource(0))
+        p, q = o.estimator_params()
+        f = np.array([0.4, 0.3, 0.2, 0.1])
+        n = 1_000_000
+        expected_counts = np.round(n * (f * p + (1 - f) * q)).astype(np.int64)
+        est = estimate_from_counts(o, expected_counts, n)
+        np.testing.assert_allclose(est.frequencies, f, atol=1e-5)
+
+    def test_count_shape_validation(self):
+        o = make_oracle("krr", 4, 2.0, source=SplitStreamSource(0))
+        with pytest.raises(ConfigurationError):
+            estimate_from_counts(o, np.array([1, 2, 3]), 10)
+        with pytest.raises(ConfigurationError):
+            estimate_from_counts(o, np.array([1, 2, 3, 4]), 0)
+
+
+class TestHeavyHitters:
+    def _population(self, rng, domain_bits, n, heavy, probs):
+        pop = rng.integers(0, 1 << domain_bits, size=n)
+        mask = rng.random(n)
+        cum = np.cumsum(probs)
+        for i, h in enumerate(heavy):
+            pop[(mask >= cum[i] - probs[i]) & (mask < cum[i])] = h
+        return pop
+
+    def test_recovers_planted_hitters(self):
+        rng = np.random.default_rng(4)
+        heavy = [511, 64, 1000, 3]
+        pop = self._population(
+            rng, 10, 50000, heavy, np.array([0.15, 0.12, 0.10, 0.08])
+        )
+        result = pem_heavy_hitters(pop, 10, epsilon=3.0, k=6, seed=123)
+        assert set(heavy) <= set(result.items.tolist())
+        # Frequencies sorted descending, with error bars attached.
+        assert result.frequencies.shape == result.std_errors.shape
+        assert (np.diff(result.frequencies) <= 1e-12).all()
+
+    def test_deterministic_for_fixed_seed(self):
+        rng = np.random.default_rng(4)
+        pop = self._population(rng, 8, 8000, [17], np.array([0.2]))
+        a = pem_heavy_hitters(pop, 8, epsilon=2.0, k=3, seed=55)
+        b = pem_heavy_hitters(pop, 8, epsilon=2.0, k=3, seed=55)
+        np.testing.assert_array_equal(a.items, b.items)
+        np.testing.assert_array_equal(a.frequencies, b.frequencies)
+
+    def test_level_plan(self):
+        rng = np.random.default_rng(4)
+        pop = self._population(rng, 9, 9000, [5], np.array([0.3]))
+        result = pem_heavy_hitters(pop, 9, epsilon=2.0, k=2, eta=4, seed=1)
+        assert [lv.prefix_bits for lv in result.levels] == [4, 8, 9]
+        # Every user reports exactly once across the cascade.
+        assert sum(lv.n_users for lv in result.levels) == 9000
+
+    def test_each_level_is_one_release(self):
+        from repro.runtime import ReleasePipeline, RingBufferSink
+
+        ring = RingBufferSink()
+        pipe = ReleasePipeline(sinks=[ring])
+        rng = np.random.default_rng(4)
+        pop = self._population(rng, 6, 3000, [9], np.array([0.3]))
+        result = pem_heavy_hitters(
+            pop, 6, epsilon=2.0, k=2, eta=2, seed=1, pipeline=pipe
+        )
+        assert len(ring.events) == len(result.levels)
+        assert [e.channel for e in ring.events] == [
+            f"pem/level{j}" for j in range(len(result.levels))
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pem_heavy_hitters(np.array([1, 2]), 4, 1.0, k=0)
+        with pytest.raises(ConfigurationError):
+            pem_heavy_hitters(np.array([1.5]), 4, 1.0, k=1)
+        with pytest.raises(ConfigurationError):
+            pem_heavy_hitters(np.array([99]), 4, 1.0, k=1)  # out of domain
+        with pytest.raises(ConfigurationError):
+            pem_heavy_hitters(np.array([1]), 8, 1.0, k=1, eta=2)  # too few users
