@@ -1,21 +1,25 @@
 """Parallel-fleet bench — sharded multi-core execution vs single-process.
 
-Times the sharded fleet runner (``repro.parallel.run_fleet_sharded``) at
-a 50k-device fleet under the hardware (CORDIC) logarithm with the live
+Sweeps the sharded fleet runner (``repro.parallel.run_fleet_sharded``)
+across fleet sizes under the hardware (CORDIC) logarithm with the live
 per-draw datapath — the compute-bound regime where extra cores matter —
-and asserts the ≥2× speedup floor when the machine actually has ≥4
-cores.  Before timing anything it verifies the headline invariant on a
-small fleet: a run sharded across W workers is bit-identical to the
-same plan at ``workers=1``, and a ``shards=1`` run is bit-identical to
-the legacy unsharded batched fleet.
+and reports, per size, the single-process time, the pool time on each
+transport, and the measured IPC payload (``ipc_bytes``: pickled bytes of
+everything that actually crosses the pool pipe).  The zero-copy
+shared-memory data plane ships block names instead of epoch matrices,
+so its ``ipc_bytes`` column is what justifies the transport.
 
-Machine-readable results land in ``BENCH_parallel.json`` at the repo
-root (cores, workers, shards, fleet size, timings, speedup, whether the
-floor was asserted); ``BENCH_kernels.json`` remains single-process-only
-(see docs/performance.md).
+Before timing anything it verifies the headline invariant on a small
+fleet: a run sharded across W workers is bit-identical to the same plan
+at ``workers=1`` on *both* transports, and a ``shards=1`` run is
+bit-identical to the legacy unsharded batched fleet.
+
+The ≥2× speedup floor is only asserted on machines with ≥4 cores (and
+not in ``--quick`` mode); smaller hosts still record the sweep so the
+trajectory is visible in ``BENCH_parallel.json`` (schema 2).
 
 Standalone script (not pytest-benchmark): CI runs ``--quick`` with two
-workers as a smoke test, developers run it bare for the full floor.
+workers as a smoke test, developers run it bare for the full sweep.
 """
 
 import argparse
@@ -29,7 +33,7 @@ import numpy as np
 
 from repro.aggregation import run_fleet
 from repro.mechanisms import SensorSpec
-from repro.parallel import plan_shards, run_fleet_sharded
+from repro.parallel import plan_execution, plan_shards, run_fleet_sharded
 from repro.rng import CordicLn, audited_generator
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -42,9 +46,14 @@ MIN_SPEEDUP = 2.0
 #: The floor only binds on machines with enough cores to show it.
 MIN_CORES_FOR_FLOOR = 4
 
+#: Fleet sizes swept (full mode) — the 50k row is the headline number.
+SWEEP_SIZES = (5_000, 50_000, 500_000)
+QUICK_SIZES = (500, 2_000)
+
 
 def _identity_check(workers: int) -> bool:
-    """Bit-identity: W workers ≡ 1 worker, and shards=1 ≡ unsharded."""
+    """Bit-identity: W workers ≡ 1 worker on both transports, and
+    shards=1 ≡ unsharded."""
     truth = audited_generator(SEED).uniform(5.0, 45.0, size=(4, 96))
     common = dict(
         arm="thresholding",
@@ -55,18 +64,22 @@ def _identity_check(workers: int) -> bool:
     one = run_fleet_sharded(
         truth, SENSOR, EPSILON, rng=audited_generator(1), shards=8, workers=1, **common
     )
-    many = run_fleet_sharded(
-        truth,
-        SENSOR,
-        EPSILON,
-        rng=audited_generator(1),
-        shards=8,
-        workers=workers,
-        **common,
-    )
-    for epoch in one.server.epochs:
-        if not np.array_equal(one.server.values(epoch), many.server.values(epoch)):
-            return False
+    for use_shm in (False, True):
+        many = run_fleet_sharded(
+            truth,
+            SENSOR,
+            EPSILON,
+            rng=audited_generator(1),
+            shards=8,
+            workers=workers,
+            shm=use_shm,
+            **common,
+        )
+        for epoch in one.server.epochs:
+            if not np.array_equal(
+                one.server.values(epoch), many.server.values(epoch)
+            ):
+                return False
 
     legacy = run_fleet(
         truth, SENSOR, EPSILON, rng=audited_generator(1), batched=True, **common
@@ -82,10 +95,10 @@ def _identity_check(workers: int) -> bool:
     return True
 
 
-def _timed_run(truth, workers: int, shards: int) -> float:
-    """One streaming sharded run on the live CORDIC datapath; seconds."""
+def _run(truth, workers, shards, use_shm=None, measure_ipc=False):
+    """One streaming sharded run on the live CORDIC datapath."""
     t0 = time.perf_counter()
-    run_fleet_sharded(
+    result = run_fleet_sharded(
         truth,
         SENSOR,
         EPSILON,
@@ -98,77 +111,149 @@ def _timed_run(truth, workers: int, shards: int) -> float:
         with_devices=False,
         log_backend=CordicLn(),
         kernel="live",
+        shm=use_shm,
+        measure_ipc=measure_ipc,
     )
-    return time.perf_counter() - t0
+    return time.perf_counter() - t0, result
+
+
+def _sweep_row(devices, epochs, workers, shards, shm_mode):
+    """Timings + IPC bytes for one fleet size."""
+    truth = audited_generator(SEED).uniform(5.0, 45.0, size=(epochs, devices))
+    t_single, _ = _run(truth, 1, shards)
+    row = {
+        "devices": devices,
+        "epochs": epochs,
+        "t_single_s": round(t_single, 4),
+        "t_parallel_shm_s": None,
+        "t_parallel_pickle_s": None,
+        "ipc_bytes_shm": None,
+        "ipc_bytes_pickle": None,
+        "ipc_reduction": None,
+        "speedup": None,
+    }
+    if shm_mode in ("auto", "on"):
+        t, _ = _run(truth, workers, shards, use_shm=True)
+        row["t_parallel_shm_s"] = round(t, 4)
+    if shm_mode in ("auto", "off"):
+        t, _ = _run(truth, workers, shards, use_shm=False)
+        row["t_parallel_pickle_s"] = round(t, 4)
+    # IPC payloads, measured outside the timed runs (pickling the
+    # payload to count it costs real time on the pickle transport).
+    _, res = _run(truth, workers, shards, use_shm=True, measure_ipc=True)
+    row["ipc_bytes_shm"] = int(res.ipc_bytes)
+    _, res = _run(truth, workers, shards, use_shm=False, measure_ipc=True)
+    row["ipc_bytes_pickle"] = int(res.ipc_bytes)
+    if row["ipc_bytes_shm"]:
+        row["ipc_reduction"] = round(
+            row["ipc_bytes_pickle"] / row["ipc_bytes_shm"], 1
+        )
+    best = min(
+        (t for t in (row["t_parallel_shm_s"], row["t_parallel_pickle_s"]) if t),
+        default=None,
+    )
+    if best:
+        row["speedup"] = round(t_single / best, 3)
+    return row
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--devices", type=int, default=50_000)
     parser.add_argument("--epochs", type=int, default=24)
     parser.add_argument("--workers", type=int, default=None,
                         help="default: min(4, cpu_count)")
     parser.add_argument("--shards", type=int, default=8)
     parser.add_argument(
+        "--shm",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="transport for the timed pool runs: auto times both, "
+        "on/off restrict to one (IPC bytes are measured for both "
+        "either way)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=None,
+        help="fleet sizes to sweep (default: 5k/50k/500k, or small in --quick)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=RESULTS_JSON,
+        help="where to write the schema-2 JSON results",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: small fleet, 2 workers, no speedup floor",
+        help="CI smoke mode: small fleets, 2 workers, no speedup floor",
     )
     args = parser.parse_args(argv)
 
     cores = os.cpu_count() or 1
     if args.quick:
-        devices, epochs = 2_000, 4
+        sizes = tuple(args.sizes) if args.sizes else QUICK_SIZES
+        epochs = min(args.epochs, 4)
         workers = 2 if args.workers is None else args.workers
     else:
-        devices, epochs = args.devices, args.epochs
+        sizes = tuple(args.sizes) if args.sizes else SWEEP_SIZES
+        epochs = args.epochs
         workers = min(4, cores) if args.workers is None else args.workers
-    plan = plan_shards(devices, args.shards)
     assert_floor = (
-        not args.quick and cores >= MIN_CORES_FOR_FLOOR and workers >= MIN_CORES_FOR_FLOOR
+        not args.quick
+        and cores >= MIN_CORES_FOR_FLOOR
+        and workers >= MIN_CORES_FOR_FLOOR
     )
+    shards = plan_shards(max(sizes), args.shards).n_shards
+    plan = plan_execution(max(sizes), epochs, shards=args.shards)
 
-    print(f"cores={cores} workers={workers} shards={plan.n_shards} "
-          f"devices={devices} epochs={epochs}")
+    print(f"cores={cores} workers={workers} shards={shards} "
+          f"sizes={list(sizes)} epochs={epochs} shm={args.shm}")
+    print(f"planner would choose: {plan.describe()} ({plan.reason})")
 
     bit_identical = _identity_check(workers)
-    print(f"bit-identity (W={workers} vs W=1, shards=1 vs unsharded): "
-          f"{'OK' if bit_identical else 'FAILED'}")
+    print(f"bit-identity (W={workers} vs W=1, shm vs pickle, "
+          f"shards=1 vs unsharded): {'OK' if bit_identical else 'FAILED'}")
 
-    truth = audited_generator(SEED).uniform(5.0, 45.0, size=(epochs, devices))
-    _timed_run(truth[:1], 1, args.shards)  # warm codebook/table caches
-    t_single = _timed_run(truth, 1, args.shards)
-    t_parallel = _timed_run(truth, workers, args.shards)
-    speedup = t_single / t_parallel if t_parallel > 0 else float("inf")
-    print(f"single-process: {t_single:.3f}s   {workers} workers: "
-          f"{t_parallel:.3f}s   speedup: {speedup:.2f}x")
+    # Warm codebook/table caches outside the timed region.
+    warm = audited_generator(SEED).uniform(5.0, 45.0, size=(1, 256))
+    _run(warm, 1, args.shards)
 
+    sweep = []
+    for devices in sizes:
+        row = _sweep_row(devices, epochs, workers, args.shards, args.shm)
+        sweep.append(row)
+        print(
+            f"devices={devices:>7d}  single={row['t_single_s']:.3f}s  "
+            f"shm={row['t_parallel_shm_s']}s  pickle={row['t_parallel_pickle_s']}s  "
+            f"speedup={row['speedup']}x  "
+            f"ipc {row['ipc_bytes_pickle']} -> {row['ipc_bytes_shm']} bytes "
+            f"({row['ipc_reduction']}x smaller)"
+        )
+
+    headline = sweep[-1]
     payload = {
-        "schema": 1,
+        "schema": 2,
         "cores": cores,
         "workers": workers,
-        "shards": plan.n_shards,
-        "devices": devices,
-        "epochs": epochs,
+        "shards": shards,
         "arm": "thresholding",
         "datapath": "cordic-live",
-        "t_single_s": round(t_single, 4),
-        "t_parallel_s": round(t_parallel, 4),
-        "speedup": round(speedup, 3),
+        "shm_mode": args.shm,
+        "planner": plan.describe(),
+        "sweep": sweep,
+        "speedup": headline["speedup"],
         "speedup_floor": MIN_SPEEDUP,
         "floor_asserted": assert_floor,
         "bit_identical": bit_identical,
         "quick": args.quick,
     }
-    RESULTS_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {RESULTS_JSON}")
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
 
     if not bit_identical:
-        print("FAIL: sharded run is not bit-identical across worker counts")
+        print("FAIL: sharded run is not bit-identical across worker "
+              "counts/transports")
         return 1
-    if assert_floor and speedup < MIN_SPEEDUP:
-        print(f"FAIL: speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
-              f"on a {cores}-core machine")
+    if assert_floor and headline["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {headline['speedup']:.2f}x below the "
+              f"{MIN_SPEEDUP}x floor on a {cores}-core machine")
         return 1
     if not assert_floor:
         print(f"speedup floor not asserted "

@@ -198,6 +198,7 @@ class AggregationServer:
         values: np.ndarray,
         claimed_loss: float,
         device_ids: Optional[Sequence[str]] = None,
+        donate: bool = False,
     ) -> None:
         """Accept one epoch batch as an array — no per-report objects.
 
@@ -208,6 +209,13 @@ class AggregationServer:
         may be omitted; the caller then records the composition bound in
         bulk via :meth:`record_claimed_losses` (the fleet runner knows
         every device's report count up front from the dropout masks).
+
+        ``donate=True`` is the zero-copy contract of the shared-memory
+        data plane: the caller hands over a buffer it will *invalidate*
+        after the call (an shm view whose block gets unlinked), and the
+        server promises to hold no reference to it on return.  Streaming
+        mode satisfies that for free — the fold consumes the view
+        immediately; retain mode takes its own copy before storing.
         """
         values = np.asarray(values, dtype=float).reshape(-1)
         if self.streaming:
@@ -232,6 +240,10 @@ class AggregationServer:
             self._disclosure[device_id] = (
                 self._disclosure.get(device_id, 0.0) + claimed_loss
             )
+        if donate:
+            # The caller's buffer dies after this call; retained state
+            # must be server-owned memory.
+            values = np.array(values, dtype=float, copy=True)
         self._epochs.setdefault(epoch, []).append(
             _ReportBatch(
                 device_ids=list(device_ids),
@@ -247,6 +259,7 @@ class AggregationServer:
         n_reports: int,
         claimed_loss: float,
         device_ids: Optional[Sequence[str]] = None,
+        donate: bool = False,
     ) -> None:
         """Accept one epoch batch of categorical *support counts*.
 
@@ -258,6 +271,12 @@ class AggregationServer:
         never retained server-side, in either mode).  ``device_ids`` is
         optional exactly as in streaming ``submit_array``; bulk callers
         use :meth:`record_claimed_losses` instead.
+
+        ``donate=True`` has the same contract as on :meth:`submit_array`
+        (caller invalidates the buffer after the call).  The count fold
+        is additive and consumes the vector immediately, so donation is
+        always zero-copy here; the flag exists so shm callers state the
+        ownership transfer explicitly.
         """
         counts = np.asarray(counts, dtype=np.int64).reshape(-1)
         if counts.size < 2:

@@ -162,14 +162,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--epochs", type=int, default=8)
     p_fleet.add_argument("--dropout", type=float, default=0.0)
     p_fleet.add_argument("--device-budget", type=float, default=None)
-    p_fleet.add_argument("--workers", type=int, default=1,
-                         help="worker processes (1 = inline, no pool)")
+    p_fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="pin the worker-process count (1 = inline, no pool); "
+        "overrides --plan",
+    )
+    p_fleet.add_argument(
+        "--plan",
+        default="auto",
+        metavar="auto|serial|pool:<W>",
+        help="execution plan: 'auto' probes cores + a cached calibration "
+        "to pick serial vs pool, 'serial' forces inline, 'pool:<W>' "
+        "forces a W-worker pool; never changes the noise streams "
+        "(default: auto)",
+    )
     p_fleet.add_argument(
         "--shards",
         type=int,
         default=None,
         help="shard count; fixes the noise streams independently of "
-        "--workers (default 8, clamped to the device count)",
+        "--workers/--plan (default 8, clamped to the device count)",
     )
     p_fleet.add_argument(
         "--streaming",
@@ -475,8 +487,35 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_plan(args: argparse.Namespace):
+    """Resolve --plan/--workers into an ExecutionPlan (never the streams)."""
+    from .errors import ConfigurationError
+    from .parallel import plan_execution
+
+    if args.workers is not None:
+        workers = args.workers
+    elif args.plan == "auto":
+        workers = None
+    elif args.plan == "serial":
+        workers = 1
+    elif args.plan.startswith("pool:"):
+        try:
+            workers = int(args.plan[len("pool:"):])
+        except ValueError:
+            raise ConfigurationError(
+                f"--plan pool:<W> needs an integer, got {args.plan!r}"
+            )
+    else:
+        raise ConfigurationError(
+            f"--plan must be 'auto', 'serial' or 'pool:<W>', got {args.plan!r}"
+        )
+    return plan_execution(
+        args.devices, args.epochs, shards=args.shards, workers=workers
+    )
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from .parallel import plan_shards, run_fleet_sharded
+    from .parallel import run_fleet_sharded
 
     lo, hi = args.range
     sensor = SensorSpec(m=lo, M=hi)
@@ -487,7 +526,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     else:
         truth = sim_rng.uniform(lo, hi, size=(args.epochs, args.devices))
-    plan = plan_shards(args.devices, args.shards)
+    plan = _parse_plan(args)
     result = run_fleet_sharded(
         truth,
         sensor,
@@ -497,17 +536,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         dropout=args.dropout,
         rng=audited_generator(args.seed + 1),
         source_seed=args.seed,
-        workers=args.workers,
         shards=args.shards,
         streaming=args.streaming,
         with_devices=not args.streaming,
+        execution_plan=plan,
     )
     mode = "streaming" if args.streaming else "retain"
     print(
         f"fleet: {args.devices} devices x {args.epochs} epochs, arm={args.arm}, "
-        f"eps={args.epsilon}, shards={plan.n_shards}, workers={args.workers}, "
-        f"server={mode}"
+        f"eps={args.epsilon}, plan={plan.describe()}, server={mode}"
     )
+    print(f"  plan reason: {plan.reason}")
     for epoch in result.server.epochs:
         s = result.server.summarize(epoch)
         # dplint: allow[DPL006] -- prints the simulated ground-truth mean

@@ -146,6 +146,9 @@ class FxpMechanismBase(LocalMechanism):
             claimed_loss=self.claimed_loss_bound,
             codes=self.quantize_inputs(x).reshape(-1),
             draw=self.rng.sample_codes,
+            # Fused fast path: bit-identical to codes + draw(n) with
+            # identical source consumption (see sample_codes_add).
+            draw_add=self.rng.sample_codes_add,
             guard=guard,
             window=window,
             decode=lambda k: k * delta,

@@ -131,6 +131,9 @@ class GuardedNoiseMechanism(LocalMechanism):
             claimed_loss=self.claimed_loss_bound,
             codes=k_x.reshape(-1),
             draw=self.noise_rng.sample_codes,
+            # Fused fast path when the RNG offers one (FxpLaplaceRng
+            # does); bit-identical to codes + draw(n) by contract.
+            draw_add=getattr(self.noise_rng, "sample_codes_add", None),
             guard=guard,
             window=self.window,
             max_rounds=_MAX_ROUNDS,

@@ -10,29 +10,54 @@ worker privatizes its slice through a private
 The coordinator (:mod:`repro.parallel.runner`) merges shard outputs in
 shard order, so the result is **bit-identical** for any worker count —
 the shard plan, not the pool size, fixes the noise streams.
+
+Two layers ride on top:
+
+* the zero-copy shared-memory data plane (:mod:`repro.parallel.shm`) —
+  array payloads live in named ``multiprocessing.shared_memory`` blocks
+  and only block names + slice metadata cross the pool pipe; and
+* the adaptive planner (:mod:`repro.parallel.planner`) —
+  :func:`~repro.parallel.planner.plan_execution` picks serial-vs-pool
+  and the worker count from host probes while the shard count (the
+  reproducibility key) stays caller-fixed.
 """
 
 from .categorical import (
     CategoricalFleetResult,
     CategoricalShardResult,
+    CategoricalShardShm,
     CategoricalShardTask,
     run_categorical_shard,
     run_fleet_categorical,
 )
-from .sharding import DEFAULT_SHARDS, ShardPlan, plan_shards
-from .worker import CodebookShipment, ShardResult, ShardTask, run_shard
-from .runner import run_fleet_sharded
+from .planner import ExecutionPlan, calibrate_throughput, plan_execution
+from .sharding import DEFAULT_SHARDS, ShardPlan, clamp_workers, plan_shards
+from .shm import ShmArena, ShmArrayRef, attach_array, detach_all
+from .worker import CodebookShipment, ShardResult, ShardShm, ShardTask, run_shard
+from .runner import measure_ipc_bytes, plan_trace_event, run_fleet_sharded
 
 __all__ = [
     "DEFAULT_SHARDS",
     "ShardPlan",
     "plan_shards",
+    "clamp_workers",
+    "ExecutionPlan",
+    "plan_execution",
+    "calibrate_throughput",
+    "ShmArena",
+    "ShmArrayRef",
+    "attach_array",
+    "detach_all",
     "CodebookShipment",
+    "ShardShm",
     "ShardTask",
     "ShardResult",
     "run_shard",
     "run_fleet_sharded",
+    "measure_ipc_bytes",
+    "plan_trace_event",
     "CategoricalFleetResult",
+    "CategoricalShardShm",
     "CategoricalShardTask",
     "CategoricalShardResult",
     "run_categorical_shard",

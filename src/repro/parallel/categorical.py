@@ -40,15 +40,34 @@ from ..rng.urng import SplitStreamSource, shard_seed_sequences
 from ..runtime import CounterSink, JsonlSink, ReleasePipeline, RingBufferSink
 from ..runtime.events import ReleaseEvent
 from ..runtime.pipeline import default_pipeline
+from .planner import ExecutionPlan
 from .sharding import ShardPlan, plan_shards
+from .shm import ShmArena, ShmArrayRef, detach_all
 
 __all__ = [
     "CategoricalFleetResult",
+    "CategoricalShardShm",
     "CategoricalShardTask",
     "CategoricalShardResult",
     "run_categorical_shard",
     "run_fleet_categorical",
 ]
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoricalShardShm:
+    """Shared-memory refs replacing one categorical shard's payload.
+
+    ``counts_out``/``n_out`` are the shard's rows of the coordinator's
+    ``(n_epochs, n_categories)`` count matrix and per-epoch report
+    tally — the worker writes them in place of shipping count vectors
+    back through the pipe.
+    """
+
+    truth: ShmArrayRef
+    reporting: ShmArrayRef
+    counts_out: ShmArrayRef
+    n_out: ShmArrayRef
 
 
 @dataclasses.dataclass
@@ -62,16 +81,23 @@ class CategoricalShardTask:
     n_categories: int
     epsilon: float
     seed_seq: np.random.SeedSequence
-    truth: np.ndarray
-    """True categories, shape ``(n_epochs, shard_devices)`` int64."""
-    reporting: np.ndarray
-    """Coordinator-drawn reporting masks, same shape, bool."""
+    truth: Optional[np.ndarray]
+    """True categories, shape ``(n_epochs, shard_devices)`` int64
+    (``None`` ⇢ shm)."""
+    reporting: Optional[np.ndarray]
+    """Coordinator-drawn reporting masks, same shape, bool (``None`` ⇢ shm)."""
     oracle_kwargs: Dict[str, object]
+    shm: Optional[CategoricalShardShm] = None
+    """Zero-copy transport refs; replaces the array payload when set."""
 
 
 @dataclasses.dataclass
 class CategoricalShardResult:
-    """One shard's aggregated output: counts, never reports."""
+    """One shard's aggregated output: counts, never reports.
+
+    On the shm transport ``counts_by_epoch``/``n_by_epoch`` are empty —
+    the counts already sit in coordinator-owned buffers.
+    """
 
     shard_index: int
     start: int
@@ -95,8 +121,22 @@ def run_categorical_shard(task: CategoricalShardTask) -> CategoricalShardResult:
     One pipeline release per (epoch, shard); the reports are folded into
     the shard's support-count vector immediately and discarded — the
     streaming discipline starts at the worker.
+
+    Transport never touches privatization: with shm refs the worker
+    attaches its input slices by name and writes its count rows straight
+    into the coordinator's matrix, consuming the identical audited
+    stream — bit-identical to the pickle transport by construction.
     """
-    n_epochs, _ = task.truth.shape
+    use_shm = task.shm is not None
+    if use_shm:
+        truth = task.shm.truth.attach()
+        reporting = task.shm.reporting.attach()
+        counts_out = task.shm.counts_out.attach()
+        n_out = task.shm.n_out.attach()
+    else:
+        truth = task.truth
+        reporting = task.reporting
+    n_epochs, _ = truth.shape
     counter = CounterSink()
     ring = RingBufferSink(capacity=max(n_epochs + 4, 16))
     arm = make_oracle(
@@ -113,22 +153,28 @@ def run_categorical_shard(task: CategoricalShardTask) -> CategoricalShardResult:
     zeros = np.zeros(task.n_categories, dtype=np.int64)
 
     for epoch in range(n_epochs):
-        idx = np.flatnonzero(task.reporting[epoch])
+        idx = np.flatnonzero(reporting[epoch])
         if idx.size == 0:
-            counts_by_epoch.append(zeros.copy())
-            n_by_epoch.append(0)
+            if not use_shm:
+                counts_by_epoch.append(zeros.copy())
+                n_by_epoch.append(0)
             continue
         # Global device indices: the per-user public randomness key.
         users = task.start + idx
         reports = arm.report(
-            task.truth[epoch, idx],
+            truth[epoch, idx],
             channel=_shard_channel(epoch, task.shard_index, task.n_shards),
             user_offset=users,
         )
-        counts_by_epoch.append(
-            np.asarray(arm.support_counts(reports, user_offset=users), dtype=np.int64)
+        counts = np.asarray(
+            arm.support_counts(reports, user_offset=users), dtype=np.int64
         )
-        n_by_epoch.append(int(idx.size))
+        if use_shm:
+            counts_out[epoch] = counts
+            n_out[epoch] = idx.size
+        else:
+            counts_by_epoch.append(counts)
+            n_by_epoch.append(int(idx.size))
 
     return CategoricalShardResult(
         shard_index=task.shard_index,
@@ -155,6 +201,9 @@ class CategoricalFleetResult:
     true_frequencies: List[np.ndarray]
     counters: CounterSink
     shard_plan: ShardPlan
+    #: Measured pipe payload (pickled tasks + results) when the run was
+    #: invoked with ``measure_ipc=True``; ``None`` otherwise.
+    ipc_bytes: Optional[int] = None
 
     @property
     def mean_abs_error(self) -> float:
@@ -180,6 +229,9 @@ def run_fleet_categorical(
     streaming: bool = True,
     count_thresholds: Sequence[float] = (),
     trace_path=None,
+    shm: Optional[bool] = None,
+    measure_ipc: bool = False,
+    execution_plan: Optional[ExecutionPlan] = None,
     **oracle_kwargs,
 ) -> CategoricalFleetResult:
     """Run a categorical fleet epoch matrix sharded across processes.
@@ -193,10 +245,22 @@ def run_fleet_categorical(
     every shard's release events to one JSONL trace, shard by shard, via
     :class:`~repro.runtime.JsonlSink` in append mode.
 
-    Determinism contract: bit-identical for any ``workers``; the
-    ``(shards, source_seed, n_devices)`` triple fixes the streams.
+    ``shm``/``measure_ipc``/``execution_plan`` behave exactly as on
+    :func:`~repro.parallel.runner.run_fleet_sharded`: transport selector
+    (``None`` → shm iff pooled), pipe-payload measurement, and an
+    adaptive plan that overrides ``workers`` (plus ``shards`` when not
+    explicitly given) and is echoed into the trace.
+
+    Determinism contract: bit-identical for any ``workers`` and either
+    transport; the ``(shards, source_seed, n_devices)`` triple fixes the
+    streams.
     """
     from ..aggregation.server import AggregationServer
+
+    if execution_plan is not None:
+        workers = execution_plan.workers
+        if shards is None:
+            shards = execution_plan.shards
 
     true_values = np.asarray(true_values)
     if true_values.ndim != 2:
@@ -237,73 +301,143 @@ def run_fleet_categorical(
         reporting[epoch] = mask
 
     seqs = shard_seed_sequences(source_seed, plan.n_shards)
-    tasks = [
-        CategoricalShardTask(
-            shard_index=s,
-            n_shards=plan.n_shards,
-            start=start,
-            oracle=oracle,
-            n_categories=int(n_categories),
-            epsilon=float(epsilon),
-            seed_seq=seqs[s],
-            truth=np.ascontiguousarray(true_values[:, start:stop]),
-            reporting=np.ascontiguousarray(reporting[:, start:stop]),
-            oracle_kwargs=dict(oracle_kwargs),
+    use_shm = (workers > 1) if shm is None else bool(shm)
+    arena: Optional[ShmArena] = None
+    ipc_bytes: Optional[int] = None
+    try:
+        if use_shm:
+            arena = ShmArena()
+            truth_refs = arena.pack(
+                [true_values[:, start:stop] for start, stop in plan.slices]
+            )
+            reporting_refs = arena.pack(
+                [reporting[:, start:stop] for start, stop in plan.slices]
+            )
+            # Per-shard output rows: counts (n_epochs × d) and the report
+            # tally (n_epochs), packed one region per shard in one block.
+            counts_ref = arena.allocate(
+                (plan.n_shards, n_epochs, int(n_categories)), np.int64
+            )
+            n_ref = arena.allocate((plan.n_shards, n_epochs), np.int64)
+            tasks = [
+                CategoricalShardTask(
+                    shard_index=s,
+                    n_shards=plan.n_shards,
+                    start=start,
+                    oracle=oracle,
+                    n_categories=int(n_categories),
+                    epsilon=float(epsilon),
+                    seed_seq=seqs[s],
+                    truth=None,
+                    reporting=None,
+                    oracle_kwargs=dict(oracle_kwargs),
+                    shm=CategoricalShardShm(
+                        truth=truth_refs[s],
+                        reporting=reporting_refs[s],
+                        counts_out=counts_ref.sub(
+                            s * n_epochs * int(n_categories),
+                            (n_epochs, int(n_categories)),
+                        ),
+                        n_out=n_ref.sub(s * n_epochs, (n_epochs,)),
+                    ),
+                )
+                for s, (start, stop) in enumerate(plan.slices)
+            ]
+        else:
+            tasks = [
+                CategoricalShardTask(
+                    shard_index=s,
+                    n_shards=plan.n_shards,
+                    start=start,
+                    oracle=oracle,
+                    n_categories=int(n_categories),
+                    epsilon=float(epsilon),
+                    seed_seq=seqs[s],
+                    truth=np.ascontiguousarray(true_values[:, start:stop]),
+                    reporting=np.ascontiguousarray(reporting[:, start:stop]),
+                    oracle_kwargs=dict(oracle_kwargs),
+                )
+                for s, (start, stop) in enumerate(plan.slices)
+            ]
+
+        if workers == 1:
+            results: List[CategoricalShardResult] = [
+                run_categorical_shard(t) for t in tasks
+            ]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, plan.n_shards)
+            ) as pool:
+                results = list(pool.map(run_categorical_shard, tasks))
+
+        if measure_ipc:
+            from .runner import measure_ipc_bytes
+
+            ipc_bytes = measure_ipc_bytes(tasks, results)
+
+        # ---- merge, in shard order --------------------------------------
+        server = AggregationServer(
+            streaming=streaming, count_thresholds=count_thresholds
         )
-        for s, (start, stop) in enumerate(plan.slices)
-    ]
+        if use_shm:
+            counts_all = arena.view(counts_ref)
+            n_all = arena.view(n_ref)
+        for epoch in range(n_epochs):
+            for result in results:
+                s = result.shard_index
+                if use_shm:
+                    n = int(n_all[s, epoch])
+                    counts = counts_all[s, epoch]
+                else:
+                    n = result.n_by_epoch[epoch]
+                    counts = result.counts_by_epoch[epoch]
+                if n == 0:
+                    continue
+                # The count fold is additive and consumes the vector
+                # immediately — donation is zero-copy.
+                server.submit_counts(epoch, counts, n, loss, donate=use_shm)
+        # Composition bound, in bulk: report counts per device are fixed by
+        # the coordinator-drawn masks.
+        per_device = reporting.sum(axis=0)
+        server.record_claimed_losses(
+            {
+                f"dev-{i:04d}": float(per_device[i]) * loss
+                for i in np.flatnonzero(per_device)
+            }
+        )
 
-    if workers == 1:
-        results: List[CategoricalShardResult] = [
-            run_categorical_shard(t) for t in tasks
+        target_pipeline = pipeline if pipeline is not None else default_pipeline()
+        if execution_plan is not None:
+            from .runner import plan_trace_event
+
+            target_pipeline.adopt([plan_trace_event(execution_plan)])
+        for result in results:
+            target_pipeline.adopt(result.events)
+        if trace_path is not None:
+            # One append-mode sink per shard: successive sinks extend the
+            # file, which is exactly the JsonlSink(append=True) contract.
+            for result in results:
+                with JsonlSink(trace_path, append=True) as sink:
+                    for event in result.events:
+                        # dplint: allow[DPL006] -- ReleaseEvents are already
+                        # privatized pipeline outputs; the taint is via the
+                        # shard-result container, which also carries the
+                        # simulation ground truth used for utility scoring.
+                        sink.emit(event)
+        counters = functools.reduce(
+            CounterSink.merge, (r.counter for r in results), CounterSink()
+        )
+
+        estimates = [
+            server.frequency_estimates(e, reference)
+            for e in server.categorical_epochs
         ]
-    else:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, plan.n_shards)
-        ) as pool:
-            results = list(pool.map(run_categorical_shard, tasks))
-
-    # ---- merge, in shard order ------------------------------------------
-    server = AggregationServer(
-        streaming=streaming, count_thresholds=count_thresholds
-    )
-    for epoch in range(n_epochs):
-        for result in results:
-            n = result.n_by_epoch[epoch]
-            if n == 0:
-                continue
-            server.submit_counts(epoch, result.counts_by_epoch[epoch], n, loss)
-    # Composition bound, in bulk: report counts per device are fixed by
-    # the coordinator-drawn masks.
-    per_device = reporting.sum(axis=0)
-    server.record_claimed_losses(
-        {
-            f"dev-{i:04d}": float(per_device[i]) * loss
-            for i in np.flatnonzero(per_device)
-        }
-    )
-
-    target_pipeline = pipeline if pipeline is not None else default_pipeline()
-    for result in results:
-        target_pipeline.adopt(result.events)
-    if trace_path is not None:
-        # One append-mode sink per shard: successive sinks extend the
-        # file, which is exactly the JsonlSink(append=True) contract.
-        for result in results:
-            with JsonlSink(trace_path, append=True) as sink:
-                for event in result.events:
-                    # dplint: allow[DPL006] -- ReleaseEvents are already
-                    # privatized pipeline outputs; the taint is via the
-                    # shard-result container, which also carries the
-                    # simulation ground truth used for utility scoring.
-                    sink.emit(event)
-    counters = functools.reduce(
-        CounterSink.merge, (r.counter for r in results), CounterSink()
-    )
-
-    estimates = [
-        server.frequency_estimates(e, reference) for e in server.categorical_epochs
-    ]
+        if use_shm:
+            counts = counts_all = n_all = None  # noqa: F841
+    finally:
+        if arena is not None:
+            arena.close()
+            detach_all()
     true_frequencies = [
         np.bincount(true_values[epoch, reporting[epoch]], minlength=n_categories)
         / max(int(reporting[epoch].sum()), 1)
@@ -316,4 +450,5 @@ def run_fleet_categorical(
         true_frequencies=true_frequencies,
         counters=counters,
         shard_plan=plan,
+        ipc_bytes=ipc_bytes,
     )

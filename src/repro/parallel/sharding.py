@@ -14,11 +14,15 @@ run's reproducibility key, exactly like the fleet seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+import logging
+import os
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
 
-__all__ = ["DEFAULT_SHARDS", "ShardPlan", "plan_shards"]
+__all__ = ["DEFAULT_SHARDS", "ShardPlan", "plan_shards", "clamp_workers"]
+
+_log = logging.getLogger(__name__)
 
 #: Default shard count.  Fixed (not ``os.cpu_count()``!) so the default
 #: plan — and with it the noise streams — is identical on every machine;
@@ -34,6 +38,11 @@ class ShardPlan:
     n_devices: int
     #: Shard boundaries: shard ``s`` owns devices ``[offsets[s], offsets[s+1])``.
     offsets: Tuple[int, ...]
+    #: Validated/clamped pool size, when the caller asked ``plan_shards``
+    #: to vet one.  Scheduling metadata only — results never depend on it
+    #: (that is the bit-identity guarantee); it is deliberately NOT part
+    #: of the reproducibility key the way ``offsets`` is.
+    workers: Optional[int] = None
 
     @property
     def n_shards(self) -> int:
@@ -58,12 +67,45 @@ class ShardPlan:
         raise ConfigurationError(f"no shard owns device {device_index}")
 
 
-def plan_shards(n_devices: int, shards: int = None) -> ShardPlan:
+def clamp_workers(workers: int) -> int:
+    """Validate a requested pool size and clamp it to the host's cores.
+
+    ``workers < 1`` is a configuration error; asking for more workers
+    than ``os.cpu_count()`` is clamped with a logged warning instead of
+    silently oversubscribing the pool (an oversubscribed pool *slows*
+    the run — every extra process pays serialization and scheduler cost
+    for zero parallelism).  The clamp affects scheduling only, never
+    results: worker count is outside the reproducibility key.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    available = os.cpu_count() or 1
+    if workers > available:
+        _log.warning(
+            "requested %d workers but only %d cores are available; "
+            "clamping the pool to %d (results are unaffected: worker "
+            "count is not part of the reproducibility key)",
+            workers,
+            available,
+            available,
+        )
+        return available
+    return workers
+
+
+def plan_shards(
+    n_devices: int, shards: int = None, workers: Optional[int] = None
+) -> ShardPlan:
     """Build the balanced plan for ``n_devices`` across ``shards`` slices.
 
     ``shards`` defaults to :data:`DEFAULT_SHARDS` and is clamped to
     ``n_devices`` so no shard is empty.  Shard sizes differ by at most
     one device (``i * n // s`` boundaries).
+
+    ``workers``, when given, is validated and clamped via
+    :func:`clamp_workers` and recorded on the plan.  It never shapes the
+    partition: ``offsets`` stays a pure function of
+    ``(n_devices, shards)``, which is the determinism guarantee.
     """
     if n_devices < 1:
         raise ConfigurationError("n_devices must be >= 1")
@@ -72,4 +114,5 @@ def plan_shards(n_devices: int, shards: int = None) -> ShardPlan:
         raise ConfigurationError("shards must be >= 1")
     s = min(s, n_devices)
     offsets = tuple(i * n_devices // s for i in range(s + 1))
-    return ShardPlan(n_devices=n_devices, offsets=offsets)
+    vetted = None if workers is None else clamp_workers(workers)
+    return ShardPlan(n_devices=n_devices, offsets=offsets, workers=vetted)

@@ -15,6 +15,16 @@ which adopts the coordinator's already-built ``m → k`` table into the
 process-wide :class:`~repro.rng.codebook.CodebookCache` — each worker
 process warms once per (config, backend) instead of re-sweeping the
 ``2**Bu`` alphabet.
+
+Shared-memory transport: when the coordinator runs the zero-copy data
+plane (:mod:`repro.parallel.shm`), the task's array payload is replaced
+by a :class:`ShardShm` bundle of block refs — the worker attaches its
+input slices by name and writes its outputs (flat per-epoch value
+regions at coordinator-precomputed offsets, plus the per-device budget
+state) straight into coordinator-owned buffers.  Only block names,
+shapes and the small trace artifacts cross the pipe.  The privatization
+itself is transport-blind, which is how the shm path stays bit-identical
+to the pickle path by construction.
 """
 
 from __future__ import annotations
@@ -30,9 +40,11 @@ from ..rng.codebook import codebook_cache
 from ..rng.urng import SplitStreamSource, audited_generator
 from ..runtime import ArrayCharge, CounterSink, ReleasePipeline, RingBufferSink
 from ..runtime.events import ReleaseEvent
+from .shm import ShmArrayRef
 
 __all__ = [
     "CodebookShipment",
+    "ShardShm",
     "ShardTask",
     "ShardResult",
     "run_shard",
@@ -61,6 +73,28 @@ def install_shipments(shipments: Sequence[CodebookShipment]) -> None:
         cache.install(shipment.config, shipment.fingerprint, shipment.table)
 
 
+@dataclasses.dataclass(frozen=True)
+class ShardShm:
+    """Shared-memory refs replacing one numeric shard's array payload.
+
+    Inputs (``truth``/``reporting``) are read-only slices the coordinator
+    packed; outputs are coordinator-allocated regions the worker fills:
+    ``values_out`` is the shard's flat value buffer (per-epoch offsets
+    are recomputed worker-side from the reporting mask — deterministic,
+    the coordinator derives the same layout when merging), the rest is
+    the per-device budget/cache state the coordinator previously got back
+    through pickle.
+    """
+
+    truth: ShmArrayRef
+    reporting: ShmArrayRef
+    values_out: ShmArrayRef
+    n_fresh: ShmArrayRef
+    n_cached: ShmArrayRef
+    cached_codes: ShmArrayRef
+    remaining: Optional[ShmArrayRef] = None
+
+
 @dataclasses.dataclass
 class ShardTask:
     """Everything one shard needs, picklable."""
@@ -74,27 +108,36 @@ class ShardTask:
     epsilon: float
     seed_seq: np.random.SeedSequence
     """Spawned sub-seed of the fleet seed; this shard's audited stream."""
-    truth: np.ndarray
-    """True values, shape ``(n_epochs, shard_devices)``."""
-    reporting: np.ndarray
-    """Coordinator-drawn reporting masks, same shape, bool."""
+    truth: Optional[np.ndarray]
+    """True values, shape ``(n_epochs, shard_devices)`` (``None`` ⇢ shm)."""
+    reporting: Optional[np.ndarray]
+    """Coordinator-drawn reporting masks, same shape, bool (``None`` ⇢ shm)."""
     device_budget: Optional[float]
     mechanism_kwargs: Dict[str, object]
+    shm: Optional[ShardShm] = None
+    """Zero-copy transport refs; replaces ``truth``/``reporting`` and the
+    result's array fields when set (shapes travel on the refs)."""
 
 
 @dataclasses.dataclass
 class ShardResult:
-    """One shard's privatized output plus its trace and budget state."""
+    """One shard's privatized output plus its trace and budget state.
+
+    On the shm transport the array fields are ``None``/empty — the data
+    already sits in the coordinator's buffers — and only the loss bound,
+    events and counters ride back through the pipe.
+    """
 
     shard_index: int
     start: int
     claimed_loss: float
     values_by_epoch: List[np.ndarray]
-    """Privatized values per epoch (empty array where no device reported)."""
-    n_fresh: np.ndarray
-    n_cached: np.ndarray
+    """Privatized values per epoch (empty array where no device reported;
+    empty *list* on the shm transport)."""
+    n_fresh: Optional[np.ndarray]
+    n_cached: Optional[np.ndarray]
     remaining: Optional[np.ndarray]
-    cached_codes: np.ndarray
+    cached_codes: Optional[np.ndarray]
     events: List[ReleaseEvent]
     counter: CounterSink
 
@@ -116,8 +159,19 @@ def run_shard(task: ShardTask) -> ShardResult:
     :class:`~repro.runtime.ArrayCharge` budget accounting.  Shard-epochs
     with no reporting device are skipped outright — deterministically,
     since the masks are fixed inputs — so they consume no noise stream.
+
+    Transport never touches privatization: the shm branch only swaps
+    where the inputs are read from and the outputs land, so both paths
+    consume the identical audited stream and are bit-identical.
     """
-    n_epochs, shard_devices = task.truth.shape
+    use_shm = task.shm is not None
+    if use_shm:
+        truth = task.shm.truth.attach()
+        reporting = task.shm.reporting.attach()
+    else:
+        truth = task.truth
+        reporting = task.reporting
+    n_epochs, shard_devices = truth.shape
     kwargs = dict(task.mechanism_kwargs)
     if task.arm != "ideal":
         kwargs.setdefault("input_bits", 14)
@@ -132,20 +186,33 @@ def run_shard(task: ShardTask) -> ShardResult:
         mechanism.rng.kernel  # resolve the codebook before the epoch loop
 
     loss = mechanism.claimed_loss_bound
-    remaining = (
-        np.full(shard_devices, float(task.device_budget))
-        if task.device_budget is not None
-        else None
-    )
-    cached_codes = np.full(shard_devices, np.nan)
-    n_fresh = np.zeros(shard_devices, dtype=np.int64)
-    n_cached = np.zeros(shard_devices, dtype=np.int64)
+    if use_shm:
+        # Budget/cache state lives directly in coordinator-owned buffers;
+        # ArrayCharge mutates them in place, so nothing ships back.
+        remaining = (
+            task.shm.remaining.attach() if task.shm.remaining is not None else None
+        )
+        cached_codes = task.shm.cached_codes.attach()
+        n_fresh = task.shm.n_fresh.attach()
+        n_cached = task.shm.n_cached.attach()
+        values_out = task.shm.values_out.attach()
+        out_offset = 0
+    else:
+        remaining = (
+            np.full(shard_devices, float(task.device_budget))
+            if task.device_budget is not None
+            else None
+        )
+        cached_codes = np.full(shard_devices, np.nan)
+        n_fresh = np.zeros(shard_devices, dtype=np.int64)
+        n_cached = np.zeros(shard_devices, dtype=np.int64)
     values_by_epoch: List[np.ndarray] = []
 
     for epoch in range(n_epochs):
-        idx = np.flatnonzero(task.reporting[epoch])
+        idx = np.flatnonzero(reporting[epoch])
         if idx.size == 0:
-            values_by_epoch.append(np.zeros(0))
+            if not use_shm:
+                values_by_epoch.append(np.zeros(0))
             continue
         accounting = (
             ArrayCharge(remaining, cached_codes, loss, index=idx)
@@ -154,7 +221,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         )
         try:
             outcome = mechanism.release(
-                task.truth[epoch, idx],
+                truth[epoch, idx],
                 accounting=accounting,
                 channel=_shard_channel(epoch, task.shard_index, task.n_shards),
             )
@@ -165,17 +232,26 @@ def run_shard(task: ShardTask) -> ShardResult:
         hits = outcome.cache_hits
         n_fresh[idx] += ~hits
         n_cached[idx] += hits
-        values_by_epoch.append(np.asarray(outcome.values, dtype=float))
+        if use_shm:
+            # Flat layout: epochs in order, each of this epoch's reports
+            # contiguous.  The coordinator recomputes the same offsets
+            # from the same masks when it folds the buffer.
+            values_out[out_offset : out_offset + idx.size] = np.asarray(
+                outcome.values, dtype=float
+            )
+            out_offset += idx.size
+        else:
+            values_by_epoch.append(np.asarray(outcome.values, dtype=float))
 
     return ShardResult(
         shard_index=task.shard_index,
         start=task.start,
         claimed_loss=loss,
         values_by_epoch=values_by_epoch,
-        n_fresh=n_fresh,
-        n_cached=n_cached,
-        remaining=remaining,
-        cached_codes=cached_codes,
+        n_fresh=None if use_shm else n_fresh,
+        n_cached=None if use_shm else n_cached,
+        remaining=None if use_shm else remaining,
+        cached_codes=None if use_shm else cached_codes,
         events=ring.events,
         counter=counter,
     )

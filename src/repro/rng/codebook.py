@@ -88,6 +88,7 @@ class CodebookEntry:
         #: ``table[m - 1]`` is the magnitude code for URNG code ``m``.
         self.table = table
         self._counts: Optional[np.ndarray] = None
+        self._signed: Optional[np.ndarray] = None
         #: Exact signed PMF; populated lazily by ``FxpLaplaceRng.exact_pmf``
         #: so the PMF math stays in one place (laplace_fxp).
         self.pmf = None
@@ -101,6 +102,39 @@ class CodebookEntry:
     def gather(self, m: np.ndarray) -> np.ndarray:
         """Magnitude codes for URNG codes ``m`` — one vectorized gather."""
         return self.table[m - 1]
+
+    def signed_table(self) -> np.ndarray:
+        """Flat int64 table indexed by ``(b << Bu) + m`` → signed code.
+
+        Slot ``m`` (``1 .. 2**Bu``) holds ``+table[m - 1]`` and slot
+        ``2**Bu + m`` holds ``-table[m - 1]`` (slot 0 is padding), so
+        ``signed_table()[(b << Bu) + m]`` is ``(1 - 2b) · table[m - 1]``
+        in a *single* gather — both the sign multiply *and* the ``m - 1``
+        index shift of the unfused path folded into the lookup.  Built
+        lazily (adds a ``2**(Bu+1)`` int64 table only when a fused caller
+        exists) and cached for the life of the entry.
+        """
+        with self._lock:
+            if self._signed is None:
+                magnitudes = self.table.astype(np.int64)
+                self._signed = np.concatenate(([0], magnitudes, -magnitudes))
+            return self._signed
+
+    def gather_signed_add(
+        self, m: np.ndarray, sign_bits: np.ndarray, codes: np.ndarray
+    ) -> np.ndarray:
+        """Fused ``codes + (1 - 2·sign_bits) · table[m - 1]``.
+
+        One signed gather plus one in-place add replaces the unfused
+        gather → ``2b`` → ``1 - …`` → ``sign·k`` → ``+ codes`` chain.
+        Inputs are never mutated; the result is a fresh int64 buffer the
+        caller owns (the guards mutate it in place).
+        """
+        idx = sign_bits << self.input_bits
+        idx += m
+        out = self.signed_table()[idx]
+        out += codes
+        return out
 
     def magnitude_counts(self) -> np.ndarray:
         """Exact counts of URNG codes per magnitude code (cached)."""

@@ -218,6 +218,41 @@ class FxpLaplaceRng:
         sign = 1 - 2 * self.source.random_bits(n)  # ±1
         return sign * k
 
+    def sample_codes_add(self, codes: np.ndarray) -> np.ndarray:
+        """Fused ``codes + sample_codes(len(codes))`` — same stream, fewer passes.
+
+        The unfused draw-then-add spends three elementwise round-trips on
+        the sign alone (``2*b``, ``1 - …``, ``sign*k``) plus a fourth for
+        the add.  On the codebook path the sign multiply folds into the
+        lookup itself: a doubled ``[+k…, -k…]`` table indexed by
+        ``(sign_bit << Bu) | (m - 1)`` yields the *signed* code in one
+        gather (see :meth:`CodebookEntry.gather_signed_add`), leaving a
+        single in-place add for the input codes.  The live datapath keeps
+        the arithmetic form ``codes + k - 2·b·k`` with in-place updates.
+
+        Source consumption is *identical* to :meth:`sample_codes` (``n``
+        uniform codes, then ``n`` sign bits), so the result is
+        bit-identical to ``codes + sample_codes(n)`` for any source/seed;
+        the guard-fusion property tests pin that against the scalar
+        reference.
+
+        ``codes`` must be integer grid codes (every fixed-point arm's
+        quantizer emits ``int64``); the fused buffer is ``int64``.
+        """
+        codes = np.asarray(codes)
+        n = codes.shape[0]
+        m = self.source.uniform_codes(n, self.config.input_bits)
+        entry = self._resolve_codebook()
+        sign_bits = self.source.random_bits(n)
+        if entry is not None:
+            return entry.gather_signed_add(m, sign_bits, codes)
+        k = self._codes_from_uniform(m)  # fresh int64 — safe to mutate
+        signed_twice = k * sign_bits
+        k += codes
+        k -= signed_twice
+        k -= signed_twice
+        return k
+
     def sample(self, n: int) -> np.ndarray:
         """Draw ``n`` noise values in real units."""
         return self.sample_codes(n) * self.config.delta

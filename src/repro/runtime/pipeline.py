@@ -67,6 +67,14 @@ class ReleaseRequest:
     draw: Callable[[int], np.ndarray]
     """Audited noise source: ``draw(n)`` returns ``n`` noise codes."""
 
+    draw_add: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    """Fused draw: ``draw_add(codes)`` returns ``codes + draw(len(codes))``
+    in fewer elementwise passes (e.g.
+    :meth:`~repro.rng.laplace_fxp.FxpLaplaceRng.sample_codes_add` on the
+    codebook-gather path).  MUST consume the audited source identically
+    to ``draw`` and be bit-identical to ``codes + draw(n)`` — the guards
+    treat it as a pure fast path and fall back to ``draw`` when unset."""
+
     guard: str = "none"
     """``none`` (release as drawn), ``threshold`` (clamp into window),
     or ``resample`` (redraw until in window)."""
@@ -205,13 +213,16 @@ class ReleasePipeline:
         if n == 0:
             k_y = codes.copy()
         elif request.guard == "none":
-            k_y = codes + request.draw(n)
+            k_y = self._noised(request, codes)
             if request.modulus is not None:
                 np.mod(k_y, request.modulus, out=k_y)
         elif request.guard == "threshold":
-            # Fused clamp: add and clip in place — one output buffer, no
-            # extra elementwise round-trips (ROADMAP fast-path note).
-            k_y = codes + request.draw(n)
+            # Fully fused threshold pass on the codebook-gather path:
+            # draw_add folds sign + add into the gather buffer and the
+            # clamp clips that same buffer in place — one output array
+            # end to end, no elementwise round-trips (ROADMAP fast-path
+            # note).
+            k_y = self._noised(request, codes)
             k_y = self._clamp(k_y, *self._window(request))
         elif request.guard == "resample":
             k_y = self._resample(request, codes, rounds)
@@ -306,6 +317,18 @@ class ReleasePipeline:
 
     # -- helpers -------------------------------------------------------
     @staticmethod
+    def _noised(request: ReleaseRequest, codes: np.ndarray) -> np.ndarray:
+        """``codes + noise`` through the fused draw when one is wired.
+
+        ``draw_add`` is contractually bit-identical to ``codes + draw(n)``
+        with identical source consumption, so the guards can treat the
+        two interchangeably.
+        """
+        if request.draw_add is not None:
+            return request.draw_add(codes)
+        return codes + request.draw(codes.shape[0])
+
+    @staticmethod
     def _window(request: ReleaseRequest) -> Tuple[float, float]:
         if request.window is None:
             raise ConfigurationError(
@@ -337,11 +360,17 @@ class ReleasePipeline:
         For integer codes the two comparisons and the ``|`` fuse into a
         single unsigned range check: ``uint(k - lo) > hi - lo`` is true
         exactly when ``k`` is outside ``[lo, hi]`` (a negative ``k - lo``
-        wraps to a huge unsigned value).  Float codes keep the two-pass
-        comparison — the wrap trick has no float analogue.
+        wraps to a huge unsigned value).  The reinterpretation is a free
+        ``view`` when the difference is already int64 — two's-complement
+        bit patterns *are* the wrapped unsigned values — and only narrower
+        dtypes pay an ``astype`` widening.  Float codes keep the two-pass
+        comparison; the wrap trick has no float analogue.
         """
         if k.dtype.kind in "iu" and span is not None:
-            return (k - lo).astype(np.uint64) > span
+            diff = k - lo
+            if diff.dtype.itemsize == 8:
+                return diff.view(np.uint64) > span
+            return diff.astype(np.uint64) > span
         return (k < lo) | (k > hi)
 
     def _resample(
@@ -357,7 +386,7 @@ class ReleasePipeline:
             lo = int(lo)
             hi = int(hi)
         n = codes.shape[0]
-        k_y = codes + request.draw(n)
+        k_y = self._noised(request, codes)
         # dplint note: the redraw loop below is the paper's Fig. 12
         # timing channel, reproduced deliberately; its round counts are
         # surfaced on every ReleaseEvent so attacks/timing.py can measure
@@ -366,7 +395,10 @@ class ReleasePipeline:
         for _ in range(request.max_rounds - 1):
             if pending.size == 0:
                 break
-            redrawn = codes[pending] + request.draw(pending.size)
+            # Per-round fused redraw: draw_add writes sign+add into the
+            # gather buffer, and the accept mask is the one-pass unsigned
+            # range check — no ±1 vector, no two-pass compare.
+            redrawn = self._noised(request, codes[pending])
             k_y[pending] = redrawn
             rounds[pending] += 1
             pending = pending[self._out_of_window(redrawn, lo, hi, span)]

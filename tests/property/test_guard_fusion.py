@@ -16,6 +16,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ResampleExhaustedError
+from repro.rng.laplace_fxp import FxpLaplaceConfig, FxpLaplaceRng
+from repro.rng.urng import NumpySource
 from repro.runtime import ReleasePipeline, ReleaseRequest
 
 
@@ -162,6 +164,87 @@ def test_resample_exhaustion_still_raises():
                 max_rounds=4,
             )
         )
+
+
+# ---------------------------------------------------------------------
+# sample_codes_add: fused draw+add == codes + sample_codes(n), same stream
+# ---------------------------------------------------------------------
+_FUSION_CONFIG = FxpLaplaceConfig(
+    input_bits=10, output_bits=12, delta=10.0 / 128.0, lam=10.0
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    codes=st.lists(
+        st.integers(min_value=-2000, max_value=2000), min_size=1, max_size=128
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+    kernel=st.sampled_from(["codebook", "live"]),
+)
+def test_sample_codes_add_matches_unfused(codes, seed, kernel):
+    codes = np.asarray(codes, dtype=np.int64)
+    fused_rng = FxpLaplaceRng(
+        _FUSION_CONFIG, source=NumpySource(seed), kernel=kernel
+    )
+    unfused_rng = FxpLaplaceRng(
+        _FUSION_CONFIG, source=NumpySource(seed), kernel=kernel
+    )
+    fused = fused_rng.sample_codes_add(codes)
+    expected = codes + unfused_rng.sample_codes(codes.size)
+    np.testing.assert_array_equal(fused, expected)
+    assert fused.dtype == np.int64
+
+
+def test_sample_codes_add_source_consumption_matches():
+    # After a fused call and an unfused call on seed-identical sources,
+    # the NEXT draws must also agree: the fused path consumed exactly n
+    # uniform codes then n sign bits, nothing more or less.
+    a = FxpLaplaceRng(_FUSION_CONFIG, source=NumpySource(7), kernel="live")
+    b = FxpLaplaceRng(_FUSION_CONFIG, source=NumpySource(7), kernel="live")
+    codes = np.arange(-8, 9, dtype=np.int64)
+    a.sample_codes_add(codes)
+    codes + b.sample_codes(codes.size)
+    np.testing.assert_array_equal(a.sample_codes(32), b.sample_codes(32))
+
+
+def test_sample_codes_add_does_not_mutate_input():
+    rng = FxpLaplaceRng(_FUSION_CONFIG, source=NumpySource(3))
+    codes = np.arange(16, dtype=np.int64)
+    keep = codes.copy()
+    rng.sample_codes_add(codes)
+    np.testing.assert_array_equal(codes, keep)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    codes=st.lists(st.integers(min_value=-40, max_value=40), min_size=1, max_size=48),
+    seed=st.integers(min_value=0, max_value=2**31),
+    guard=st.sampled_from(["none", "threshold", "resample"]),
+)
+def test_pipeline_draw_add_matches_draw_only(codes, seed, guard):
+    # The released codes through every guard must be identical whether
+    # the request carries the fused draw_add or only the plain draw.
+    codes = np.asarray(codes, dtype=np.int64)
+    window = (-1500, 1500) if guard != "none" else None
+    fused_rng = FxpLaplaceRng(_FUSION_CONFIG, source=NumpySource(seed))
+    plain_rng = FxpLaplaceRng(_FUSION_CONFIG, source=NumpySource(seed))
+    pipe = ReleasePipeline(sinks=[])
+    fused_out = pipe.release(
+        _request(
+            codes,
+            fused_rng.sample_codes,
+            draw_add=fused_rng.sample_codes_add,
+            guard=guard,
+            window=window,
+        )
+    )
+    plain_out = pipe.release(
+        _request(codes, plain_rng.sample_codes, guard=guard, window=window)
+    )
+    np.testing.assert_array_equal(fused_out.codes, plain_out.codes)
+    if guard == "resample":
+        np.testing.assert_array_equal(fused_out.rounds, plain_out.rounds)
 
 
 # ---------------------------------------------------------------------

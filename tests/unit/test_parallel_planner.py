@@ -1,0 +1,175 @@
+"""Execution planner: scheduling adapts to the host, streams never do.
+
+The planner may consult ``os.cpu_count()`` and a cached throughput
+calibration, but everything it decides — serial vs pool, worker count —
+is outside the reproducibility key.  These tests pin the decision table
+(pinned workers, single core, too-small run, pool-worthy run), the
+worker-count validation/clamping, the shard passthrough, and the
+plan-echo trace event.
+"""
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mechanisms import SensorSpec
+from repro.parallel import (
+    calibrate_throughput,
+    clamp_workers,
+    plan_execution,
+    plan_shards,
+    run_fleet_sharded,
+)
+from repro.parallel.planner import _MIN_SERIAL_FOR_POOL_S
+from repro.runtime import ReleasePipeline, RingBufferSink
+
+SENSOR = SensorSpec(0.0, 8.0)
+
+
+@pytest.fixture
+def eight_cores(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+
+@pytest.fixture
+def one_core(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+
+@pytest.fixture
+def fixed_throughput(monkeypatch):
+    # 1e8 elements/s: est_serial = 10 * devices * epochs / 1e8 seconds.
+    monkeypatch.setattr(
+        "repro.parallel.planner.calibrate_throughput",
+        lambda force=False: 1e8,
+    )
+
+
+class TestClampWorkers:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            clamp_workers(0)
+        with pytest.raises(ConfigurationError):
+            clamp_workers(-3)
+
+    def test_within_cores_untouched(self, eight_cores):
+        assert clamp_workers(1) == 1
+        assert clamp_workers(8) == 8
+
+    def test_oversubscription_clamped_with_warning(self, eight_cores, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.sharding"):
+            assert clamp_workers(64) == 8
+        assert any("clamping" in r.message for r in caplog.records)
+
+
+class TestPlanExecution:
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ConfigurationError):
+            plan_execution(100, 0)
+
+    def test_pinned_workers_one_is_serial(self, eight_cores):
+        plan = plan_execution(1000, 4, shards=8, workers=1)
+        assert plan.mode == "serial"
+        assert plan.workers == 1
+        assert plan.describe() == "serial/8shards"
+
+    def test_pinned_workers_pool(self, eight_cores):
+        plan = plan_execution(1000, 4, shards=8, workers=4)
+        assert plan.mode == "pool"
+        assert plan.workers == 4
+        assert plan.describe() == "pool:4/8shards"
+
+    def test_pinned_workers_capped_by_shards(self, eight_cores):
+        plan = plan_execution(1000, 4, shards=2, workers=8)
+        assert plan.workers == 2
+
+    def test_single_core_host_stays_serial(self, one_core, fixed_throughput):
+        plan = plan_execution(10_000_000, 24)
+        assert plan.mode == "serial"
+        assert "single-core" in plan.reason
+
+    def test_small_run_stays_serial(self, eight_cores, fixed_throughput):
+        plan = plan_execution(1000, 1)
+        assert plan.mode == "serial"
+        assert plan.estimated_serial_s < _MIN_SERIAL_FOR_POOL_S
+        assert "amortize" in plan.reason
+
+    def test_large_run_gets_a_pool(self, eight_cores, fixed_throughput):
+        plan = plan_execution(2_000_000, 10, shards=8)
+        assert plan.mode == "pool"
+        assert plan.workers == 8
+        assert plan.estimated_serial_s >= _MIN_SERIAL_FOR_POOL_S
+
+    def test_shards_are_passthrough(self, fixed_throughput, monkeypatch):
+        # The shard count — the reproducibility key — must not depend on
+        # anything the planner probes.
+        reference = plan_shards(1234, None).n_shards
+        for cores in (1, 2, 64):
+            monkeypatch.setattr(os, "cpu_count", lambda c=cores: c)
+            assert plan_execution(1234, 3).shards == reference
+            assert plan_execution(1234, 3, shards=5).shards == 5
+
+
+class TestCalibration:
+    def test_cached_and_positive(self):
+        first = calibrate_throughput()
+        assert first > 0
+        assert calibrate_throughput() == first  # cached
+        assert calibrate_throughput(force=True) > 0
+
+
+class TestPlanEcho:
+    def _run(self, plan, sinks):
+        truth = np.random.default_rng(0).uniform(1.0, 7.0, size=(2, 40))
+        return run_fleet_sharded(
+            truth,
+            SENSOR,
+            0.5,
+            arm="thresholding",
+            source_seed=3,
+            rng=np.random.default_rng(1),
+            shards=4,
+            pipeline=ReleasePipeline(sinks=sinks),
+            execution_plan=plan,
+        )
+
+    def test_plan_event_leads_the_trace(self):
+        ring = RingBufferSink(capacity=64)
+        plan = plan_execution(40, 2, shards=4, workers=1)
+        self._run(plan, [ring])
+        first = ring.events[0]
+        assert first.mechanism == "execution-plan"
+        assert first.channel == f"plan/{plan.describe()}"
+        assert first.batch == 0 and first.draws == 0
+        # Inert for counters: only release events carry samples/draws.
+        assert sum(e.draws for e in ring.events if e.seq == first.seq) == 0
+
+    def test_no_plan_no_echo(self):
+        ring = RingBufferSink(capacity=64)
+        truth = np.random.default_rng(0).uniform(1.0, 7.0, size=(2, 40))
+        run_fleet_sharded(
+            truth,
+            SENSOR,
+            0.5,
+            arm="thresholding",
+            source_seed=3,
+            rng=np.random.default_rng(1),
+            shards=4,
+            pipeline=ReleasePipeline(sinks=[ring]),
+        )
+        assert all(e.mechanism != "execution-plan" for e in ring.events)
+
+    def test_plan_overrides_workers_not_streams(self):
+        ring_a = RingBufferSink(capacity=64)
+        ring_b = RingBufferSink(capacity=64)
+        serial = plan_execution(40, 2, shards=4, workers=1)
+        pooled = plan_execution(40, 2, shards=4, workers=2)
+        a = self._run(serial, [ring_a])
+        b = self._run(pooled, [ring_b])
+        for epoch in a.server.epochs:
+            np.testing.assert_array_equal(
+                a.server.values(epoch), b.server.values(epoch)
+            )
