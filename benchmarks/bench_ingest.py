@@ -1,0 +1,180 @@
+"""Ingestion-service bench — socket admission throughput and latency.
+
+Starts the asyncio ingestion service in-process on a loopback socket and
+drives it with the deterministic load generator
+(:func:`repro.service.run_load`), sweeping report-batch size.  Per row it
+records reports/sec, the server-side admission-latency percentiles (p50 /
+p99, measured inside ``_handle_line`` from raw-line arrival to response),
+the client-observed round-trip percentiles, and the admission tallies
+(repaired / blocked / busy retries / internal errors).
+
+Before timing anything it verifies the headline seam invariant: a fleet
+epoch ingested over the socket is **bit-identical** to the same epoch
+submitted in-process via ``AggregationServer.submit_array`` — JSON
+doubles are repr-round-trippable, the service folds whole batches in
+admission order, so the streaming moments agree to the last bit.
+
+The ≥5k reports/sec floor is asserted in both modes (measured loopback
+throughput is ~40× above it); an internal-error admission is always a
+failure.  Standalone script (not pytest-benchmark): CI runs ``--quick``
+as the ingest smoke test, developers run it bare for the full sweep.
+"""
+
+import argparse
+import json
+import pathlib
+import socket
+import sys
+
+from repro.aggregation import AggregationServer
+from repro.rng import audited_generator
+from repro.service import IngestClient, ServiceConfig, run_load
+from repro.service.server import serve_in_thread
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_JSON = REPO_ROOT / "BENCH_ingest.json"
+
+SEED = 20260808
+#: Acceptance floor: the service must sustain this on loopback.
+MIN_REPORTS_PER_S = 5_000
+
+#: (batch_size, n_batches) rows swept — the last row is the headline.
+SWEEP = ((64, 400), (256, 400), (1024, 200))
+QUICK_SWEEP = ((64, 40), (256, 40))
+
+
+def _identity_check() -> bool:
+    """Socket-fed epochs ≡ in-process ``submit_array``, bit for bit."""
+    gen = audited_generator(SEED)
+    batches = []
+    for b in range(8):
+        values = gen.uniform(0.0, 50.0, size=193)
+        ids = [f"dev-{b}-{i}" for i in range(values.size)]
+        batches.append((b % 3, ids, values))
+
+    in_process = AggregationServer(streaming=True)
+    for epoch, ids, values in batches:
+        in_process.submit_array(epoch, values, 1.0, device_ids=ids)
+
+    socket_fed = AggregationServer(streaming=True)
+    with serve_in_thread(socket_fed, ServiceConfig()) as handle:
+        host, port = handle.address
+        with IngestClient(host, port) as client:
+            for epoch, ids, values in batches:
+                reply = client.submit(
+                    epoch, ids, [float(v) for v in values], claimed_loss=1.0
+                )
+                assert reply["status"] == "admitted", reply
+        handle.stop()
+    return socket_fed.snapshot() == in_process.snapshot()
+
+
+def _sweep_row(batch_size: int, n_batches: int, queue_capacity: int) -> dict:
+    aggregation = AggregationServer(streaming=True)
+    config = ServiceConfig(queue_capacity=queue_capacity)
+    with serve_in_thread(aggregation, config) as handle:
+        host, port = handle.address
+        load = run_load(
+            host,
+            port,
+            batches=n_batches,
+            batch_size=batch_size,
+            epochs=max(4, n_batches),  # distinct epochs: no rate-limit noise
+            seed=SEED,
+        )
+        handle.stop()
+    metrics = load.server_metrics
+
+    def us(key):
+        value = metrics.get(key)
+        return None if value is None else round(value, 1)
+
+    return {
+        "batch_size": batch_size,
+        "n_batches": n_batches,
+        "reports_admitted": load.reports_admitted,
+        "n_repaired": load.n_repaired,
+        "n_blocked": load.n_blocked,
+        "n_busy_retries": load.n_busy_retries,
+        "elapsed_s": round(load.elapsed_s, 4),
+        "reports_per_s": round(load.reports_per_s, 1),
+        "client_rtt_p50_us": round(load.latency_p50_us, 1),
+        "client_rtt_p99_us": round(load.latency_p99_us, 1),
+        "server_admit_p50_us": us("latency_p50_us"),
+        "server_admit_p99_us": us("latency_p99_us"),
+        "max_queue_depth": metrics.get("max_queue_depth"),
+        "internal_errors": metrics.get("internal_errors"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="service backpressure bound (pending whole batches)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=RESULTS_JSON,
+        help="where to write the schema-1 JSON results",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: short bursts, same floors",
+    )
+    args = parser.parse_args(argv)
+
+    sweep_spec = QUICK_SWEEP if args.quick else SWEEP
+    print(f"host={socket.gethostname()} loopback sweep={list(sweep_spec)} "
+          f"queue_capacity={args.queue_capacity}")
+
+    bit_identical = _identity_check()
+    print(f"bit-identity (socket-fed vs in-process submit_array): "
+          f"{'OK' if bit_identical else 'FAILED'}")
+
+    sweep = []
+    for batch_size, n_batches in sweep_spec:
+        row = _sweep_row(batch_size, n_batches, args.queue_capacity)
+        sweep.append(row)
+        print(
+            f"batch={batch_size:>5d} x{n_batches:<4d} "
+            f"{row['reports_per_s']:>10,.0f} reports/s  "
+            f"admit p50 {row['server_admit_p50_us']} us / "
+            f"p99 {row['server_admit_p99_us']} us  "
+            f"rtt p99 {row['client_rtt_p99_us']:,.0f} us  "
+            f"queue<= {row['max_queue_depth']}  "
+            f"errors {row['internal_errors']}"
+        )
+
+    headline = sweep[-1]
+    payload = {
+        "schema": 1,
+        "transport": "loopback-tcp-jsonl",
+        "queue_capacity": args.queue_capacity,
+        "sweep": sweep,
+        "reports_per_s": headline["reports_per_s"],
+        "server_admit_p99_us": headline["server_admit_p99_us"],
+        "throughput_floor": MIN_REPORTS_PER_S,
+        "bit_identical": bit_identical,
+        "quick": args.quick,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if not bit_identical:
+        print("FAIL: socket-fed epoch is not bit-identical to in-process "
+              "submission")
+        return 1
+    internal_errors = sum(row["internal_errors"] or 0 for row in sweep)
+    if internal_errors:
+        print(f"FAIL: {internal_errors} internal-error admission(s)")
+        return 1
+    if headline["reports_per_s"] < MIN_REPORTS_PER_S:
+        print(f"FAIL: {headline['reports_per_s']:,.0f} reports/s below the "
+              f"{MIN_REPORTS_PER_S:,} floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,7 +47,7 @@ from ..queries.estimators import debiased_variance
 from ..queries.frequency import FrequencyEstimate, estimate_from_counts
 from .protocol import Report
 
-__all__ = ["AggregationServer", "EpochSummary"]
+__all__ = ["AggregationServer", "EpochSummary", "IngestHandle"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -144,6 +145,44 @@ class _ReportBatch:
     claimed_loss: float
 
 
+class IngestHandle:
+    """Thread-safe submission facade over one :class:`AggregationServer`.
+
+    The server itself is single-threaded by design (the coordinator owns
+    it).  A network-facing ingestion service, though, folds batches from
+    an event loop while metrics/snapshot requests may arrive from other
+    threads — so every mutating entry point and every snapshot goes
+    through one lock.  The lock serializes *whole batches*: a fold is
+    atomic with respect to snapshots, so an observer never sees a batch
+    half-applied (the "never ingest a partial batch" contract the
+    kill-the-server test pins down).
+
+    All handles of one server share that server's single lock
+    (:meth:`AggregationServer.ingest_handle` returns a cached instance),
+    so two services fronting the same server still serialize correctly.
+    """
+
+    def __init__(self, server: "AggregationServer", lock: threading.Lock):
+        self._server = server
+        self._lock = lock
+
+    def submit_array(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._server.submit_array(*args, **kwargs)
+
+    def submit_counts(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._server.submit_counts(*args, **kwargs)
+
+    def record_claimed_losses(self, losses: Mapping[str, float]) -> None:
+        with self._lock:
+            self._server.record_claimed_losses(losses)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return self._server.snapshot()
+
+
 class AggregationServer:
     """Collects reports and answers aggregate queries per epoch."""
 
@@ -171,6 +210,9 @@ class AggregationServer:
         #: server-side composition bound behind
         #: :meth:`worst_case_disclosure`.
         self._disclosure: Dict[str, float] = {}
+        #: One lock per server, shared by every :class:`IngestHandle`.
+        self._ingest_lock = threading.Lock()
+        self._ingest_handle: Optional[IngestHandle] = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -490,6 +532,58 @@ class AggregationServer:
         if self.streaming:
             return [self._moments[e].mean for e in self.epochs]
         return [float(self.values(e).mean()) for e in self.epochs]
+
+    # ------------------------------------------------------------------
+    # Ingestion endpoints
+    # ------------------------------------------------------------------
+    def ingest_handle(self) -> IngestHandle:
+        """The server's thread-safe submission facade (one per server).
+
+        Cached so every caller shares the same lock; see
+        :class:`IngestHandle`.
+        """
+        if self._ingest_handle is None:
+            self._ingest_handle = IngestHandle(self, self._ingest_lock)
+        return self._ingest_handle
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state snapshot — the service's ``snapshot`` reply.
+
+        Per-epoch aggregates in both modes (streaming: the exact moment
+        state; retain: the summary statistics), categorical support
+        counts, and the retention tally.  Every number is derived from
+        folded state only, so a snapshot of a streaming server fed over
+        the socket is comparable field-for-field — bit-for-bit for the
+        float moments — with one fed in-process with the same batches in
+        the same order.
+        """
+        epochs: Dict[str, Dict[str, object]] = {}
+        for epoch in self.epochs:
+            if self.streaming:
+                epochs[str(epoch)] = self._moments[epoch].snapshot()
+            else:
+                s = self.summarize(epoch)
+                epochs[str(epoch)] = {
+                    "count": s.n_reports,
+                    "n_devices": s.n_devices,
+                    "mean": s.mean,
+                    "median": s.median,
+                    "variance": s.variance,
+                }
+        categorical: Dict[str, Dict[str, object]] = {}
+        for epoch in self.categorical_epochs:
+            counts, n = self.category_counts(epoch)
+            categorical[str(epoch)] = {
+                "counts": [int(c) for c in counts],
+                "n_reports": n,
+            }
+        return {
+            "streaming": self.streaming,
+            "epochs": epochs,
+            "categorical_epochs": categorical,
+            "n_retained_reports": self.n_retained_reports,
+            "n_devices_tracked": len(self._disclosure),
+        }
 
     # ------------------------------------------------------------------
     def worst_case_disclosure(self, device_id: str) -> float:

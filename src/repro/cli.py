@@ -16,6 +16,9 @@ A thin operational layer over the library for quick experiments:
   (see docs/performance.md)
 * ``fleet``     — sharded multi-core fleet simulation with an optional
   streaming aggregation server (see docs/performance.md)
+* ``serve``     — network-facing ingestion service: JSONL-over-TCP in
+  front of a streaming aggregation server (see docs/service.md)
+* ``loadgen``   — load-generator client for a running ingestion service
 
 Every command prints plain text; exit code 0 means the operation
 succeeded (for ``verify``: the mechanism was *analyzed*, whatever the
@@ -232,6 +235,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_oracle.add_argument("--domain-bits", type=int, default=12,
                           help="with --heavy-hitters: prefix-domain width")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="ingestion service: JSONL-over-TCP device-report admission "
+        "in front of an aggregation server (see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7787,
+        help="TCP port (0 lets the OS pick; the bound port is printed)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="pending-batch bound; a full queue answers 'busy' (backpressure)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=65536,
+                         help="largest admissible reports-per-request")
+    p_serve.add_argument(
+        "--per-epoch-limit", type=int, default=1,
+        help="reports each device may land per epoch (rate-limit guard)",
+    )
+    p_serve.add_argument(
+        "--device-budget", type=float, default=None,
+        help="cumulative claimed-loss budget per device (epoch/budget guard)",
+    )
+    p_serve.add_argument("--max-claimed-loss", type=float, default=16.0,
+                         help="per-batch claimed-loss cap")
+    p_serve.add_argument("--epoch-horizon", type=int, default=1_000_000,
+                         help="largest admissible epoch number")
+    p_serve.add_argument(
+        "--strict", action="store_true",
+        help="disable schema repair: every recoverable coercion BLOCKs instead",
+    )
+    p_serve.add_argument(
+        "--retain", action="store_true",
+        help="retain-mode aggregation server (default: streaming moments)",
+    )
+    p_serve.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also write every admission decision (IngestEvent) to PATH",
+    )
+    p_serve.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="honor the remote 'shutdown' op (off by default: DoS door)",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a burst of report batches at a running ingestion "
+        "service and report throughput + admission latency",
+    )
+    p_load.add_argument(
+        "--connect", default="127.0.0.1:7787", metavar="HOST:PORT",
+        help="service address (default 127.0.0.1:7787)",
+    )
+    p_load.add_argument("--batches", type=int, default=200)
+    p_load.add_argument("--batch-size", type=int, default=256)
+    p_load.add_argument("--epochs", type=int, default=4)
+    p_load.add_argument("--claimed-loss", type=float, default=1.0)
+    p_load.add_argument("--range", nargs=2, type=float, default=(0.0, 50.0),
+                        metavar=("M_LO", "M_HI"), help="simulated value range")
+    p_load.add_argument("--seed", type=int, default=1234,
+                        help="load seed (batch values; replayable)")
+    p_load.add_argument(
+        "--shutdown-after", action="store_true",
+        help="send the 'shutdown' op when the burst completes "
+        "(the service must run with --allow-shutdown)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="release-event tracing (see docs/runtime.md)"
@@ -642,6 +713,95 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .aggregation import AggregationServer
+    from .runtime import JsonlSink
+    from .service import IngestionService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        coerce=not args.strict,
+        epoch_horizon=args.epoch_horizon,
+        max_claimed_loss=args.max_claimed_loss,
+        device_budget=args.device_budget,
+        per_epoch_limit=args.per_epoch_limit,
+        allow_shutdown=args.allow_shutdown,
+    )
+    aggregation = AggregationServer(streaming=not args.retain)
+    extra_sinks = [JsonlSink(args.jsonl)] if args.jsonl else []
+    service = IngestionService(aggregation, config=config, extra_sinks=extra_sinks)
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        mode = "retain" if args.retain else "streaming"
+        print(f"listening on {host}:{port} ({mode} aggregation, "
+              f"queue={config.queue_capacity}, "
+              f"per-epoch-limit={config.per_epoch_limit})", flush=True)
+        try:
+            await service.wait_stopped()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; stopping", file=sys.stderr)
+    finally:
+        for sink in extra_sinks:
+            sink.close()
+    summary = service.counters.ingest_summary()
+    print(
+        f"served {summary['events']} decisions — "
+        f"admitted {summary['reports_admitted']} reports "
+        f"({summary['reports_repaired']} repaired), "
+        f"blocked {summary['reports_blocked']}, busy {summary['busy']}, "
+        f"internal errors {summary['internal_errors']}"
+    )
+    return 0 if summary["internal_errors"] == 0 else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .service import IngestClient, run_load
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"--connect needs HOST:PORT, got {args.connect!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(f"--connect port must be an integer, "
+                                 f"got {port_text!r}")
+    report = run_load(
+        host,
+        port,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        claimed_loss=args.claimed_loss,
+        value_range=(args.range[0], args.range[1]),
+        seed=args.seed,
+    )
+    print(report.describe())
+    if args.shutdown_after:
+        with IngestClient(host, port) as client:
+            reply = client.shutdown()
+        print(f"shutdown: {reply.get('status')}")
+    internal_errors = report.server_metrics.get("internal_errors", 0)
+    if internal_errors:
+        print(f"error: {internal_errors} internal admission error(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .runtime.trace import run_replay, run_selfcheck
 
@@ -661,6 +821,8 @@ _COMMANDS = {
     "kernels": _cmd_kernels,
     "fleet": _cmd_fleet,
     "oracle": _cmd_oracle,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
 }
 

@@ -66,6 +66,7 @@ RELEASE_DIRS = frozenset(
         "parallel",
         "queries",
         "fixedpoint",
+        "service",
     }
 )
 #: ``fixedpoint/`` additionally carries this marker (see module docs).

@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import CalibrationError, ConfigurationError
 from ..privacy.loss import DiscreteMechanismFamily
 from ..privacy.thresholds import (
     calibrate_threshold_exact,
@@ -88,7 +88,12 @@ class ResamplingMechanism(FxpMechanismBase):
                 self.loss_multiple,
             )
             return int(round(t / self.delta))
-        except Exception:
+        except (CalibrationError, ValueError, OverflowError):
+            # The paper closed form has no positive solution (or its
+            # exp/log left the float range) for this configuration; the
+            # hint only seeds the exact search, so fall back to a
+            # neutral starting point.  Anything else — a typed config
+            # error, an interrupt — is a real bug and must propagate.
             return 16
 
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import CalibrationError, ConfigurationError
 from ..privacy.loss import DiscreteMechanismFamily
 from ..privacy.thresholds import (
     calibrate_threshold_exact,
@@ -85,7 +85,11 @@ class ThresholdingMechanism(FxpMechanismBase):
                 self.loss_multiple,
             )
             return int(round(t / self.delta))
-        except Exception:
+        except (CalibrationError, ValueError, OverflowError):
+            # Same contract as the resampling hint: only the closed
+            # form's legitimate "no solution in float range" failures
+            # fall back to a neutral search start; foreign exceptions
+            # propagate instead of being masked.
             return 16
 
     # ------------------------------------------------------------------

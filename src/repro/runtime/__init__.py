@@ -17,7 +17,12 @@ from .accounting import (
     ReplayCache,
     TableCharge,
 )
-from .events import EVENT_SCHEMA_VERSION, ReleaseEvent
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    INGEST_SCHEMA_VERSION,
+    IngestEvent,
+    ReleaseEvent,
+)
 from .pipeline import (
     DEFAULT_MAX_ROUNDS,
     ReleaseOutcome,
@@ -36,8 +41,10 @@ from .sinks import (
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "INGEST_SCHEMA_VERSION",
     "DEFAULT_MAX_ROUNDS",
     "ReleaseEvent",
+    "IngestEvent",
     "ReleaseRequest",
     "ReleaseOutcome",
     "ReleasePipeline",

@@ -17,14 +17,23 @@ budget trajectory from a written trace.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["ReleaseEvent", "EVENT_SCHEMA_VERSION"]
+__all__ = [
+    "ReleaseEvent",
+    "IngestEvent",
+    "EVENT_SCHEMA_VERSION",
+    "INGEST_SCHEMA_VERSION",
+]
 
 #: Bumped whenever a field is added/renamed so replay tools can detect
 #: traces written by an incompatible library version.
 #: v2: added ``kernel`` (codebook/live sampling kernel used for draws).
 EVENT_SCHEMA_VERSION = 2
+
+#: Schema version of :class:`IngestEvent` (independent of the release
+#: event schema — the two streams evolve separately).
+INGEST_SCHEMA_VERSION = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,3 +108,75 @@ class ReleaseEvent:
         """Rebuild an event from :meth:`to_dict` output (tolerates extras)."""
         names = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in names})
+
+
+@dataclasses.dataclass(frozen=True)
+class IngestEvent:
+    """One admission decision at the ingestion boundary.
+
+    Where a :class:`ReleaseEvent` records what a device *released*, an
+    ``IngestEvent`` records what the ingestion service *decided* about a
+    report batch arriving from the network: which guard ruled, with what
+    verdict, how deep the aggregation queue was, and how long admission
+    took.  Every request gets exactly one event — admitted, repaired,
+    blocked, busy, or malformed — so the trace machinery that audits
+    releases audits admissions the same way (no silent drops, ever).
+    """
+
+    seq: int
+    """Monotone sequence number within the emitting service."""
+
+    verdict: str
+    """``admitted`` / ``repaired`` / ``blocked`` / ``busy`` / ``error``."""
+
+    guard: str
+    """Deciding guard name; ``chain`` when every guard allowed, ``wire``
+    for failures before the chain ran (unparseable or truncated lines),
+    ``queue`` for backpressure BUSY, ``internal`` for service faults."""
+
+    reason: str
+    """Structured human-readable why (empty for plain admissions)."""
+
+    op: str
+    """Request operation: ``submit`` / ``submit_counts`` / ``snapshot`` /
+    ``metrics`` / ``ping`` / ``unknown``."""
+
+    batch: int
+    """Reports carried by the request (0 for non-submission ops)."""
+
+    epoch: Optional[int] = None
+    """Epoch the batch targets, when the request got far enough to say."""
+
+    queue_depth: int = 0
+    """Aggregation-queue depth right after the decision (backpressure
+    signal; the BUSY threshold is the queue capacity)."""
+
+    latency_us: float = 0.0
+    """Admission latency: line received → response ready, microseconds."""
+
+    repaired_fields: int = 0
+    """Number of recorded repair deltas applied to the batch."""
+
+    delta: Tuple[str, ...] = ()
+    """The repair deltas themselves (``field: old -> new`` strings) — the
+    auditable record that a REPAIR changed exactly this and nothing else."""
+
+    channel: Optional[str] = None
+    """Peer label (``host:port`` of the submitting connection)."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dict (adds schema version + event marker)."""
+        d = dataclasses.asdict(self)
+        d["delta"] = list(self.delta)
+        d["schema"] = INGEST_SCHEMA_VERSION
+        d["event"] = "ingest"
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "IngestEvent":
+        """Rebuild an event from :meth:`to_dict` output (tolerates extras)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in names}
+        if "delta" in kwargs:
+            kwargs["delta"] = tuple(kwargs["delta"])
+        return cls(**kwargs)

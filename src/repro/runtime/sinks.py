@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import collections
 import json
+import logging
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Union
 
 from ..errors import ConfigurationError
-from .events import ReleaseEvent
+from .events import IngestEvent, ReleaseEvent
 
 __all__ = [
     "EventSink",
@@ -28,11 +29,16 @@ __all__ = [
     "read_events_jsonl",
 ]
 
+_log = logging.getLogger(__name__)
+
+#: Either trace stream: a release, or an ingestion admission decision.
+Event = Union[ReleaseEvent, IngestEvent]
+
 
 class EventSink:
     """Base sink: receives every event the pipeline emits."""
 
-    def emit(self, event: ReleaseEvent) -> None:
+    def emit(self, event: Event) -> None:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -47,11 +53,11 @@ class RingBufferSink(EventSink):
             raise ConfigurationError("capacity must be >= 1")
         self._buf: collections.deque = collections.deque(maxlen=capacity)
 
-    def emit(self, event: ReleaseEvent) -> None:
+    def emit(self, event: Event) -> None:
         self._buf.append(event)
 
     @property
-    def events(self) -> List[ReleaseEvent]:
+    def events(self) -> List[Event]:
         """Buffered events, oldest first."""
         return list(self._buf)
 
@@ -70,6 +76,15 @@ class JsonlSink(EventSink):
     grown across several runs — extend the file instead of truncating
     it.  Each line is still one complete event, so
     :func:`read_events_jsonl` reads an appended file unchanged.
+
+    Every line is flushed to the OS as it is written: a worker killed
+    between events leaves at most a partial *final* line behind (the
+    kernel already has every completed one), never a trace silently
+    truncated at the interpreter's buffer boundary.
+    :func:`read_events_jsonl` tolerates — and reports — that one
+    partial tail line.  The sink is a context manager and ``close()``
+    is idempotent; emitting after close is a typed error rather than a
+    cryptic ``ValueError`` from a closed file object.
     """
 
     def __init__(self, target: Union[str, Path, IO[str]], append: bool = False):
@@ -79,16 +94,29 @@ class JsonlSink(EventSink):
         else:
             self._fh = open(target, "a" if append else "w", encoding="utf-8")
             self._owns = True
+        self._closed = False
         self.n_written = 0
 
-    def emit(self, event: ReleaseEvent) -> None:
+    def emit(self, event: Event) -> None:
+        if self._closed:
+            raise ConfigurationError("JsonlSink is closed; cannot emit")
         self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
         self.n_written += 1
 
     def close(self) -> None:
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._fh.flush()
+        finally:
+            if self._owns:
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "JsonlSink":
         return self
@@ -98,7 +126,17 @@ class JsonlSink(EventSink):
 
 
 class CounterSink(EventSink):
-    """Running aggregates over the event stream (O(1) memory)."""
+    """Running aggregates over the event stream (O(1) memory).
+
+    Counts both streams: release events feed the draw/charge aggregates,
+    ingestion events feed the admission aggregates
+    (admitted/blocked/repaired/busy report totals, the high-water queue
+    depth, and a bounded latency reservoir for p50/p99 tail estimates).
+    """
+
+    #: Latency reservoir capacity — enough for honest tail percentiles,
+    #: small enough to keep the sink effectively O(1).
+    LATENCY_RESERVOIR = 8192
 
     def __init__(self) -> None:
         self.n_events = 0
@@ -113,8 +151,24 @@ class CounterSink(EventSink):
         #: ``unreported`` for arms that don't have one).
         self.per_kernel: Dict[str, Dict[str, int]] = {}
         self.last_budget_remaining: Optional[float] = None
+        #: Ingestion admission aggregates (see :class:`IngestEvent`).
+        self.n_ingest_events = 0
+        self.reports_admitted = 0
+        self.reports_repaired = 0
+        self.reports_blocked = 0
+        self.n_busy = 0
+        self.n_ingest_errors = 0
+        self.per_verdict: Dict[str, int] = {}
+        self.per_guard_blocked: Dict[str, int] = {}
+        self.max_queue_depth = 0
+        self._latencies_us: collections.deque = collections.deque(
+            maxlen=self.LATENCY_RESERVOIR
+        )
 
-    def emit(self, event: ReleaseEvent) -> None:
+    def emit(self, event: Event) -> None:
+        if isinstance(event, IngestEvent):
+            self._emit_ingest(event)
+            return
         self.n_events += 1
         self.n_samples += event.batch
         self.n_draws += event.draws
@@ -138,6 +192,44 @@ class CounterSink(EventSink):
         )
         kern["events"] += 1
         kern["draws"] += event.draws
+
+    def _emit_ingest(self, event: IngestEvent) -> None:
+        self.n_ingest_events += 1
+        self.per_verdict[event.verdict] = self.per_verdict.get(event.verdict, 0) + 1
+        if event.verdict == "admitted":
+            self.reports_admitted += event.batch
+        elif event.verdict == "repaired":
+            self.reports_admitted += event.batch
+            self.reports_repaired += event.batch
+        elif event.verdict == "blocked":
+            self.reports_blocked += event.batch
+            self.per_guard_blocked[event.guard] = (
+                self.per_guard_blocked.get(event.guard, 0) + 1
+            )
+        elif event.verdict == "busy":
+            self.n_busy += 1
+        elif event.verdict == "error":
+            self.n_ingest_errors += 1
+        self.max_queue_depth = max(self.max_queue_depth, event.queue_depth)
+        if event.latency_us > 0.0:
+            self._latencies_us.append(event.latency_us)
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        """Admission-latency percentile (µs) over the reservoir, or None.
+
+        Nearest-rank over the most recent :data:`LATENCY_RESERVOIR`
+        admission latencies — the tail-latency figure the ingestion
+        benchmarks and the ``metrics`` endpoint report.
+        """
+        if not self._latencies_us:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile must be within [0, 100]")
+        ordered = sorted(self._latencies_us)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+        if q == 0.0:
+            rank = 0
+        return ordered[rank]
 
     def merge(self, other: "CounterSink") -> "CounterSink":
         """Fold another counter's aggregates into this one (in place).
@@ -169,6 +261,18 @@ class CounterSink(EventSink):
             mine = self.per_kernel.setdefault(kern, {"events": 0, "draws": 0})
             for field in theirs:
                 mine[field] = mine.get(field, 0) + theirs[field]
+        self.n_ingest_events += other.n_ingest_events
+        self.reports_admitted += other.reports_admitted
+        self.reports_repaired += other.reports_repaired
+        self.reports_blocked += other.reports_blocked
+        self.n_busy += other.n_busy
+        self.n_ingest_errors += other.n_ingest_errors
+        for verdict, n in other.per_verdict.items():
+            self.per_verdict[verdict] = self.per_verdict.get(verdict, 0) + n
+        for guard, n in other.per_guard_blocked.items():
+            self.per_guard_blocked[guard] = self.per_guard_blocked.get(guard, 0) + n
+        self.max_queue_depth = max(self.max_queue_depth, other.max_queue_depth)
+        self._latencies_us.extend(other._latencies_us)
         return self
 
     def summary(self) -> Dict[str, object]:
@@ -184,15 +288,66 @@ class CounterSink(EventSink):
             "budget_remaining": self.last_budget_remaining,
             "per_mechanism": self.per_mechanism,
             "per_kernel": self.per_kernel,
+            "ingest": self.ingest_summary(),
+        }
+
+    def ingest_summary(self) -> Dict[str, object]:
+        """Admission-side snapshot (JSON-ready); the ``metrics`` payload."""
+        return {
+            "events": self.n_ingest_events,
+            "reports_admitted": self.reports_admitted,
+            "reports_repaired": self.reports_repaired,
+            "reports_blocked": self.reports_blocked,
+            "busy": self.n_busy,
+            "internal_errors": self.n_ingest_errors,
+            "per_verdict": dict(self.per_verdict),
+            "per_guard_blocked": dict(self.per_guard_blocked),
+            "max_queue_depth": self.max_queue_depth,
+            "latency_p50_us": self.latency_percentile(50.0),
+            "latency_p99_us": self.latency_percentile(99.0),
         }
 
 
-def read_events_jsonl(path: Union[str, Path]) -> List[ReleaseEvent]:
-    """Load a JSONL trace written by :class:`JsonlSink`."""
-    events = []
+def read_events_jsonl(path: Union[str, Path]) -> List[Event]:
+    """Load a JSONL trace written by :class:`JsonlSink`.
+
+    Dispatches on the ``event`` marker: lines carrying
+    ``"event": "ingest"`` come back as :class:`IngestEvent`, everything
+    else as :class:`ReleaseEvent` (release traces predate the marker).
+
+    A *trailing* partial line — the signature of a writer killed
+    mid-event; flush-on-write guarantees at most one — is tolerated,
+    dropped, and reported via a logged warning, so a crashed worker's
+    trace stays replayable.  Malformed lines anywhere *before* the tail
+    still raise: mid-file corruption is a broken trace, not a crash
+    artifact.
+    """
+    events: List[Event] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(ReleaseEvent.from_dict(json.loads(line)))
+        lines = fh.readlines()
+    last_index = None
+    for i, line in enumerate(lines):
+        if line.strip():
+            last_index = i
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError:
+            if i == last_index:
+                _log.warning(
+                    "%s: dropped truncated trailing line (%d bytes) — "
+                    "the writer was likely killed mid-event",
+                    path,
+                    len(line),
+                )
+                break
+            raise
+        events.append(
+            IngestEvent.from_dict(d)
+            if d.get("event") == "ingest"
+            else ReleaseEvent.from_dict(d)
+        )
     return events

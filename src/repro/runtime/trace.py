@@ -20,7 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .events import ReleaseEvent
+from .events import IngestEvent, ReleaseEvent
 from .pipeline import ReleasePipeline
 from .sinks import CounterSink, JsonlSink, RingBufferSink, read_events_jsonl
 
@@ -221,6 +221,12 @@ def run_replay(path: str, limit: Optional[int] = None) -> int:
     accounted = 0
     segments = 0
     for e in events:
+        if isinstance(e, IngestEvent):
+            # Admission decisions interleave with releases in a service
+            # trace; they carry no draw/charge arithmetic to validate —
+            # the counters fold them into the ingest summary instead.
+            counters.emit(e)
+            continue
         if not _event_arithmetic_ok(e):
             bad += 1
         counters.emit(e)
@@ -254,5 +260,14 @@ def run_replay(path: str, limit: Optional[int] = None) -> int:
         print(
             f"  {name:<16}: {per['events']} events, {per['samples']} samples, "
             f"{per['draws']} draws, charged {per['charged']:.6g}"
+        )
+    ing = s["ingest"]
+    if ing["events"]:
+        print(
+            f"  ingest          : {ing['events']} decisions — "
+            f"admitted {ing['reports_admitted']} reports "
+            f"({ing['reports_repaired']} repaired), "
+            f"blocked {ing['reports_blocked']}, busy {ing['busy']}, "
+            f"internal errors {ing['internal_errors']}"
         )
     return 0 if bad == 0 else 1

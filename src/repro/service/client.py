@@ -1,0 +1,233 @@
+"""Blocking ingestion client and the load generator built on it.
+
+:class:`IngestClient` is a deliberately simple synchronous client — one
+TCP connection, one JSONL request/response pair per call — used by
+devices-in-simulation, the test suite, and ``python -m repro loadgen``.
+:func:`run_load` drives a configured burst of report batches through a
+client, honoring the service's ``busy`` backpressure (bounded retries
+with a short sleep), and reports sustained throughput plus
+client-observed latency percentiles in a :class:`LoadReport`.
+
+The generated batches are deterministic in ``seed`` (values come from
+the audited generator; device ids and epochs are functions of the batch
+index), so a load run is replayable: the same seed produces the same
+wire bytes, and — because guards are deterministic too — the same
+admission trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..rng import audited_generator
+from .protocol import WireError, encode
+
+__all__ = ["IngestClient", "LoadReport", "run_load"]
+
+
+class IngestClient:
+    """One blocking JSONL-over-TCP connection to an ingestion service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; block for its response object."""
+        self._sock.sendall(encode(obj))
+        line = self._reader.readline()
+        if not line:
+            raise WireError("connection closed before a response arrived")
+        reply = json.loads(line.decode("utf-8"))
+        if not isinstance(reply, dict):
+            raise WireError(f"response must be a JSON object, got {reply!r}")
+        return reply
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (malformed/partial lines — test scaffolding)."""
+        self._sock.sendall(data)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        epoch: int,
+        device_ids: Sequence[str],
+        values: Sequence[float],
+        claimed_loss: float,
+    ) -> Dict[str, Any]:
+        return self.request(
+            {
+                "op": "submit",
+                "epoch": epoch,
+                "device_ids": list(device_ids),
+                "values": [float(v) for v in values],
+                "claimed_loss": float(claimed_loss),
+            }
+        )
+
+    def submit_counts(
+        self,
+        epoch: int,
+        counts: Sequence[int],
+        n_reports: int,
+        claimed_loss: float,
+    ) -> Dict[str, Any]:
+        return self.request(
+            {
+                "op": "submit_counts",
+                "epoch": epoch,
+                "counts": [int(c) for c in counts],
+                "n_reports": int(n_reports),
+                "claimed_loss": float(claimed_loss),
+            }
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.request({"op": "snapshot"})
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"op": "metrics"})
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "IngestClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """One load run's outcome — throughput, latency, admission tallies."""
+
+    n_requests: int
+    reports_admitted: int
+    n_repaired: int
+    n_blocked: int
+    n_busy_retries: int
+    elapsed_s: float
+    reports_per_s: float
+    latency_p50_us: float
+    """Client-observed request round-trip p50 (includes the wire)."""
+    latency_p99_us: float
+    server_metrics: Dict[str, Any]
+    """The service's own admission counters, fetched after the burst."""
+
+    def describe(self) -> str:
+        ing = self.server_metrics
+        return (
+            f"{self.reports_admitted} reports admitted in {self.elapsed_s:.3f}s "
+            f"= {self.reports_per_s:,.0f} reports/s over {self.n_requests} "
+            f"requests ({self.n_repaired} repaired, {self.n_blocked} blocked, "
+            f"{self.n_busy_retries} busy retries)\n"
+            f"client round-trip : p50 {self.latency_p50_us:,.0f} us, "
+            f"p99 {self.latency_p99_us:,.0f} us\n"
+            f"server admission  : p50 {_fmt_us(ing.get('latency_p50_us'))}, "
+            f"p99 {_fmt_us(ing.get('latency_p99_us'))}, "
+            f"max queue depth {ing.get('max_queue_depth')}, "
+            f"internal errors {ing.get('internal_errors')}"
+        )
+
+
+def _fmt_us(v: Optional[float]) -> str:
+    return "n/a" if v is None else f"{v:,.0f} us"
+
+
+def _percentile(sorted_us: List[float], q: float) -> float:
+    if not sorted_us:
+        return 0.0
+    rank = max(0, min(len(sorted_us) - 1, int(round(q / 100.0 * len(sorted_us))) - 1))
+    return sorted_us[rank]
+
+
+def run_load(
+    host: str,
+    port: int,
+    batches: int = 100,
+    batch_size: int = 256,
+    epochs: int = 4,
+    claimed_loss: float = 1.0,
+    value_range: Tuple[float, float] = (0.0, 50.0),
+    seed: int = 1234,
+    busy_retry_limit: int = 1000,
+    busy_sleep_s: float = 0.002,
+) -> LoadReport:
+    """Drive a deterministic burst of scalar report batches.
+
+    Batch ``b`` targets epoch ``b % epochs`` with ``batch_size`` fresh
+    device ids (``dev-<b>-<i>``), so the default 1/epoch rate limit
+    never trips and every batch is admissible — blocked counts in the
+    report indicate a server-side problem, not load-generator noise.
+    ``busy`` responses are retried (the backpressure contract: back off
+    and resend the same batch) up to ``busy_retry_limit`` times each.
+    """
+    if batches < 1 or batch_size < 1 or epochs < 1:
+        raise ReproError("batches, batch_size and epochs must all be >= 1")
+    lo, hi = value_range
+    values = audited_generator(seed).uniform(lo, hi, size=(batches, batch_size))
+    latencies_us: List[float] = []
+    admitted = 0
+    repaired = 0
+    blocked = 0
+    busy_retries = 0
+    n_requests = 0
+    with IngestClient(host, port) as client:
+        t_start = time.perf_counter()
+        for b in range(batches):
+            ids = [f"dev-{b}-{i}" for i in range(batch_size)]
+            batch_values = [float(v) for v in values[b]]
+            epoch = b % epochs
+            for attempt in range(busy_retry_limit + 1):
+                t0 = time.perf_counter()
+                reply = client.submit(epoch, ids, batch_values, claimed_loss)
+                latencies_us.append((time.perf_counter() - t0) * 1e6)
+                n_requests += 1
+                status = reply.get("status")
+                if status != "busy":
+                    break
+                busy_retries += 1
+                time.sleep(busy_sleep_s)
+            else:
+                raise ReproError(
+                    f"batch {b} still busy after {busy_retry_limit} retries"
+                )
+            if status in ("admitted", "repaired"):
+                admitted += reply.get("n_reports", batch_size)
+                if status == "repaired":
+                    repaired += 1
+            elif status == "blocked":
+                blocked += 1
+            else:
+                raise ReproError(f"unexpected response status {status!r}")
+        elapsed = time.perf_counter() - t_start
+        metrics_reply = client.metrics()
+    latencies_us.sort()
+    return LoadReport(
+        n_requests=n_requests,
+        reports_admitted=admitted,
+        n_repaired=repaired,
+        n_blocked=blocked,
+        n_busy_retries=busy_retries,
+        elapsed_s=elapsed,
+        reports_per_s=admitted / elapsed if elapsed > 0 else 0.0,
+        latency_p50_us=_percentile(latencies_us, 50.0),
+        latency_p99_us=_percentile(latencies_us, 99.0),
+        server_metrics=metrics_reply.get("metrics", {}),
+    )

@@ -1,0 +1,548 @@
+"""Composable pre-admission guard chain (ALLOW / WARN / BLOCK / REPAIR).
+
+Every submission request runs through a :class:`GuardChain` before any
+of it reaches the aggregation server.  Each guard inspects the request
+and returns a :class:`GuardDecision`:
+
+* **ALLOW** — proceed unchanged.
+* **WARN** — proceed, but record a structured warning on the outcome.
+* **BLOCK** — refuse the whole batch; the decision carries the reason.
+* **REPAIR** — proceed with a *modified* request; every change is
+  recorded as a ``field: old -> new`` delta string.
+
+The chain's contract — property-tested in
+``tests/property/test_service_guard_properties.py`` — is a strict trichotomy: any
+request is either *fully admitted*, *repaired with a recorded delta*,
+or *blocked with a reason*.  Nothing is ever silently dropped: a repair
+that removes reports names every removal in the delta, and a batch
+whose reports would all be removed is blocked instead.
+
+Guards are deterministic state machines over the request sequence (no
+wall clock, no randomness), so an admission trace is replayable: the
+same requests in the same order produce the same verdicts on any host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Verdict",
+    "GuardDecision",
+    "ChainOutcome",
+    "Guard",
+    "GuardChain",
+    "SchemaGuard",
+    "EpochBudgetGuard",
+    "RateLimitGuard",
+    "default_chain",
+]
+
+
+class Verdict(enum.Enum):
+    """One guard's ruling on one request."""
+
+    ALLOW = "allow"
+    WARN = "warn"
+    BLOCK = "block"
+    REPAIR = "repair"
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardDecision:
+    """One guard's decision, with its auditable why.
+
+    ``request`` is the (possibly repaired) request to hand the next
+    guard; ``None`` means "unchanged".  ``delta`` records every repair
+    as a human-readable ``field: old -> new`` string.
+    """
+
+    verdict: Verdict
+    guard: str
+    reason: str = ""
+    request: Optional[Dict[str, Any]] = None
+    delta: Tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainOutcome:
+    """The chain's aggregate ruling over all guards.
+
+    ``verdict`` is the trichotomy: ``admitted`` / ``repaired`` /
+    ``blocked``.  ``request`` is the final request (repairs applied) for
+    admitted/repaired outcomes.  ``guard`` names the blocking guard, or
+    ``"chain"`` when every guard let the request through.
+    """
+
+    verdict: str
+    guard: str
+    reason: str
+    request: Dict[str, Any]
+    decisions: Tuple[GuardDecision, ...]
+    delta: Tuple[str, ...] = ()
+    warnings: Tuple[str, ...] = ()
+
+    @property
+    def admitted(self) -> bool:
+        return self.verdict in ("admitted", "repaired")
+
+
+class Guard:
+    """Base guard: stateless or deterministically stateful check."""
+
+    name = "guard"
+
+    def check(self, request: Dict[str, Any]) -> GuardDecision:
+        raise NotImplementedError
+
+    # Decision helpers ---------------------------------------------------
+    def allow(self) -> GuardDecision:
+        return GuardDecision(Verdict.ALLOW, self.name)
+
+    def warn(self, reason: str) -> GuardDecision:
+        return GuardDecision(Verdict.WARN, self.name, reason)
+
+    def block(self, reason: str) -> GuardDecision:
+        return GuardDecision(Verdict.BLOCK, self.name, reason)
+
+    def repair(
+        self,
+        request: Dict[str, Any],
+        delta: Sequence[str],
+        reason: str = "",
+    ) -> GuardDecision:
+        if not delta:
+            raise ConfigurationError(
+                f"{self.name}: REPAIR must record at least one delta entry"
+            )
+        return GuardDecision(
+            Verdict.REPAIR, self.name, reason, request=request, delta=tuple(delta)
+        )
+
+
+def _is_number(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _is_int(x: Any) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+class SchemaGuard(Guard):
+    """Strict structural validation of submission requests.
+
+    BLOCKs malformed batches (missing/mistyped fields, non-finite
+    values, length mismatches, oversized batches).  With
+    ``coerce=True`` (default) it REPAIRs the recoverable cases instead
+    of blocking them, recording each change in the delta:
+
+    * numeric strings in ``values`` / ``claimed_loss`` → parsed floats,
+    * an integral float ``epoch`` (``3.0``) → the int ``3``,
+    * unknown extra fields → dropped.
+
+    Anything the repair cannot make exact — a NaN, an unparseable
+    string, a negative count — is a BLOCK, never a guess.
+    """
+
+    name = "schema"
+
+    _SUBMIT_KEYS = frozenset(
+        {"op", "epoch", "device_ids", "values", "claimed_loss"}
+    )
+    _COUNTS_KEYS = frozenset(
+        {"op", "epoch", "counts", "n_reports", "claimed_loss"}
+    )
+
+    def __init__(self, max_batch: int = 65536, coerce: bool = True):
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.coerce = bool(coerce)
+
+    def check(self, request: Dict[str, Any]) -> GuardDecision:
+        op = request.get("op")
+        if op == "submit":
+            return self._check_submit(request)
+        if op == "submit_counts":
+            return self._check_counts(request)
+        return self.block(f"unknown submission op {op!r}")
+
+    # -----------------------------------------------------------------
+    def _strip_extras(
+        self, request: Dict[str, Any], allowed: frozenset, delta: List[str]
+    ) -> Optional[Dict[str, Any]]:
+        extras = sorted(set(request) - allowed)
+        if not extras:
+            return dict(request)
+        if not self.coerce:
+            return None
+        out = {k: v for k, v in request.items() if k in allowed}
+        delta.extend(f"{k}: <dropped unknown field>" for k in extras)
+        return out
+
+    def _coerce_epoch(
+        self, req: Dict[str, Any], delta: List[str]
+    ) -> Optional[int]:
+        epoch = req.get("epoch")
+        if _is_int(epoch):
+            return epoch if epoch >= 0 else None
+        if (
+            self.coerce
+            and isinstance(epoch, float)
+            and math.isfinite(epoch)
+            and epoch == int(epoch)
+            and epoch >= 0
+        ):
+            delta.append(f"epoch: {epoch!r} -> {int(epoch)}")
+            return int(epoch)
+        return None
+
+    def _coerce_loss(
+        self, req: Dict[str, Any], delta: List[str]
+    ) -> Optional[float]:
+        loss = req.get("claimed_loss")
+        if isinstance(loss, str) and self.coerce:
+            try:
+                parsed = float(loss)
+            except ValueError:
+                return None
+            delta.append(f"claimed_loss: {loss!r} -> {parsed!r}")
+            loss = parsed
+        if not _is_number(loss):
+            return None
+        loss = float(loss)
+        if not math.isfinite(loss) or loss <= 0.0:
+            return None
+        return loss
+
+    def _check_submit(self, request: Dict[str, Any]) -> GuardDecision:
+        delta: List[str] = []
+        req = self._strip_extras(request, self._SUBMIT_KEYS, delta)
+        if req is None:
+            extras = sorted(set(request) - self._SUBMIT_KEYS)
+            return self.block(f"unknown fields {extras} (strict schema)")
+        missing = sorted(self._SUBMIT_KEYS - set(req))
+        if missing:
+            return self.block(f"missing fields {missing}")
+        epoch = self._coerce_epoch(req, delta)
+        if epoch is None:
+            return self.block(
+                f"epoch must be a nonnegative integer, got {req.get('epoch')!r}"
+            )
+        ids = req.get("device_ids")
+        values = req.get("values")
+        if not isinstance(ids, list) or not isinstance(values, list):
+            return self.block("device_ids and values must be arrays")
+        if not values:
+            return self.block("empty batch (no values)")
+        if len(ids) != len(values):
+            return self.block(
+                f"device_ids ({len(ids)}) and values ({len(values)}) disagree"
+            )
+        if len(values) > self.max_batch:
+            return self.block(
+                f"batch of {len(values)} exceeds max_batch={self.max_batch}"
+            )
+        for i, device_id in enumerate(ids):
+            if not isinstance(device_id, str) or not device_id:
+                return self.block(f"device_ids[{i}] must be a nonempty string")
+        clean_values: List[float] = []
+        for i, v in enumerate(values):
+            if isinstance(v, str) and self.coerce:
+                try:
+                    parsed = float(v)
+                except ValueError:
+                    return self.block(f"values[{i}] is not numeric: {v!r}")
+                delta.append(f"values[{i}]: {v!r} -> {parsed!r}")
+                v = parsed
+            if not _is_number(v):
+                return self.block(f"values[{i}] must be a number, got {v!r}")
+            v = float(v)
+            if not math.isfinite(v):
+                return self.block(f"values[{i}] is not finite")
+            clean_values.append(v)
+        loss = self._coerce_loss(req, delta)
+        if loss is None:
+            return self.block(
+                f"claimed_loss must be a positive finite number, "
+                f"got {req.get('claimed_loss')!r}"
+            )
+        out = {
+            "op": "submit",
+            "epoch": epoch,
+            "device_ids": list(ids),
+            "values": clean_values,
+            "claimed_loss": loss,
+        }
+        if delta:
+            return self.repair(out, delta, reason="schema coercion")
+        return GuardDecision(Verdict.ALLOW, self.name, request=out)
+
+    def _check_counts(self, request: Dict[str, Any]) -> GuardDecision:
+        delta: List[str] = []
+        req = self._strip_extras(request, self._COUNTS_KEYS, delta)
+        if req is None:
+            extras = sorted(set(request) - self._COUNTS_KEYS)
+            return self.block(f"unknown fields {extras} (strict schema)")
+        missing = sorted(self._COUNTS_KEYS - set(req))
+        if missing:
+            return self.block(f"missing fields {missing}")
+        epoch = self._coerce_epoch(req, delta)
+        if epoch is None:
+            return self.block(
+                f"epoch must be a nonnegative integer, got {req.get('epoch')!r}"
+            )
+        counts = req.get("counts")
+        if not isinstance(counts, list) or len(counts) < 2:
+            return self.block("counts must be an array of >= 2 categories")
+        for i, c in enumerate(counts):
+            if not _is_int(c) or c < 0:
+                return self.block(
+                    f"counts[{i}] must be a nonnegative integer, got {c!r}"
+                )
+        n_reports = req.get("n_reports")
+        if not _is_int(n_reports) or n_reports < 1:
+            return self.block(
+                f"n_reports must be a positive integer, got {n_reports!r}"
+            )
+        if sum(counts) > n_reports * len(counts):
+            return self.block(
+                f"counts sum {sum(counts)} impossible for {n_reports} reports "
+                f"over {len(counts)} categories"
+            )
+        if n_reports > self.max_batch:
+            return self.block(
+                f"batch of {n_reports} exceeds max_batch={self.max_batch}"
+            )
+        loss = self._coerce_loss(req, delta)
+        if loss is None:
+            return self.block(
+                f"claimed_loss must be a positive finite number, "
+                f"got {req.get('claimed_loss')!r}"
+            )
+        out = {
+            "op": "submit_counts",
+            "epoch": epoch,
+            "counts": [int(c) for c in counts],
+            "n_reports": int(n_reports),
+            "claimed_loss": loss,
+        }
+        if delta:
+            return self.repair(out, delta, reason="schema coercion")
+        return GuardDecision(Verdict.ALLOW, self.name, request=out)
+
+
+class EpochBudgetGuard(Guard):
+    """Epoch-window and claimed-loss/budget validation.
+
+    * Epochs beyond ``epoch_horizon`` are BLOCKed (a device reporting
+      for epoch 10^9 is malfunctioning or probing).
+    * ``claimed_loss`` above ``max_claimed_loss`` is BLOCKed — the
+      server will not fold reports whose claimed disclosure is absurd;
+      above ``warn_claimed_loss`` it is admitted with a WARN.
+    * With a ``device_budget``, the guard tracks each device's
+      cumulative claimed loss across admitted batches and BLOCKs
+      batches that would push any device past it — the server-side
+      mirror of the on-device accountant (conservative, like
+      :meth:`~repro.aggregation.AggregationServer.worst_case_disclosure`).
+
+    Runs after :class:`SchemaGuard`, so fields are already typed.
+    """
+
+    name = "epoch-budget"
+
+    def __init__(
+        self,
+        epoch_horizon: int = 1_000_000,
+        max_claimed_loss: float = 16.0,
+        warn_claimed_loss: Optional[float] = None,
+        device_budget: Optional[float] = None,
+    ):
+        if epoch_horizon < 0:
+            raise ConfigurationError("epoch_horizon must be >= 0")
+        if max_claimed_loss <= 0:
+            raise ConfigurationError("max_claimed_loss must be positive")
+        self.epoch_horizon = int(epoch_horizon)
+        self.max_claimed_loss = float(max_claimed_loss)
+        self.warn_claimed_loss = float(
+            warn_claimed_loss if warn_claimed_loss is not None
+            else max_claimed_loss / 2.0
+        )
+        self.device_budget = None if device_budget is None else float(device_budget)
+        self._spent: Dict[str, float] = {}
+
+    def check(self, request: Dict[str, Any]) -> GuardDecision:
+        epoch = request["epoch"]
+        if epoch > self.epoch_horizon:
+            return self.block(
+                f"epoch {epoch} beyond horizon {self.epoch_horizon}"
+            )
+        loss = request["claimed_loss"]
+        if loss > self.max_claimed_loss:
+            return self.block(
+                f"claimed_loss {loss:g} exceeds cap {self.max_claimed_loss:g}"
+            )
+        if self.device_budget is not None and request["op"] == "submit":
+            over = sorted(
+                {
+                    device_id
+                    for device_id in request["device_ids"]
+                    if self._spent.get(device_id, 0.0) + loss
+                    > self.device_budget + 1e-12
+                }
+            )
+            if over:
+                shown = ", ".join(over[:5]) + (", ..." if len(over) > 5 else "")
+                return self.block(
+                    f"{len(over)} device(s) past budget "
+                    f"{self.device_budget:g}: {shown}"
+                )
+            for device_id in request["device_ids"]:
+                self._spent[device_id] = self._spent.get(device_id, 0.0) + loss
+        if loss > self.warn_claimed_loss:
+            return self.warn(
+                f"claimed_loss {loss:g} above warning level "
+                f"{self.warn_claimed_loss:g}"
+            )
+        return self.allow()
+
+
+class RateLimitGuard(Guard):
+    """Per-device, per-epoch report-rate limiting.
+
+    The fleet contract is one report per device per epoch; a device
+    (or a replaying middlebox) exceeding ``per_epoch_limit`` is either
+    REPAIRed — its over-limit reports removed from the batch, each
+    removal recorded in the delta — or, if the repair would empty the
+    batch, the batch is BLOCKed.  Counting is deterministic in the
+    request sequence; only the most recent ``max_epochs_tracked``
+    epochs are retained so state stays bounded.
+    """
+
+    name = "rate-limit"
+
+    def __init__(self, per_epoch_limit: int = 1, max_epochs_tracked: int = 64):
+        if per_epoch_limit < 1:
+            raise ConfigurationError("per_epoch_limit must be >= 1")
+        if max_epochs_tracked < 1:
+            raise ConfigurationError("max_epochs_tracked must be >= 1")
+        self.per_epoch_limit = int(per_epoch_limit)
+        self.max_epochs_tracked = int(max_epochs_tracked)
+        self._seen: Dict[int, Dict[str, int]] = {}
+
+    def _epoch_counts(self, epoch: int) -> Dict[str, int]:
+        counts = self._seen.get(epoch)
+        if counts is None:
+            counts = self._seen[epoch] = {}
+            while len(self._seen) > self.max_epochs_tracked:
+                del self._seen[min(self._seen)]
+        return counts
+
+    def check(self, request: Dict[str, Any]) -> GuardDecision:
+        if request["op"] != "submit":
+            # Count batches carry no device ids; nothing to rate-limit.
+            return self.allow()
+        counts = self._epoch_counts(request["epoch"])
+        keep: List[int] = []
+        dropped: List[str] = []
+        pending: Dict[str, int] = {}
+        for i, device_id in enumerate(request["device_ids"]):
+            used = counts.get(device_id, 0) + pending.get(device_id, 0)
+            if used >= self.per_epoch_limit:
+                dropped.append(
+                    f"values[{i}]: <dropped: device {device_id!r} over "
+                    f"{self.per_epoch_limit}/epoch rate limit>"
+                )
+            else:
+                pending[device_id] = pending.get(device_id, 0) + 1
+                keep.append(i)
+        if not dropped:
+            for device_id, n in pending.items():
+                counts[device_id] = counts.get(device_id, 0) + n
+            return self.allow()
+        if not keep:
+            return self.block(
+                f"every report in the batch is over the "
+                f"{self.per_epoch_limit}/epoch rate limit"
+            )
+        for device_id, n in pending.items():
+            counts[device_id] = counts.get(device_id, 0) + n
+        repaired = dict(request)
+        repaired["device_ids"] = [request["device_ids"][i] for i in keep]
+        repaired["values"] = [request["values"][i] for i in keep]
+        return self.repair(repaired, dropped, reason="rate limit")
+
+
+class GuardChain:
+    """Run guards in order; fold their decisions into one outcome.
+
+    REPAIR hands the repaired request to the next guard; WARN records
+    and continues; BLOCK stops the chain.  The final verdict is the
+    trichotomy described in the module docstring.
+    """
+
+    def __init__(self, guards: Sequence[Guard]):
+        if not guards:
+            raise ConfigurationError("a guard chain needs at least one guard")
+        self.guards = list(guards)
+
+    def check(self, request: Dict[str, Any]) -> ChainOutcome:
+        decisions: List[GuardDecision] = []
+        delta: List[str] = []
+        warnings: List[str] = []
+        current = request
+        for guard in self.guards:
+            decision = guard.check(current)
+            decisions.append(decision)
+            if decision.verdict is Verdict.BLOCK:
+                return ChainOutcome(
+                    verdict="blocked",
+                    guard=decision.guard,
+                    reason=decision.reason,
+                    request=current,
+                    decisions=tuple(decisions),
+                    delta=tuple(delta),
+                    warnings=tuple(warnings),
+                )
+            if decision.verdict is Verdict.WARN:
+                warnings.append(f"{decision.guard}: {decision.reason}")
+            if decision.verdict is Verdict.REPAIR:
+                delta.extend(decision.delta)
+            if decision.request is not None:
+                current = decision.request
+        return ChainOutcome(
+            verdict="repaired" if delta else "admitted",
+            guard="chain",
+            reason="; ".join(warnings),
+            request=current,
+            decisions=tuple(decisions),
+            delta=tuple(delta),
+            warnings=tuple(warnings),
+        )
+
+
+def default_chain(
+    max_batch: int = 65536,
+    coerce: bool = True,
+    epoch_horizon: int = 1_000_000,
+    max_claimed_loss: float = 16.0,
+    device_budget: Optional[float] = None,
+    per_epoch_limit: int = 1,
+) -> GuardChain:
+    """The service's standard chain: schema → epoch/budget → rate limit."""
+    return GuardChain(
+        [
+            SchemaGuard(max_batch=max_batch, coerce=coerce),
+            EpochBudgetGuard(
+                epoch_horizon=epoch_horizon,
+                max_claimed_loss=max_claimed_loss,
+                device_budget=device_budget,
+            ),
+            RateLimitGuard(per_epoch_limit=per_epoch_limit),
+        ]
+    )

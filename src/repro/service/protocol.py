@@ -1,0 +1,117 @@
+"""JSONL wire format between reporting devices and the ingestion service.
+
+One JSON object per ``\\n``-terminated line, both directions.  Requests:
+
+``{"op": "submit", "epoch": E, "device_ids": [...], "values": [...],
+"claimed_loss": L}``
+    One scalar report batch — the network form of
+    :meth:`~repro.aggregation.AggregationServer.submit_array`.
+
+``{"op": "submit_counts", "epoch": E, "counts": [...], "n_reports": N,
+"claimed_loss": L}``
+    One categorical support-count batch
+    (:meth:`~repro.aggregation.AggregationServer.submit_counts`).
+
+``{"op": "snapshot"}`` / ``{"op": "metrics"}`` / ``{"op": "ping"}``
+    Read-only endpoints: aggregation state, admission counters, liveness.
+
+Responses always carry ``status``: ``admitted`` / ``repaired`` /
+``blocked`` / ``busy`` / ``ok`` / ``error``, plus status-specific fields
+(``seq``, ``guard``, ``reason``, ``delta``, ``queue_depth``, payloads).
+
+Decoding is *strict at the boundary*: :func:`decode_line` rejects
+anything that is not a JSON object with a string ``op`` — but it decides
+nothing about the batch's content.  Content admission (types, ranges,
+finiteness, rate limits) is the guard chain's job, so that every
+content decision is an auditable ALLOW/WARN/BLOCK/REPAIR with a reason,
+not a parse error.
+
+Floats survive the wire bit-for-bit: Python's ``json`` emits
+``repr``-round-trippable doubles, which is what makes a socket-fed
+epoch bit-identical to the same epoch submitted in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = ["WireError", "ReportBatch", "decode_line", "encode", "KNOWN_OPS"]
+
+#: Operations the service understands.
+KNOWN_OPS = ("submit", "submit_counts", "snapshot", "metrics", "ping", "shutdown")
+
+#: Hard cap on one request line — a malicious peer must not be able to
+#: balloon the reader's buffer (64 MiB of JSON is ~4M reports, far past
+#: any sane batch).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class WireError(ReproError):
+    """A line failed wire-level decoding (malformed JSON, wrong shape)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportBatch:
+    """A *guard-admitted* scalar report batch, ready for the fold.
+
+    Constructed only by the guard chain (schema guard output) — raw wire
+    dicts never reach the aggregation server directly.
+    """
+
+    epoch: int
+    device_ids: List[str]
+    values: List[float]
+    claimed_loss: float
+
+    @property
+    def n_reports(self) -> int:
+        return len(self.values)
+
+
+def decode_line(raw: bytes) -> Dict[str, Any]:
+    """Strictly decode one request line into a dict with a string ``op``.
+
+    Raises :class:`WireError` on anything else — oversized payloads,
+    non-UTF-8 bytes, non-JSON, JSON scalars/arrays, or a missing/non-str
+    ``op``.  Content validation beyond that shape is deliberately left
+    to the guard chain (see module docstring).
+    """
+    if len(raw) > MAX_LINE_BYTES:
+        raise WireError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"request line is not UTF-8: {exc}") from None
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"request line is not JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise WireError(f"request must be a JSON object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise WireError("request needs a string 'op' field")
+    return obj
+
+
+def encode(obj: Dict[str, Any]) -> bytes:
+    """Encode one message as a JSONL line (sorted keys, trailing ``\\n``)."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def response(status: str, **fields: Any) -> Dict[str, Any]:
+    """Build a response object (``status`` plus status-specific fields)."""
+    out: Dict[str, Any] = {"status": status}
+    out.update(fields)
+    return out
+
+
+def peer_label(peername: Optional[Any]) -> str:
+    """Stable ``host:port`` label for a connection's trace channel."""
+    if isinstance(peername, (tuple, list)) and len(peername) >= 2:
+        return f"{peername[0]}:{peername[1]}"
+    return str(peername) if peername else "unknown"

@@ -1,0 +1,569 @@
+"""The asyncio JSONL-over-socket ingestion service.
+
+One :class:`IngestionService` fronts one
+:class:`~repro.aggregation.AggregationServer`.  The data path is:
+
+1. **Read** one ``\\n``-terminated line per request
+   (:func:`~repro.service.protocol.decode_line` — strict at the wire).
+2. **Guard** submission requests through the pre-admission
+   :class:`~repro.service.guards.GuardChain`; the outcome is always
+   *admitted*, *repaired with a recorded delta*, or *blocked with a
+   reason*.
+3. **Queue** admitted batches into a bounded queue.  A full queue is the
+   backpressure signal: the request is answered ``busy`` immediately
+   (explicit, retryable) instead of being buffered without bound.
+4. **Fold** — a single drain task pops whole batches and folds each one
+   into the aggregation server through its thread-safe
+   :class:`~repro.aggregation.IngestHandle` with **one**
+   ``submit_array``/``submit_counts`` call.  Batches fold atomically and
+   in admission order, which is what makes a socket-fed epoch
+   bit-identical to the same batches submitted in-process — and why a
+   killed service can never leave a *partially* ingested batch behind.
+
+Every request produces exactly one :class:`~repro.runtime.IngestEvent`
+through the same sink machinery as release events (the service's own
+:class:`~repro.runtime.CounterSink` plus any extra sinks, e.g. a
+:class:`~repro.runtime.JsonlSink` audit trail).
+
+The service is deliberately **admission-acknowledging**: a ``submit``
+response means the batch passed the guards and is queued, not that the
+fold already ran.  The guards pre-validate everything the fold would
+reject, so a fold failure is an *internal* error — counted, traced with
+``guard="internal"``, and required to be zero by the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..aggregation import AggregationServer
+from ..errors import ConfigurationError, ReproError
+from ..runtime import CounterSink, IngestEvent
+from ..runtime.sinks import EventSink
+from .guards import ChainOutcome, GuardChain, default_chain
+from .protocol import (
+    KNOWN_OPS,
+    WireError,
+    decode_line,
+    encode,
+    peer_label,
+    response,
+)
+
+__all__ = ["ServiceConfig", "IngestionService", "ServiceHandle", "serve_in_thread"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Ingestion-service knobs (wire, guards, backpressure)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 lets the OS pick; the bound port is on ``service.address``."""
+
+    queue_capacity: int = 64
+    """Pending-batch bound: the explicit backpressure threshold.  When
+    the drain side falls this many whole batches behind, submissions
+    get a ``busy`` response instead of unbounded buffering."""
+
+    max_line_bytes: int = 8 * 1024 * 1024
+    """Per-connection stream-reader limit (also the practical request
+    cap; the wire decoder's own 64 MiB bound is a second fence)."""
+
+    # Guard-chain parameters (see :func:`~repro.service.guards.default_chain`).
+    max_batch: int = 65536
+    coerce: bool = True
+    epoch_horizon: int = 1_000_000
+    max_claimed_loss: float = 16.0
+    device_budget: Optional[float] = None
+    per_epoch_limit: int = 1
+
+    allow_shutdown: bool = False
+    """Honor the ``shutdown`` op.  Off by default — this endpoint meets
+    untrusted peers, and remote shutdown is a denial-of-service door;
+    enable it only for tests and supervised smoke runs."""
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        if self.max_line_bytes < 1024:
+            raise ConfigurationError("max_line_bytes must be >= 1024")
+
+
+class IngestionService:
+    """Asyncio ingestion front end over one aggregation server.
+
+    Use :meth:`start`/:meth:`stop` from an event loop, or
+    :func:`serve_in_thread` for a blocking caller (tests, benchmarks,
+    the CLI client's self-serve mode).
+    """
+
+    def __init__(
+        self,
+        aggregation: AggregationServer,
+        config: Optional[ServiceConfig] = None,
+        chain: Optional[GuardChain] = None,
+        extra_sinks: Iterable[EventSink] = (),
+    ):
+        self.config = config or ServiceConfig()
+        self._handle = aggregation.ingest_handle()
+        self.chain = chain if chain is not None else default_chain(
+            max_batch=self.config.max_batch,
+            coerce=self.config.coerce,
+            epoch_horizon=self.config.epoch_horizon,
+            max_claimed_loss=self.config.max_claimed_loss,
+            device_budget=self.config.device_budget,
+            per_epoch_limit=self.config.per_epoch_limit,
+        )
+        #: Admission counters — the ``metrics`` endpoint's payload.
+        self.counters = CounterSink()
+        self._sinks: List[EventSink] = [self.counters, *extra_sinks]
+        self._seq = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._done: Optional[asyncio.Event] = None
+        self._stopped = False
+        #: ``(host, port)`` actually bound, set by :meth:`start`.
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket, start the drain task, return ``(host, port)``."""
+        if self._server is not None:
+            raise ConfigurationError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+        self._done = asyncio.Event()
+        self._drain_task = asyncio.ensure_future(self._drain())
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain queued batches, cancel tasks.
+
+        ``drain=True`` folds everything already admitted before
+        returning — an admitted batch is a promise.  ``drain=False``
+        abandons the queue (whole batches only; a batch is never split).
+        """
+        if self._server is None or self._stopped:
+            return
+        self._stopped = True
+        self._server.close()
+        await self._server.wait_closed()
+        if drain and self._queue is not None:
+            await self._queue.join()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+        if self._done is not None:
+            self._done.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (remote shutdown included)."""
+        if self._done is None:
+            raise ConfigurationError("service not started")
+        await self._done.wait()
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        verdict: str,
+        guard: str,
+        reason: str,
+        op: str,
+        batch: int,
+        epoch: Optional[int] = None,
+        latency_us: float = 0.0,
+        repaired_fields: int = 0,
+        delta: Tuple[str, ...] = (),
+        channel: Optional[str] = None,
+    ) -> IngestEvent:
+        event = IngestEvent(
+            seq=self._seq,
+            verdict=verdict,
+            guard=guard,
+            reason=reason,
+            op=op,
+            batch=batch,
+            epoch=epoch,
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            latency_us=latency_us,
+            repaired_fields=repaired_fields,
+            delta=delta,
+            channel=channel,
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Fold side (single consumer)
+    # ------------------------------------------------------------------
+    def _fold(self, outcome: ChainOutcome) -> None:
+        """Fold one admitted batch — one atomic handle call, whole batch."""
+        req = outcome.request
+        if req["op"] == "submit":
+            self._handle.submit_array(
+                req["epoch"],
+                np.asarray(req["values"], dtype=float),
+                req["claimed_loss"],
+                device_ids=req["device_ids"],
+            )
+        else:
+            self._handle.submit_counts(
+                req["epoch"],
+                np.asarray(req["counts"], dtype=np.int64),
+                req["n_reports"],
+                req["claimed_loss"],
+            )
+
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_event_loop()
+        while True:
+            outcome, channel = await self._queue.get()
+            try:
+                # Folds run on the default executor so a large batch
+                # never stalls the reader side of the loop; the
+                # IngestHandle lock keeps each fold atomic with respect
+                # to snapshots served from the loop thread.
+                await loop.run_in_executor(None, self._fold, outcome)
+            except Exception as exc:  # service must survive a bad fold
+                self._emit(
+                    verdict="error",
+                    guard="internal",
+                    reason=f"fold failed: {type(exc).__name__}: {exc}",
+                    op=outcome.request.get("op", "unknown"),
+                    batch=_batch_size(outcome.request),
+                    epoch=outcome.request.get("epoch"),
+                    channel=channel,
+                )
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        channel = peer_label(writer.get_extra_info("peername"))
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized line: the stream cannot be resynced
+                    # reliably, so answer once and drop the connection.
+                    self._emit(
+                        verdict="blocked",
+                        guard="wire",
+                        reason="request line exceeds the stream limit",
+                        op="unknown",
+                        batch=0,
+                        channel=channel,
+                    )
+                    writer.write(
+                        encode(
+                            response(
+                                "blocked",
+                                guard="wire",
+                                reason="request line exceeds the stream limit",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not raw:
+                    break  # peer closed
+                if not raw.strip():
+                    continue  # blank keep-alive line
+                reply, keep_open = self._handle_line(raw, channel)
+                writer.write(encode(reply))
+                await writer.drain()
+                if not keep_open:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished mid-reply; its events are already emitted
+        finally:
+            # No awaits here: a hard-killed service can reach this with
+            # the loop already closed (or via GeneratorExit at GC), and
+            # an await would turn teardown into a second failure.
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    def _handle_line(self, raw: bytes, channel: str) -> Tuple[dict, bool]:
+        """Decide one request line; returns (response, keep_connection)."""
+        t0 = time.perf_counter()
+
+        def _us() -> float:
+            return (time.perf_counter() - t0) * 1e6
+
+        try:
+            request = decode_line(raw)
+        except WireError as exc:
+            self._emit(
+                verdict="blocked",
+                guard="wire",
+                reason=str(exc),
+                op="unknown",
+                batch=0,
+                latency_us=_us(),
+                channel=channel,
+            )
+            return response("blocked", guard="wire", reason=str(exc)), True
+
+        op = request["op"]
+        if op == "ping":
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="ping",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            return response("ok", pong=True), True
+        if op == "snapshot":
+            snap = self._handle.snapshot()
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="snapshot",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            return response("ok", snapshot=snap), True
+        if op == "metrics":
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="metrics",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            return response("ok", metrics=self.counters.ingest_summary()), True
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                self._emit(
+                    verdict="blocked", guard="wire",
+                    reason="shutdown disabled (allow_shutdown=False)",
+                    op="shutdown", batch=0, latency_us=_us(), channel=channel,
+                )
+                return (
+                    response(
+                        "blocked",
+                        guard="wire",
+                        reason="shutdown disabled (allow_shutdown=False)",
+                    ),
+                    True,
+                )
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="shutdown",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            asyncio.ensure_future(self.stop(drain=True))
+            return response("ok", stopping=True), False
+        if op not in KNOWN_OPS:
+            reason = f"unknown op {op!r}"
+            self._emit(
+                verdict="blocked", guard="wire", reason=reason,
+                op="unknown", batch=0, latency_us=_us(), channel=channel,
+            )
+            return response("blocked", guard="wire", reason=reason), True
+
+        # Submission path: guard chain, then the bounded queue.
+        outcome = self.chain.check(request)
+        n = _batch_size(outcome.request if outcome.admitted else request)
+        epoch = outcome.request.get("epoch") if outcome.admitted else None
+        if not outcome.admitted:
+            self._emit(
+                verdict="blocked",
+                guard=outcome.guard,
+                reason=outcome.reason,
+                op=op,
+                batch=_batch_size(request),
+                latency_us=_us(),
+                channel=channel,
+            )
+            return (
+                response("blocked", guard=outcome.guard, reason=outcome.reason),
+                True,
+            )
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait((outcome, channel))
+        except asyncio.QueueFull:
+            event = self._emit(
+                verdict="busy",
+                guard="queue",
+                reason=f"aggregation queue full ({self.config.queue_capacity})",
+                op=op,
+                batch=n,
+                epoch=epoch,
+                latency_us=_us(),
+                channel=channel,
+            )
+            return (
+                response(
+                    "busy",
+                    queue_depth=event.queue_depth,
+                    reason="aggregation queue full; retry",
+                ),
+                True,
+            )
+        event = self._emit(
+            verdict=outcome.verdict,  # "admitted" or "repaired"
+            guard=outcome.guard,
+            reason=outcome.reason,
+            op=op,
+            batch=n,
+            epoch=epoch,
+            latency_us=_us(),
+            repaired_fields=len(outcome.delta),
+            delta=outcome.delta,
+            channel=channel,
+        )
+        reply = response(
+            outcome.verdict,
+            seq=event.seq,
+            queue_depth=event.queue_depth,
+            n_reports=n,
+        )
+        if outcome.delta:
+            reply["delta"] = list(outcome.delta)
+        if outcome.warnings:
+            reply["warnings"] = list(outcome.warnings)
+        return reply, True
+
+
+def _batch_size(request: dict) -> int:
+    values = request.get("values")
+    if isinstance(values, list):
+        return len(values)
+    n = request.get("n_reports")
+    return n if isinstance(n, int) and not isinstance(n, bool) else 0
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted serving (blocking callers: tests, benchmarks, loadgen)
+# ---------------------------------------------------------------------------
+class ServiceHandle:
+    """A running service on a background thread.
+
+    ``address`` is the bound ``(host, port)``; :meth:`stop` shuts the
+    service down (draining admitted batches) and joins the thread.
+    Context-manager use guarantees the port is released on exit.
+    """
+
+    def __init__(
+        self,
+        service: IngestionService,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+        address: Tuple[str, int],
+    ):
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self.address = address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=True), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+            self._grace_tick(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def _grace_tick(self, timeout: float) -> None:
+        # One extra loop turn so transport connection_lost callbacks run
+        # before the loop closes (quiet teardown, not correctness).
+        try:
+            asyncio.run_coroutine_threadsafe(
+                asyncio.sleep(0.01), self._loop
+            ).result(timeout=timeout)
+        except Exception:
+            pass
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Hard stop: abandon the queue (whole batches), close the port.
+
+        The crash-shaped shutdown used by the kill-the-server tests: no
+        drain, no goodbye to peers.  Batches already folded stay folded;
+        queued-but-unfolded batches are dropped *whole* — never split.
+        """
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=False), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    aggregation: AggregationServer,
+    config: Optional[ServiceConfig] = None,
+    chain: Optional[GuardChain] = None,
+    extra_sinks: Iterable[EventSink] = (),
+    start_timeout: float = 10.0,
+) -> ServiceHandle:
+    """Start an :class:`IngestionService` on a daemon thread; block until
+    the socket is bound; return its :class:`ServiceHandle`."""
+    service = IngestionService(
+        aggregation, config=config, chain=chain, extra_sinks=extra_sinks
+    )
+    loop = asyncio.new_event_loop()
+    started: "threading.Event" = threading.Event()
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(service.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-ingest", daemon=True)
+    thread.start()
+    if not started.wait(timeout=start_timeout):
+        raise ReproError("ingestion service failed to start in time")
+    if failure:
+        raise failure[0]
+    assert service.address is not None
+    return ServiceHandle(service, loop, thread, service.address)

@@ -197,3 +197,71 @@ class TestGuardedVsBaselineDistribution:
         splits = np.array_split(np.arange(emp.size), 16)
         for idx in splits:
             assert emp[idx].sum() == pytest.approx(exact.probs[idx].sum(), abs=0.02)
+
+
+class TestPaperHintExceptionNarrowing:
+    """The ``_paper_hint`` fallback must not swallow foreign exceptions.
+
+    The hint seeds the exact threshold search; only the paper closed
+    form's legitimate failures (no positive solution, exp/log out of
+    float range) may fall back to the neutral hint.  A foreign exception
+    raised under the hint call — a real bug, an interrupt-adjacent
+    failure — must propagate, not be masked into "hint 16".
+    """
+
+    def _make(self, arm):
+        from repro.mechanisms import SensorSpec, make_mechanism
+
+        return make_mechanism(
+            arm, SensorSpec(0.0, 8.0), 0.5, input_bits=14,
+            threshold_policy="exact",
+        )
+
+    @pytest.mark.parametrize(
+        "module, fn",
+        [
+            ("repro.mechanisms.resampling", "paper_resampling_threshold"),
+            ("repro.mechanisms.thresholding", "paper_thresholding_threshold"),
+        ],
+    )
+    def test_foreign_exception_propagates(self, monkeypatch, module, fn):
+        def _boom(*args, **kwargs):
+            raise RuntimeError("foreign failure on the draw path")
+
+        monkeypatch.setattr(f"{module}.{fn}", _boom)
+        arm = "resampling" if "resampling" in module else "thresholding"
+        with pytest.raises(RuntimeError, match="foreign failure"):
+            self._make(arm)
+
+    @pytest.mark.parametrize(
+        "module, fn",
+        [
+            ("repro.mechanisms.resampling", "paper_resampling_threshold"),
+            ("repro.mechanisms.thresholding", "paper_thresholding_threshold"),
+        ],
+    )
+    def test_calibration_error_falls_back(self, monkeypatch, module, fn):
+        from repro.errors import CalibrationError
+
+        def _no_solution(*args, **kwargs):
+            raise CalibrationError("no positive threshold")
+
+        monkeypatch.setattr(f"{module}.{fn}", _no_solution)
+        arm = "resampling" if "resampling" in module else "thresholding"
+        mech = self._make(arm)  # hint falls back to 16; search still runs
+        assert mech.threshold > 0.0
+
+    @pytest.mark.parametrize(
+        "module, fn",
+        [
+            ("repro.mechanisms.resampling", "paper_resampling_threshold"),
+            ("repro.mechanisms.thresholding", "paper_thresholding_threshold"),
+        ],
+    )
+    def test_overflow_falls_back(self, monkeypatch, module, fn):
+        def _overflow(*args, **kwargs):
+            raise OverflowError("math range error")
+
+        monkeypatch.setattr(f"{module}.{fn}", _overflow)
+        arm = "resampling" if "resampling" in module else "thresholding"
+        assert self._make(arm).threshold > 0.0

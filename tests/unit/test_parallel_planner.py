@@ -173,3 +173,51 @@ class TestPlanEcho:
             np.testing.assert_array_equal(
                 a.server.values(epoch), b.server.values(epoch)
             )
+
+
+class TestHostEdgeCases:
+    """Degenerate hosts and worker counts never yield a zero-worker pool.
+
+    ``os.cpu_count()`` is documented to return ``None`` when the count
+    is undeterminable; ``workers=0`` or negative is caller error.  The
+    contract: a typed :class:`ConfigurationError` for bad requests, and
+    a serial (or 1-worker-clamped) plan — never ``workers=0`` — for
+    degenerate hosts.
+    """
+
+    @pytest.fixture
+    def unknown_cores(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+
+    def test_plan_execution_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            plan_execution(1000, 4, workers=0)
+
+    def test_plan_execution_rejects_negative_workers(self):
+        with pytest.raises(ConfigurationError):
+            plan_execution(1000, 4, workers=-2)
+
+    def test_plan_shards_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(1000, workers=0)
+
+    def test_clamp_on_unknown_core_count(self, unknown_cores):
+        # cpu_count() is None: treat the host as single-core and clamp
+        # every request down to 1 rather than oversubscribing blind.
+        assert clamp_workers(1) == 1
+        assert clamp_workers(16) == 1
+
+    def test_auto_plan_on_unknown_core_count_is_serial(
+        self, unknown_cores, fixed_throughput
+    ):
+        plan = plan_execution(1_000_000, 64)
+        assert plan.mode == "serial"
+        assert plan.workers == 1
+
+    def test_pinned_workers_on_unknown_core_count_never_zero(
+        self, unknown_cores
+    ):
+        plan = plan_execution(1_000_000, 64, workers=8)
+        assert plan.workers >= 1
+        # Clamped to the 1 usable core -> serial, not a 0-worker pool.
+        assert plan.mode == "serial"

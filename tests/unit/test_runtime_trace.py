@@ -155,6 +155,85 @@ class TestJsonlAppendMode:
         assert len(read_events_jsonl(path)) == 2
 
 
+class TestJsonlCrashSafety:
+    """Kill-a-writer semantics: flush-on-write + tolerant tail reads."""
+
+    def test_events_visible_on_disk_before_close(self, tmp_path):
+        # Flush-on-write: a reader (or a post-mortem) sees every
+        # completed event even while the sink is still open.
+        path = tmp_path / "live.jsonl"
+        pipe = ReleasePipeline()
+        pipe.add_sink(JsonlSink(path))
+        mech = make_mechanism(
+            "thresholding",
+            SensorSpec(0.0, 8.0),
+            0.5,
+            input_bits=12,
+            source=NumpySource(seed=31),
+            pipeline=pipe,
+        )
+        mech.release(np.asarray([1.0]))
+        mech.release(np.asarray([2.0]))
+        assert len(read_events_jsonl(path)) == 2  # sink never closed
+
+    def test_close_is_idempotent_and_reported(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        assert not sink.closed
+        sink.close()
+        sink.close()
+        assert sink.closed
+
+    def test_emit_after_close_is_typed_error(self, tmp_path):
+        from repro.errors import ConfigurationError
+        from repro.runtime.events import ReleaseEvent
+
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        event = ReleaseEvent(
+            seq=1,
+            mechanism="Thresholding",
+            epsilon=0.5,
+            claimed_loss=1.0,
+            guard="threshold",
+            batch=1,
+            draws=1,
+            resample_rounds=0,
+            max_rounds_used=1,
+        )
+        with pytest.raises(ConfigurationError, match="closed"):
+            sink.emit(event)
+
+    def test_context_manager_closes(self, tmp_path):
+        with JsonlSink(tmp_path / "t.jsonl") as sink:
+            assert not sink.closed
+        assert sink.closed
+
+    def test_trailing_partial_line_tolerated_and_reported(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        path = tmp_path / "killed.jsonl"
+        device_trace(path, n_reports=3)
+        with open(path, "a") as fh:  # writer killed mid-event
+            fh.write('{"schema": 1, "seq": 4, "mech')
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.sinks"):
+            events = read_events_jsonl(path)
+        assert len(events) == 3  # completed events all survive
+        assert any("truncated trailing line" in r.message for r in caplog.records)
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        import json
+
+        path = tmp_path / "corrupt.jsonl"
+        device_trace(path, n_reports=3)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:20] + "\n"  # damage a non-tail line
+        path.write_text("".join(lines))
+        with pytest.raises(json.JSONDecodeError):
+            read_events_jsonl(path)
+
+
 class TestCounterSinkMerge:
     @staticmethod
     def counted_trace(seed, n_reports):
