@@ -20,6 +20,21 @@ whose reports would all be removed is blocked instead.
 Guards are deterministic state machines over the request sequence (no
 wall clock, no randomness), so an admission trace is replayable: the
 same requests in the same order produce the same verdicts on any host.
+
+State is applied in **two phases**: :meth:`Guard.check` must be free of
+side effects — it rules on the request against the guard's *committed*
+state and may attach a ``commit`` callback to its decision.  The chain
+collects those callbacks onto the :class:`ChainOutcome`, and the server
+invokes :meth:`ChainOutcome.commit` only once the batch is actually
+enqueued.  Two consequences, both load-bearing:
+
+* a batch refused at the queue (``busy`` backpressure) or at shutdown
+  leaves guard state untouched, so the documented retry of the *same*
+  batch is admissible — admission state never charges for work the
+  aggregation side never accepted;
+* commit callbacks receive the **final** (post-repair) request, so a
+  budget charge covers exactly the reports that survived later repairs,
+  not the ones a downstream guard dropped.
 """
 
 from __future__ import annotations
@@ -27,7 +42,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -59,7 +74,10 @@ class GuardDecision:
 
     ``request`` is the (possibly repaired) request to hand the next
     guard; ``None`` means "unchanged".  ``delta`` records every repair
-    as a human-readable ``field: old -> new`` string.
+    as a human-readable ``field: old -> new`` string.  ``commit``, when
+    set, applies the guard's state change for this request; it is
+    called with the chain's *final* admitted request, and only once the
+    batch has actually been accepted downstream (see module docstring).
     """
 
     verdict: Verdict
@@ -67,6 +85,7 @@ class GuardDecision:
     reason: str = ""
     request: Optional[Dict[str, Any]] = None
     delta: Tuple[str, ...] = ()
+    commit: Optional[Callable[[Dict[str, Any]], None]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,9 +110,33 @@ class ChainOutcome:
     def admitted(self) -> bool:
         return self.verdict in ("admitted", "repaired")
 
+    def commit(self) -> None:
+        """Apply every guard's state change for this admitted batch.
+
+        Call exactly once, and only after the batch has been accepted
+        downstream (enqueued for folding).  A blocked or queue-refused
+        request is never committed, so guards charge nothing for it.
+        Each callback receives the final (post-repair) request.
+        """
+        if not self.admitted:
+            raise ConfigurationError(
+                "cannot commit a blocked outcome (nothing was admitted)"
+            )
+        if getattr(self, "_committed", False):
+            raise ConfigurationError("outcome already committed")
+        object.__setattr__(self, "_committed", True)
+        for decision in self.decisions:
+            if decision.commit is not None:
+                decision.commit(self.request)
+
 
 class Guard:
-    """Base guard: stateless or deterministically stateful check."""
+    """Base guard: stateless or deterministically stateful check.
+
+    :meth:`check` must not mutate guard state — a stateful guard rules
+    against its committed state and hands the mutation to the decision's
+    ``commit`` callback (applied post-admission; see module docstring).
+    """
 
     name = "guard"
 
@@ -101,11 +144,17 @@ class Guard:
         raise NotImplementedError
 
     # Decision helpers ---------------------------------------------------
-    def allow(self) -> GuardDecision:
-        return GuardDecision(Verdict.ALLOW, self.name)
+    def allow(
+        self, commit: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> GuardDecision:
+        return GuardDecision(Verdict.ALLOW, self.name, commit=commit)
 
-    def warn(self, reason: str) -> GuardDecision:
-        return GuardDecision(Verdict.WARN, self.name, reason)
+    def warn(
+        self,
+        reason: str,
+        commit: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> GuardDecision:
+        return GuardDecision(Verdict.WARN, self.name, reason, commit=commit)
 
     def block(self, reason: str) -> GuardDecision:
         return GuardDecision(Verdict.BLOCK, self.name, reason)
@@ -115,13 +164,19 @@ class Guard:
         request: Dict[str, Any],
         delta: Sequence[str],
         reason: str = "",
+        commit: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> GuardDecision:
         if not delta:
             raise ConfigurationError(
                 f"{self.name}: REPAIR must record at least one delta entry"
             )
         return GuardDecision(
-            Verdict.REPAIR, self.name, reason, request=request, delta=tuple(delta)
+            Verdict.REPAIR,
+            self.name,
+            reason,
+            request=request,
+            delta=tuple(delta),
+            commit=commit,
         )
 
 
@@ -351,6 +406,15 @@ class EpochBudgetGuard(Guard):
       mirror of the on-device accountant (conservative, like
       :meth:`~repro.aggregation.AggregationServer.worst_case_disclosure`).
 
+    Budget state is charged by the decision's ``commit`` callback, not
+    at check time, and against the chain's *final* request — so a batch
+    refused downstream (queue-full ``busy``, shutdown) charges nothing,
+    and reports a later guard repairs away are never charged.  The spend
+    map is LRU-bounded at ``max_devices_tracked`` entries: evicting a
+    device forgets its accumulated spend, so size the bound above the
+    expected fleet cardinality — the bound trades completeness against
+    a malicious fleet of throwaway device ids exhausting server memory.
+
     Runs after :class:`SchemaGuard`, so fields are already typed.
     """
 
@@ -362,11 +426,14 @@ class EpochBudgetGuard(Guard):
         max_claimed_loss: float = 16.0,
         warn_claimed_loss: Optional[float] = None,
         device_budget: Optional[float] = None,
+        max_devices_tracked: int = 1_048_576,
     ):
         if epoch_horizon < 0:
             raise ConfigurationError("epoch_horizon must be >= 0")
         if max_claimed_loss <= 0:
             raise ConfigurationError("max_claimed_loss must be positive")
+        if max_devices_tracked < 1:
+            raise ConfigurationError("max_devices_tracked must be >= 1")
         self.epoch_horizon = int(epoch_horizon)
         self.max_claimed_loss = float(max_claimed_loss)
         self.warn_claimed_loss = float(
@@ -374,7 +441,21 @@ class EpochBudgetGuard(Guard):
             else max_claimed_loss / 2.0
         )
         self.device_budget = None if device_budget is None else float(device_budget)
+        self.max_devices_tracked = int(max_devices_tracked)
         self._spent: Dict[str, float] = {}
+
+    def _charge(self, final: Dict[str, Any]) -> None:
+        """Commit hook: charge spend for the devices that actually made
+        it into the admitted batch (post-repair), LRU-bounded."""
+        if self.device_budget is None or final.get("op") != "submit":
+            return
+        for device_id in final["device_ids"]:
+            # Pop + reinsert keeps the dict insertion-ordered by last
+            # charge, making the eviction below least-recently-charged.
+            spent = self._spent.pop(device_id, 0.0) + final["claimed_loss"]
+            self._spent[device_id] = spent
+        while len(self._spent) > self.max_devices_tracked:
+            del self._spent[next(iter(self._spent))]
 
     def check(self, request: Dict[str, Any]) -> GuardDecision:
         epoch = request["epoch"]
@@ -387,6 +468,7 @@ class EpochBudgetGuard(Guard):
             return self.block(
                 f"claimed_loss {loss:g} exceeds cap {self.max_claimed_loss:g}"
             )
+        commit = None
         if self.device_budget is not None and request["op"] == "submit":
             over = sorted(
                 {
@@ -402,14 +484,14 @@ class EpochBudgetGuard(Guard):
                     f"{len(over)} device(s) past budget "
                     f"{self.device_budget:g}: {shown}"
                 )
-            for device_id in request["device_ids"]:
-                self._spent[device_id] = self._spent.get(device_id, 0.0) + loss
+            commit = self._charge
         if loss > self.warn_claimed_loss:
             return self.warn(
                 f"claimed_loss {loss:g} above warning level "
-                f"{self.warn_claimed_loss:g}"
+                f"{self.warn_claimed_loss:g}",
+                commit=commit,
             )
-        return self.allow()
+        return self.allow(commit=commit)
 
 
 class RateLimitGuard(Guard):
@@ -422,6 +504,11 @@ class RateLimitGuard(Guard):
     batch, the batch is BLOCKed.  Counting is deterministic in the
     request sequence; only the most recent ``max_epochs_tracked``
     epochs are retained so state stays bounded.
+
+    Like the budget guard, per-device counts are applied by the
+    decision's ``commit`` callback: a batch the queue refuses as
+    ``busy`` consumes nobody's rate allowance, so the documented
+    same-batch retry is not self-blocking.
     """
 
     name = "rate-limit"
@@ -435,19 +522,24 @@ class RateLimitGuard(Guard):
         self.max_epochs_tracked = int(max_epochs_tracked)
         self._seen: Dict[int, Dict[str, int]] = {}
 
-    def _epoch_counts(self, epoch: int) -> Dict[str, int]:
+    def _apply(self, epoch: int, pending: Dict[str, int]) -> None:
+        """Commit hook: fold this batch's per-device counts into the
+        committed epoch state (creating/evicting epoch slots here, not
+        at check time)."""
         counts = self._seen.get(epoch)
         if counts is None:
             counts = self._seen[epoch] = {}
             while len(self._seen) > self.max_epochs_tracked:
                 del self._seen[min(self._seen)]
-        return counts
+        for device_id, n in pending.items():
+            counts[device_id] = counts.get(device_id, 0) + n
 
     def check(self, request: Dict[str, Any]) -> GuardDecision:
         if request["op"] != "submit":
             # Count batches carry no device ids; nothing to rate-limit.
             return self.allow()
-        counts = self._epoch_counts(request["epoch"])
+        epoch = request["epoch"]
+        counts = self._seen.get(epoch, {})
         keep: List[int] = []
         dropped: List[str] = []
         pending: Dict[str, int] = {}
@@ -461,21 +553,21 @@ class RateLimitGuard(Guard):
             else:
                 pending[device_id] = pending.get(device_id, 0) + 1
                 keep.append(i)
+
+        def commit(final: Dict[str, Any], epoch=epoch, pending=pending) -> None:
+            self._apply(epoch, pending)
+
         if not dropped:
-            for device_id, n in pending.items():
-                counts[device_id] = counts.get(device_id, 0) + n
-            return self.allow()
+            return self.allow(commit=commit)
         if not keep:
             return self.block(
                 f"every report in the batch is over the "
                 f"{self.per_epoch_limit}/epoch rate limit"
             )
-        for device_id, n in pending.items():
-            counts[device_id] = counts.get(device_id, 0) + n
         repaired = dict(request)
         repaired["device_ids"] = [request["device_ids"][i] for i in keep]
         repaired["values"] = [request["values"][i] for i in keep]
-        return self.repair(repaired, dropped, reason="rate limit")
+        return self.repair(repaired, dropped, reason="rate limit", commit=commit)
 
 
 class GuardChain:
@@ -484,6 +576,11 @@ class GuardChain:
     REPAIR hands the repaired request to the next guard; WARN records
     and continues; BLOCK stops the chain.  The final verdict is the
     trichotomy described in the module docstring.
+
+    :meth:`check` is side-effect-free; stateful guards hand their
+    mutations to the outcome, and the caller applies them with
+    :meth:`ChainOutcome.commit` once (and only if) the admitted batch
+    is actually accepted downstream.
     """
 
     def __init__(self, guards: Sequence[Guard]):
@@ -533,6 +630,7 @@ def default_chain(
     max_claimed_loss: float = 16.0,
     device_budget: Optional[float] = None,
     per_epoch_limit: int = 1,
+    max_devices_tracked: int = 1_048_576,
 ) -> GuardChain:
     """The service's standard chain: schema → epoch/budget → rate limit."""
     return GuardChain(
@@ -542,6 +640,7 @@ def default_chain(
                 epoch_horizon=epoch_horizon,
                 max_claimed_loss=max_claimed_loss,
                 device_budget=device_budget,
+                max_devices_tracked=max_devices_tracked,
             ),
             RateLimitGuard(per_epoch_limit=per_epoch_limit),
         ]

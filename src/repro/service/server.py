@@ -12,6 +12,10 @@ One :class:`IngestionService` fronts one
 3. **Queue** admitted batches into a bounded queue.  A full queue is the
    backpressure signal: the request is answered ``busy`` immediately
    (explicit, retryable) instead of being buffered without bound.
+   Stateful guard effects (rate counts, budget spend) are committed via
+   :meth:`~repro.service.guards.ChainOutcome.commit` only *after* the
+   batch lands in the queue — a ``busy`` refusal charges nothing, so
+   retrying the same batch is admissible.
 4. **Fold** — a single drain task pops whole batches and folds each one
    into the aggregation server through its thread-safe
    :class:`~repro.aggregation.IngestHandle` with **one**
@@ -83,6 +87,7 @@ class ServiceConfig:
     max_claimed_loss: float = 16.0
     device_budget: Optional[float] = None
     per_epoch_limit: int = 1
+    max_devices_tracked: int = 1_048_576
 
     allow_shutdown: bool = False
     """Honor the ``shutdown`` op.  Off by default — this endpoint meets
@@ -120,6 +125,7 @@ class IngestionService:
             max_claimed_loss=self.config.max_claimed_loss,
             device_budget=self.config.device_budget,
             per_epoch_limit=self.config.per_epoch_limit,
+            max_devices_tracked=self.config.max_devices_tracked,
         )
         #: Admission counters — the ``metrics`` endpoint's payload.
         self.counters = CounterSink()
@@ -162,6 +168,10 @@ class IngestionService:
         """
         if self._server is None or self._stopped:
             return
+        # Setting the flag first quiesces *established* connections too:
+        # _handle_line answers "blocked: service stopping" to further
+        # submissions, so nothing new can enter the queue after the
+        # drain below — every admitted batch really does get folded.
         self._stopped = True
         self._server.close()
         await self._server.wait_closed()
@@ -299,7 +309,7 @@ class IngestionService:
                     break  # peer closed
                 if not raw.strip():
                     continue  # blank keep-alive line
-                reply, keep_open = self._handle_line(raw, channel)
+                reply, keep_open = await self._handle_line(raw, channel)
                 writer.write(encode(reply))
                 await writer.drain()
                 if not keep_open:
@@ -315,8 +325,13 @@ class IngestionService:
             except RuntimeError:
                 pass
 
-    def _handle_line(self, raw: bytes, channel: str) -> Tuple[dict, bool]:
-        """Decide one request line; returns (response, keep_connection)."""
+    async def _handle_line(self, raw: bytes, channel: str) -> Tuple[dict, bool]:
+        """Decide one request line; returns (response, keep_connection).
+
+        The submission path is await-free from guard check through queue
+        put and state commit, so admission decisions never interleave
+        across connections mid-decision.
+        """
         t0 = time.perf_counter()
 
         def _us() -> float:
@@ -344,7 +359,12 @@ class IngestionService:
             )
             return response("ok", pong=True), True
         if op == "snapshot":
-            snap = self._handle.snapshot()
+            # On the executor like the folds: a snapshot waiting on the
+            # IngestHandle lock behind a large fold must not stall the
+            # event loop (and with it every other connection).
+            snap = await asyncio.get_event_loop().run_in_executor(
+                None, self._handle.snapshot
+            )
             self._emit(
                 verdict="admitted", guard="wire", reason="", op="snapshot",
                 batch=0, latency_us=_us(), channel=channel,
@@ -386,6 +406,21 @@ class IngestionService:
             return response("blocked", guard="wire", reason=reason), True
 
         # Submission path: guard chain, then the bounded queue.
+        if self._stopped:
+            # stop() has begun: the queue is draining toward join() and
+            # nothing may be enqueued behind it.  Terminal, not "busy" —
+            # this endpoint is going away, retrying here is pointless.
+            reason = "service stopping; batch not admitted"
+            self._emit(
+                verdict="blocked",
+                guard="service",
+                reason=reason,
+                op=op,
+                batch=_batch_size(request),
+                latency_us=_us(),
+                channel=channel,
+            )
+            return response("blocked", guard="service", reason=reason), True
         outcome = self.chain.check(request)
         n = _batch_size(outcome.request if outcome.admitted else request)
         epoch = outcome.request.get("epoch") if outcome.admitted else None
@@ -425,6 +460,10 @@ class IngestionService:
                 ),
                 True,
             )
+        # The batch is queued — now (and only now) apply the guards'
+        # state: rate counts and budget spend charge exactly what was
+        # accepted, and a busy refusal above charged nothing.
+        outcome.commit()
         event = self._emit(
             verdict=outcome.verdict,  # "admitted" or "repaired"
             guard=outcome.guard,

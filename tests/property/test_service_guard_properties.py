@@ -147,6 +147,8 @@ def test_trichotomy_no_silent_drops(request):
 def test_admission_trace_is_deterministic(requests):
     # Two fresh chains fed the same sequence agree decision-for-decision
     # (guards are deterministic state machines: replayable admissions).
+    # Admitted outcomes are committed — state evolves exactly as it
+    # would on the server once each batch lands in the queue.
     a_chain = default_chain()
     b_chain = default_chain()
     for request in requests:
@@ -157,3 +159,24 @@ def test_admission_trace_is_deterministic(requests):
         assert a.reason == b.reason
         assert a.delta == b.delta
         assert a.request == b.request
+        if a.admitted:
+            a.commit()
+            b.commit()
+
+
+@given(requests=st.lists(submit_requests(), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_uncommitted_checks_never_change_later_verdicts(requests):
+    # check() is side-effect-free: any number of refused (uncommitted)
+    # admission attempts leaves the chain ruling exactly like a chain
+    # that never saw them — the busy-retry contract, property-grade.
+    probed = default_chain()
+    fresh = default_chain()
+    for request in requests:
+        probed.check(dict(request))  # e.g. answered busy; never enqueued
+    for request in requests:
+        a = probed.check(dict(request))
+        b = fresh.check(dict(request))
+        assert (a.verdict, a.guard, a.reason, a.delta) == (
+            b.verdict, b.guard, b.reason, b.delta
+        )

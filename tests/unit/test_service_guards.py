@@ -132,23 +132,53 @@ class TestEpochBudgetGuard:
 
     def test_device_budget_tracks_cumulative_loss(self):
         g = EpochBudgetGuard(device_budget=2.0)
-        assert g.check(submit(epoch=0, loss=1.0)).verdict is Verdict.ALLOW
-        assert g.check(submit(epoch=1, loss=1.0)).verdict is Verdict.ALLOW
+        for epoch in (0, 1):
+            req = submit(epoch=epoch, loss=1.0)
+            d = g.check(req)
+            assert d.verdict is Verdict.ALLOW
+            d.commit(req)
         d = g.check(submit(epoch=2, loss=1.0))
         assert d.verdict is Verdict.BLOCK
         assert "past budget" in d.reason
+
+    def test_check_charges_nothing_until_commit(self):
+        # The busy-retry contract: a check whose batch the queue refused
+        # must not have consumed budget — same batch, still admissible.
+        g = EpochBudgetGuard(device_budget=1.0)
+        assert g.check(submit(loss=1.0)).verdict is Verdict.ALLOW
+        assert g.check(submit(loss=1.0)).verdict is Verdict.ALLOW
+        assert g._spent == {}
+
+    def test_spend_map_lru_bounded(self):
+        g = EpochBudgetGuard(device_budget=10.0, max_devices_tracked=2)
+        for name in ("a", "b", "c"):
+            req = submit(ids=(name,), values=(1.0,), loss=1.0)
+            g.check(req).commit(req)
+        assert set(g._spent) == {"b", "c"}  # least-recently-charged evicted
 
 
 class TestRateLimitGuard:
     def test_under_limit_allows(self):
         g = RateLimitGuard(per_epoch_limit=1)
-        assert g.check(submit()).verdict is Verdict.ALLOW
+        first = submit()
+        d = g.check(first)
+        assert d.verdict is Verdict.ALLOW
+        d.commit(first)
         # Same devices, different epoch: a fresh budget.
         assert g.check(submit(epoch=1)).verdict is Verdict.ALLOW
 
-    def test_duplicate_device_repaired_with_recorded_drop(self):
+    def test_uncommitted_check_consumes_no_allowance(self):
+        # A queue-refused (busy) batch never reached the server, so its
+        # devices' per-epoch allowance must still be intact on retry.
         g = RateLimitGuard(per_epoch_limit=1)
         assert g.check(submit()).verdict is Verdict.ALLOW
+        assert g.check(submit()).verdict is Verdict.ALLOW
+        assert g._seen == {}
+
+    def test_duplicate_device_repaired_with_recorded_drop(self):
+        g = RateLimitGuard(per_epoch_limit=1)
+        first = submit()
+        g.check(first).commit(first)
         d = g.check(submit(ids=("a", "c"), values=(9.0, 4.0)))
         assert d.verdict is Verdict.REPAIR
         assert d.request["device_ids"] == ["c"]
@@ -163,7 +193,8 @@ class TestRateLimitGuard:
 
     def test_fully_over_limit_blocks_instead_of_empty_repair(self):
         g = RateLimitGuard(per_epoch_limit=1)
-        assert g.check(submit()).verdict is Verdict.ALLOW
+        first = submit()
+        g.check(first).commit(first)
         d = g.check(submit())
         assert d.verdict is Verdict.BLOCK
         assert "rate limit" in d.reason
@@ -178,7 +209,8 @@ class TestRateLimitGuard:
     def test_epoch_state_bounded(self):
         g = RateLimitGuard(per_epoch_limit=1, max_epochs_tracked=2)
         for epoch in range(5):
-            g.check(submit(epoch=epoch))
+            req = submit(epoch=epoch)
+            g.check(req).commit(req)
         assert len(g._seen) <= 2
 
 
@@ -196,7 +228,7 @@ class TestGuardChain:
 
     def test_repairs_accumulate_across_guards(self):
         chain = default_chain()
-        chain.check(submit())  # land device "a" for epoch 0
+        chain.check(submit()).commit()  # land device "a" for epoch 0
         outcome = chain.check(
             submit(ids=("a", "c"), values=("5.5", 1.0))
         )
@@ -206,6 +238,42 @@ class TestGuardChain:
         assert any("5.5" in e for e in outcome.delta)
         assert any("rate limit" in e for e in outcome.delta)
         assert outcome.request["device_ids"] == ["c"]
+
+    def test_unapplied_check_leaves_state_untouched(self):
+        # The high-severity backpressure bug: a batch refused at the
+        # queue (busy) must not have charged rate/budget state, or its
+        # own retry becomes "every report over rate limit".
+        chain = default_chain()
+        assert chain.check(submit()).verdict == "admitted"  # refused, no commit
+        retry = chain.check(submit())
+        assert retry.verdict == "admitted"
+        retry.commit()
+        assert chain.check(submit()).verdict == "blocked"
+
+    def test_commit_is_once_only(self):
+        outcome = default_chain().check(submit())
+        outcome.commit()
+        with pytest.raises(ConfigurationError):
+            outcome.commit()
+
+    def test_blocked_outcome_cannot_commit(self):
+        outcome = default_chain(max_claimed_loss=4.0).check(submit(loss=100.0))
+        assert outcome.verdict == "blocked"
+        with pytest.raises(ConfigurationError):
+            outcome.commit()
+
+    def test_budget_charges_only_surviving_reports(self):
+        chain = default_chain(device_budget=2.0)
+        chain.check(submit(ids=("a",), values=(1.0,))).commit()
+        # "a" is at its 1/epoch limit: the repair drops its report, so
+        # its budget must not be charged for a report never folded.
+        outcome = chain.check(submit(ids=("a", "b"), values=(9.0, 2.0)))
+        assert outcome.verdict == "repaired"
+        assert outcome.request["device_ids"] == ["b"]
+        outcome.commit()
+        # spent(a) is still 1.0, so a fresh-epoch report fits budget 2.0.
+        assert chain.check(submit(epoch=1, ids=("a",), values=(1.0,))).verdict \
+            == "admitted"
 
     def test_clean_admission_carries_no_delta(self):
         outcome = default_chain().check(submit())

@@ -236,6 +236,67 @@ class TestBackpressure:
         finally:
             handle.stop()
 
+    def test_busy_refusal_charges_no_guard_state(self):
+        # Regression: a busy answer used to charge the rate limiter and
+        # budget for every device in the refused batch, so the contract
+        # retry of the *same* batch came back "blocked" and the batch
+        # was permanently lost under backpressure.
+        aggregation = _GatedServer(streaming=True)
+        handle = serve_in_thread(
+            aggregation, ServiceConfig(queue_capacity=1)
+        )
+        try:
+            with IngestClient(*handle.address) as client:
+                busy_ids = None
+                for i in range(20):
+                    ids = [f"dev-{i}"]
+                    if client.submit(0, ids, [1.0], 1.0)["status"] == "busy":
+                        busy_ids = ids
+                        break
+                assert busy_ids is not None, "queue bound never hit"
+                aggregation.gate.set()
+                for _ in range(200):  # retry the same batch until drained
+                    reply = client.submit(0, busy_ids, [1.0], 1.0)
+                    if reply["status"] != "busy":
+                        break
+                    time.sleep(0.01)
+                assert reply["status"] == "admitted"
+        finally:
+            aggregation.gate.set()
+            handle.stop()
+
+
+class TestStopContract:
+    def test_stop_quiesces_live_connections_before_drain(self):
+        # Regression: stop(drain=True) closed the *listening* socket but
+        # kept serving established connections, which could enqueue new
+        # batches after queue.join() — admitted, then silently dropped
+        # by the drain-task cancel.  Once stop() begins, live
+        # connections must get a terminal "service stopping" refusal.
+        aggregation = _GatedServer(streaming=True)
+        handle = serve_in_thread(
+            aggregation, ServiceConfig(queue_capacity=8)
+        )
+        client = IngestClient(*handle.address)
+        stopper = threading.Thread(target=handle.stop)
+        try:
+            assert client.submit(0, ["a"], [1.0], 1.0)["status"] == "admitted"
+            stopper.start()  # blocks draining: the fold is gated
+            assert wait_until(lambda: handle.service._stopped)
+            reply = client.submit(0, ["b"], [2.0], 1.0)
+            assert reply["status"] == "blocked"
+            assert reply["guard"] == "service"
+            assert "stopping" in reply["reason"]
+        finally:
+            client.close()
+            aggregation.gate.set()
+            stopper.join(timeout=10.0)
+            handle.stop()
+        assert not stopper.is_alive()
+        # The admitted promise was folded; the refused batch never was.
+        snap = aggregation.snapshot()
+        assert snap["epochs"]["0"]["count"] == 1
+
 
 class TestBitIdentity:
     def test_socket_epoch_bit_identical_to_in_process(self):
