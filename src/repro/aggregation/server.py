@@ -38,7 +38,17 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -174,6 +184,38 @@ class IngestHandle:
         with self._lock:
             self._server.submit_counts(*args, **kwargs)
 
+    def submit_many(
+        self, folds: Sequence[Callable[["AggregationServer"], None]]
+    ) -> List[Optional[Exception]]:
+        """Apply several whole-batch folds under **one** lock acquisition.
+
+        The ingestion service's drain side coalesces every batch
+        currently queued into a single ``submit_many`` call, so the
+        lock handshake and the event-loop → executor hop are paid once
+        per *burst* instead of once per batch.  Each fold callable
+        receives the raw server (the lock is already held — callables
+        must not re-enter the handle) and is applied **in order**, one
+        complete batch at a time: batch boundaries, fold order, and
+        hence bit-identity with the same batches submitted in-process
+        are all preserved — batches are deliberately *not* concatenated,
+        because Chan's moment merge is order- but not
+        splitting-invariant.
+
+        Folds are isolated: an exception in one is captured and
+        returned at its index (``None`` for success) while the rest
+        still fold — one malformed batch that slipped the guards must
+        not discard its innocent neighbors.
+        """
+        errors: List[Optional[Exception]] = []
+        with self._lock:
+            for fold in folds:
+                try:
+                    fold(self._server)
+                    errors.append(None)
+                except Exception as exc:  # isolate per-batch failures
+                    errors.append(exc)
+        return errors
+
     def record_claimed_losses(self, losses: Mapping[str, float]) -> None:
         with self._lock:
             self._server.record_claimed_losses(losses)
@@ -217,6 +259,26 @@ class AggregationServer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    def _charge_disclosure(
+        self, device_ids: Sequence[str], claimed_loss: float
+    ) -> None:
+        """Add ``claimed_loss`` per report to the composition bound.
+
+        Batches are overwhelmingly first contact — every id unique in
+        the batch and never seen before — so the common case is one
+        C-level merge appending each device with total ``0.0 + loss``;
+        any repeat falls back to the per-id walk.  Both paths write the
+        same totals in the same dict order.
+        """
+        disclosure = self._disclosure
+        fresh = dict.fromkeys(device_ids, 0.0 + claimed_loss)
+        if len(fresh) == len(device_ids) and disclosure.keys().isdisjoint(fresh):
+            disclosure.update(fresh)
+            return
+        get = disclosure.get
+        for device_id in device_ids:
+            disclosure[device_id] = get(device_id, 0.0) + claimed_loss
+
     def submit(self, report: Report) -> None:
         """Accept one report (idempotence is the device's concern)."""
         self._disclosure[report.device_id] = (
@@ -262,10 +324,7 @@ class AggregationServer:
         values = np.asarray(values, dtype=float).reshape(-1)
         if self.streaming:
             if device_ids is not None:
-                for device_id in device_ids:
-                    self._disclosure[device_id] = (
-                        self._disclosure.get(device_id, 0.0) + claimed_loss
-                    )
+                self._charge_disclosure(device_ids, claimed_loss)
             self._epoch_moments(epoch).fold(values)
             return
         if device_ids is None:
@@ -278,10 +337,7 @@ class AggregationServer:
             raise ConfigurationError(
                 f"device_ids ({len(device_ids)}) and values ({values.size}) disagree"
             )
-        for device_id in device_ids:
-            self._disclosure[device_id] = (
-                self._disclosure.get(device_id, 0.0) + claimed_loss
-            )
+        self._charge_disclosure(device_ids, claimed_loss)
         if donate:
             # The caller's buffer dies after this call; retained state
             # must be server-owned memory.
@@ -337,10 +393,7 @@ class AggregationServer:
             )
         bucket.fold(counts, n_reports)
         if device_ids is not None:
-            for device_id in device_ids:
-                self._disclosure[device_id] = (
-                    self._disclosure.get(device_id, 0.0) + claimed_loss
-                )
+            self._charge_disclosure(device_ids, claimed_loss)
 
     def record_claimed_losses(self, losses: Mapping[str, float]) -> None:
         """Bulk-add per-device claimed losses to the disclosure bound.

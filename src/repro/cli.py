@@ -16,8 +16,9 @@ A thin operational layer over the library for quick experiments:
   (see docs/performance.md)
 * ``fleet``     — sharded multi-core fleet simulation with an optional
   streaming aggregation server (see docs/performance.md)
-* ``serve``     — network-facing ingestion service: JSONL-over-TCP in
-  front of a streaming aggregation server (see docs/service.md)
+* ``serve``     — network-facing ingestion service (JSONL + negotiated
+  binary columnar wire) in front of a streaming aggregation server
+  (see docs/service.md)
 * ``loadgen``   — load-generator client for a running ingestion service
 
 Every command prints plain text; exit code 0 means the operation
@@ -298,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar=("M_LO", "M_HI"), help="simulated value range")
     p_load.add_argument("--seed", type=int, default=1234,
                         help="load seed (batch values; replayable)")
+    p_load.add_argument(
+        "--wire", choices=("jsonl", "binary"), default="jsonl",
+        help="request encoding: jsonl (default) or the negotiated "
+        "binary columnar frames (wire v2)",
+    )
+    p_load.add_argument(
+        "--pipeline", type=int, default=1, metavar="DEPTH",
+        help="request window depth: batches in flight before the oldest "
+        "reply is read (default 1 = lock-step)",
+    )
     p_load.add_argument(
         "--shutdown-after", action="store_true",
         help="send the 'shutdown' op when the burst completes "
@@ -788,6 +799,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         claimed_loss=args.claimed_loss,
         value_range=(args.range[0], args.range[1]),
         seed=args.seed,
+        wire=args.wire,
+        pipeline=args.pipeline,
     )
     print(report.describe())
     if args.shutdown_after:

@@ -4,8 +4,9 @@ This package is the first component of the reproduction that meets
 *untrusted* input: device report batches arriving over a socket, from a
 fleet the coordinator does not control.  Three layers:
 
-* :mod:`repro.service.protocol` — the JSONL wire format (one request or
-  response object per line) and its strict decoder.
+* :mod:`repro.service.protocol` — the two negotiated wire formats
+  (JSONL lines, the default, and the length-prefixed binary columnar
+  frames of wire v2) and their strict decoders.
 * :mod:`repro.service.guards` — the composable pre-admission guard
   chain.  Every guard returns ALLOW / WARN / BLOCK / REPAIR with a
   structured reason; the chain outcome is always one of *fully
@@ -36,7 +37,16 @@ from .guards import (
     Verdict,
     default_chain,
 )
-from .protocol import ReportBatch, decode_line, encode
+from .protocol import (
+    BINARY_WIRE_VERSION,
+    ReportBatch,
+    decode_binary_frame,
+    decode_line,
+    encode,
+    encode_binary_counts,
+    encode_binary_submit,
+    encode_cached,
+)
 from .server import IngestionService, ServiceConfig
 
 __all__ = [
@@ -50,8 +60,13 @@ __all__ = [
     "RateLimitGuard",
     "default_chain",
     "ReportBatch",
+    "BINARY_WIRE_VERSION",
     "decode_line",
+    "decode_binary_frame",
     "encode",
+    "encode_binary_submit",
+    "encode_binary_counts",
+    "encode_cached",
     "IngestionService",
     "ServiceConfig",
     "IngestClient",

@@ -1,12 +1,18 @@
 """Blocking ingestion client and the load generator built on it.
 
 :class:`IngestClient` is a deliberately simple synchronous client — one
-TCP connection, one JSONL request/response pair per call — used by
+TCP connection, one request/response pair per call — used by
 devices-in-simulation, the test suite, and ``python -m repro loadgen``.
+It speaks either negotiated wire: JSONL (the default) or, after
+``wire="binary"`` sends the ``hello``, the length-prefixed binary
+columnar frames of wire v2 (responses stay JSONL on both).  Every byte
+shipped or received is tallied on ``bytes_sent``/``bytes_received`` so
+callers can report the bits-on-the-wire axis next to throughput.
 :func:`run_load` drives a configured burst of report batches through a
 client, honoring the service's ``busy`` backpressure (bounded retries
-with a short sleep), and reports sustained throughput plus
-client-observed latency percentiles in a :class:`LoadReport`.
+with a short sleep), and reports sustained throughput, client-observed
+latency percentiles, and wire bytes per admitted report in a
+:class:`LoadReport`.
 
 The generated batches are deterministic in ``seed`` (values come from
 the audited generator; device ids and epochs are functions of the batch
@@ -21,47 +27,105 @@ import dataclasses
 import json
 import socket
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..errors import ReproError
 from ..rng import audited_generator
-from .protocol import WireError, encode
+from .protocol import (
+    BINARY_WIRE_VERSION,
+    WireError,
+    encode,
+    encode_binary_counts,
+    encode_binary_json,
+    encode_binary_submit,
+)
 
 __all__ = ["IngestClient", "LoadReport", "run_load"]
 
+#: Wires a client can speak; ``jsonl`` needs no negotiation.
+WIRES = ("jsonl", "binary")
+
 
 class IngestClient:
-    """One blocking JSONL-over-TCP connection to an ingestion service."""
+    """One blocking TCP connection to an ingestion service.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``wire="binary"`` performs the ``hello`` negotiation during
+    construction and then ships submissions as binary columnar frames
+    (read-only ops ride ``OP_JSON`` escape frames); the default
+    ``wire="jsonl"`` sends byte-for-byte what this client always sent.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0, wire: str = "jsonl"
+    ):
+        if wire not in WIRES:
+            raise ReproError(f"unknown wire {wire!r}; expected one of {WIRES}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
+        #: Request bytes shipped / response bytes read on this connection.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.wire = "jsonl"
+        if wire == "binary":
+            reply = self.request(
+                {"op": "hello", "wire": "binary", "version": BINARY_WIRE_VERSION}
+            )
+            if reply.get("status") != "ok" or reply.get("wire") != "binary":
+                raise WireError(f"binary wire negotiation failed: {reply!r}")
+            self.wire = "binary"
 
     # ------------------------------------------------------------------
-    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object; block for its response object."""
-        self._sock.sendall(encode(obj))
+    def exchange(self, data: bytes) -> Dict[str, Any]:
+        """Ship pre-encoded request bytes; block for the JSONL response.
+
+        The resend primitive: busy-retry loops encode a batch once and
+        replay the same bytes, on either wire.
+        """
+        self.send_raw(data)
+        return self.read_reply()
+
+    def read_reply(self) -> Dict[str, Any]:
+        """Block for the next JSONL response on this connection.
+
+        Responses arrive strictly in request order (one connection, one
+        server read loop), so a pipelining caller that ships *k* requests
+        back-to-back reads exactly *k* replies in the same order.
+        """
         line = self._reader.readline()
         if not line:
             raise WireError("connection closed before a response arrived")
+        self.bytes_received += len(line)
         reply = json.loads(line.decode("utf-8"))
         if not isinstance(reply, dict):
             raise WireError(f"response must be a JSON object, got {reply!r}")
         return reply
 
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; block for its response object."""
+        if self.wire == "binary":
+            return self.exchange(encode_binary_json(obj))
+        return self.exchange(encode(obj))
+
     def send_raw(self, data: bytes) -> None:
-        """Ship raw bytes (malformed/partial lines — test scaffolding)."""
+        """Ship raw bytes (malformed lines/frames — test scaffolding)."""
         self._sock.sendall(data)
+        self.bytes_sent += len(data)
 
     # ------------------------------------------------------------------
-    def submit(
+    def encode_submit(
         self,
         epoch: int,
         device_ids: Sequence[str],
-        values: Sequence[float],
+        values: Union[Sequence[float], np.ndarray],
         claimed_loss: float,
-    ) -> Dict[str, Any]:
-        return self.request(
+    ) -> bytes:
+        """Encode one ``submit`` for this connection's negotiated wire."""
+        if self.wire == "binary":
+            return encode_binary_submit(epoch, device_ids, values, claimed_loss)
+        return encode(
             {
                 "op": "submit",
                 "epoch": epoch,
@@ -71,14 +135,17 @@ class IngestClient:
             }
         )
 
-    def submit_counts(
+    def encode_submit_counts(
         self,
         epoch: int,
-        counts: Sequence[int],
+        counts: Union[Sequence[int], np.ndarray],
         n_reports: int,
         claimed_loss: float,
-    ) -> Dict[str, Any]:
-        return self.request(
+    ) -> bytes:
+        """Encode one ``submit_counts`` for the negotiated wire."""
+        if self.wire == "binary":
+            return encode_binary_counts(epoch, counts, n_reports, claimed_loss)
+        return encode(
             {
                 "op": "submit_counts",
                 "epoch": epoch,
@@ -86,6 +153,28 @@ class IngestClient:
                 "n_reports": int(n_reports),
                 "claimed_loss": float(claimed_loss),
             }
+        )
+
+    def submit(
+        self,
+        epoch: int,
+        device_ids: Sequence[str],
+        values: Union[Sequence[float], np.ndarray],
+        claimed_loss: float,
+    ) -> Dict[str, Any]:
+        return self.exchange(
+            self.encode_submit(epoch, device_ids, values, claimed_loss)
+        )
+
+    def submit_counts(
+        self,
+        epoch: int,
+        counts: Union[Sequence[int], np.ndarray],
+        n_reports: int,
+        claimed_loss: float,
+    ) -> Dict[str, Any]:
+        return self.exchange(
+            self.encode_submit_counts(epoch, counts, n_reports, claimed_loss)
         )
 
     def snapshot(self) -> Dict[str, Any]:
@@ -125,10 +214,19 @@ class LoadReport:
     elapsed_s: float
     reports_per_s: float
     latency_p50_us: float
-    """Client-observed request round-trip p50 (includes the wire)."""
+    """Client-observed send→reply p50 (includes the wire; with a
+    pipeline window above 1 it also includes time spent queued behind
+    earlier in-flight requests)."""
     latency_p99_us: float
     server_metrics: Dict[str, Any]
     """The service's own admission counters, fetched after the burst."""
+
+    wire: str = "jsonl"
+    """Which wire the burst used (``jsonl`` or ``binary``)."""
+    wire_bytes_sent: int = 0
+    """Submission-path request bytes shipped during the timed burst."""
+    wire_bytes_per_report: float = 0.0
+    """Wire bytes per *admitted* report — the bits-on-the-wire axis."""
 
     def describe(self) -> str:
         ing = self.server_metrics
@@ -137,6 +235,8 @@ class LoadReport:
             f"= {self.reports_per_s:,.0f} reports/s over {self.n_requests} "
             f"requests ({self.n_repaired} repaired, {self.n_blocked} blocked, "
             f"{self.n_busy_retries} busy retries)\n"
+            f"wire ({self.wire})  : {self.wire_bytes_sent:,} request bytes, "
+            f"{self.wire_bytes_per_report:,.1f} B per admitted report\n"
             f"client round-trip : p50 {self.latency_p50_us:,.0f} us, "
             f"p99 {self.latency_p99_us:,.0f} us\n"
             f"server admission  : p50 {_fmt_us(ing.get('latency_p50_us'))}, "
@@ -168,6 +268,8 @@ def run_load(
     seed: int = 1234,
     busy_retry_limit: int = 1000,
     busy_sleep_s: float = 0.002,
+    wire: str = "jsonl",
+    pipeline: int = 1,
 ) -> LoadReport:
     """Drive a deterministic burst of scalar report batches.
 
@@ -177,9 +279,29 @@ def run_load(
     report indicate a server-side problem, not load-generator noise.
     ``busy`` responses are retried (the backpressure contract: back off
     and resend the same batch) up to ``busy_retry_limit`` times each.
+
+    ``wire`` selects the request encoding (``jsonl`` or ``binary``); the
+    report *content* is identical on both — same seed, same ids, same
+    IEEE-754 doubles — so snapshots are comparable across wires down to
+    the bit.
+
+    ``pipeline`` is the request window depth: up to that many batches
+    are in flight before the oldest reply is read (replies are FIFO on
+    the single connection, so reads pair with sends in order).  Depth 1
+    is the classic lock-step loop.  Deeper windows overlap client
+    encode, wire transfer, and server admission, and let the server's
+    drain coalesce queued batches into one executor hop.  Batches are
+    *sent* in order on every depth; a ``busy`` refusal is resent at the
+    front of the window, so with a depth above 1 a refused batch can
+    fold after later in-flight ones (same-epoch fold order then differs
+    from batch order).  Runs that need strict fold order should either
+    use depth 1 or size the service queue so refusals never happen —
+    the benchmark does the latter and asserts zero busy retries.
     """
     if batches < 1 or batch_size < 1 or epochs < 1:
         raise ReproError("batches, batch_size and epochs must all be >= 1")
+    if pipeline < 1:
+        raise ReproError("pipeline must be >= 1")
     lo, hi = value_range
     values = audited_generator(seed).uniform(lo, hi, size=(batches, batch_size))
     latencies_us: List[float] = []
@@ -188,26 +310,61 @@ def run_load(
     blocked = 0
     busy_retries = 0
     n_requests = 0
-    with IngestClient(host, port) as client:
-        t_start = time.perf_counter()
-        for b in range(batches):
-            ids = [f"dev-{b}-{i}" for i in range(batch_size)]
-            batch_values = [float(v) for v in values[b]]
-            epoch = b % epochs
-            for attempt in range(busy_retry_limit + 1):
-                t0 = time.perf_counter()
-                reply = client.submit(epoch, ids, batch_values, claimed_loss)
-                latencies_us.append((time.perf_counter() - t0) * 1e6)
-                n_requests += 1
-                status = reply.get("status")
-                if status != "busy":
-                    break
-                busy_retries += 1
-                time.sleep(busy_sleep_s)
-            else:
-                raise ReproError(
-                    f"batch {b} still busy after {busy_retry_limit} retries"
+    with IngestClient(host, port, wire=wire) as client:
+        # Binary clients keep id columns native (fixed-width S arrays):
+        # per batch, one vectorized prefix-concat replaces batch_size
+        # f-string builds.  Same logical ids either way.
+        id_suffix = np.arange(batch_size).astype(
+            "S%d" % len(str(batch_size - 1))
+        )
+
+        def encode_batch(b: int) -> bytes:
+            if client.wire == "binary":
+                ids: Any = np.char.add(
+                    f"dev-{b}-".encode("ascii"), id_suffix
                 )
+            else:
+                ids = [f"dev-{b}-{i}" for i in range(batch_size)]
+            return client.encode_submit(
+                b % epochs, ids, values[b], claimed_loss
+            )
+
+        bytes_before = client.bytes_sent  # negotiation excluded
+        t_start = time.perf_counter()
+        pending: Deque[int] = deque(range(batches))
+        in_flight: Deque[Tuple[int, float]] = deque()
+        # Encode once per batch; busy retries replay the same bytes.
+        payloads: Dict[int, bytes] = {}
+        attempts: Dict[int, int] = {}
+        while pending or in_flight:
+            while pending and len(in_flight) < pipeline:
+                b = pending.popleft()
+                payload = payloads.get(b)
+                if payload is None:
+                    payload = payloads[b] = encode_batch(b)
+                t0 = time.perf_counter()
+                client.send_raw(payload)
+                in_flight.append((b, t0))
+            b, t0 = in_flight.popleft()
+            reply = client.read_reply()
+            latencies_us.append((time.perf_counter() - t0) * 1e6)
+            n_requests += 1
+            status = reply.get("status")
+            if status == "busy":
+                busy_retries += 1
+                tries = attempts.get(b, 0) + 1
+                if tries > busy_retry_limit:
+                    raise ReproError(
+                        f"batch {b} still busy after {busy_retry_limit} retries"
+                    )
+                attempts[b] = tries
+                if not in_flight:
+                    # Nothing left draining ahead of us — back off.
+                    time.sleep(busy_sleep_s)
+                pending.appendleft(b)
+                continue
+            payloads.pop(b, None)
+            attempts.pop(b, None)
             if status in ("admitted", "repaired"):
                 admitted += reply.get("n_reports", batch_size)
                 if status == "repaired":
@@ -217,6 +374,7 @@ def run_load(
             else:
                 raise ReproError(f"unexpected response status {status!r}")
         elapsed = time.perf_counter() - t_start
+        wire_bytes = client.bytes_sent - bytes_before
         metrics_reply = client.metrics()
     latencies_us.sort()
     return LoadReport(
@@ -230,4 +388,7 @@ def run_load(
         latency_p50_us=_percentile(latencies_us, 50.0),
         latency_p99_us=_percentile(latencies_us, 99.0),
         server_metrics=metrics_reply.get("metrics", {}),
+        wire=client.wire,
+        wire_bytes_sent=wire_bytes,
+        wire_bytes_per_report=wire_bytes / admitted if admitted else 0.0,
     )

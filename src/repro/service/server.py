@@ -1,14 +1,19 @@
-"""The asyncio JSONL-over-socket ingestion service.
+"""The asyncio socket ingestion service (JSONL + binary columnar wires).
 
 One :class:`IngestionService` fronts one
 :class:`~repro.aggregation.AggregationServer`.  The data path is:
 
-1. **Read** one ``\\n``-terminated line per request
-   (:func:`~repro.service.protocol.decode_line` — strict at the wire).
+1. **Read** one request per wire unit — a ``\\n``-terminated JSONL line
+   (:func:`~repro.service.protocol.decode_line`, the default wire), or,
+   after a ``hello`` negotiated the binary wire, one length-prefixed
+   columnar frame (:func:`~repro.service.protocol.decode_binary_frame`)
+   whose column buffers decode zero-copy into numpy arrays.  Both wires
+   are strict at the boundary and share the 64 MiB fence.
 2. **Guard** submission requests through the pre-admission
-   :class:`~repro.service.guards.GuardChain`; the outcome is always
-   *admitted*, *repaired with a recorded delta*, or *blocked with a
-   reason*.
+   :class:`~repro.service.guards.GuardChain`; columnar requests take
+   the vectorized ``check_array`` path — same trichotomy, no
+   per-report Python objects.  The outcome is always *admitted*,
+   *repaired with a recorded delta*, or *blocked with a reason*.
 3. **Queue** admitted batches into a bounded queue.  A full queue is the
    backpressure signal: the request is answered ``busy`` immediately
    (explicit, retryable) instead of being buffered without bound.
@@ -16,13 +21,18 @@ One :class:`IngestionService` fronts one
    :meth:`~repro.service.guards.ChainOutcome.commit` only *after* the
    batch lands in the queue — a ``busy`` refusal charges nothing, so
    retrying the same batch is admissible.
-4. **Fold** — a single drain task pops whole batches and folds each one
-   into the aggregation server through its thread-safe
+4. **Fold** — a single drain task pops whole batches, coalesces every
+   batch already queued, and folds the burst through the thread-safe
    :class:`~repro.aggregation.IngestHandle` with **one**
-   ``submit_array``/``submit_counts`` call.  Batches fold atomically and
-   in admission order, which is what makes a socket-fed epoch
-   bit-identical to the same batches submitted in-process — and why a
-   killed service can never leave a *partially* ingested batch behind.
+   ``submit_many`` call: one lock acquisition and one executor hop per
+   burst, still one ``submit_array``/``submit_counts`` per batch inside
+   (batch boundaries and fold order are preserved — Chan's moment merge
+   is order- but not splitting-invariant).  Columnar batches flow into
+   ``submit_array(donate=True)`` with disclosure recorded per *unique*
+   device.  Batches fold atomically and in admission order, which is
+   what makes a socket-fed epoch bit-identical to the same batches
+   submitted in-process on either wire — and why a killed service can
+   never leave a *partially* ingested batch behind.
 
 Every request produces exactly one :class:`~repro.runtime.IngestEvent`
 through the same sink machinery as release events (the service's own
@@ -40,9 +50,10 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import struct
 import threading
 import time
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,10 +63,15 @@ from ..runtime import CounterSink, IngestEvent
 from ..runtime.sinks import EventSink
 from .guards import ChainOutcome, GuardChain, default_chain
 from .protocol import (
+    BINARY_WIRE_VERSION,
     KNOWN_OPS,
+    MAX_FRAME_BYTES,
     WireError,
+    decode_binary_frame,
     decode_line,
     encode,
+    encode_cached,
+    is_columnar,
     peer_label,
     response,
 )
@@ -230,46 +246,80 @@ class IngestionService:
     # ------------------------------------------------------------------
     # Fold side (single consumer)
     # ------------------------------------------------------------------
-    def _fold(self, outcome: ChainOutcome) -> None:
-        """Fold one admitted batch — one atomic handle call, whole batch."""
+    def _make_fold(
+        self, outcome: ChainOutcome
+    ) -> Callable[[AggregationServer], None]:
+        """Build the whole-batch fold for one admitted outcome.
+
+        The returned callable runs under the ``IngestHandle`` lock (via
+        :meth:`~repro.aggregation.IngestHandle.submit_many`), so it
+        calls the server directly rather than back through the handle.
+        """
         req = outcome.request
         if req["op"] == "submit":
-            self._handle.submit_array(
-                req["epoch"],
-                np.asarray(req["values"], dtype=float),
-                req["claimed_loss"],
-                device_ids=req["device_ids"],
-            )
-        else:
-            self._handle.submit_counts(
+            if is_columnar(req):
+                return _columnar_submit_fold(req)
+
+            def fold(server: AggregationServer) -> None:
+                # List→array conversion happens here, on the executor
+                # thread, so a large JSONL batch never stalls the loop.
+                server.submit_array(
+                    req["epoch"],
+                    np.asarray(req["values"], dtype=float),
+                    req["claimed_loss"],
+                    device_ids=req["device_ids"],
+                )
+
+            return fold
+
+        def fold_counts(server: AggregationServer) -> None:
+            server.submit_counts(
                 req["epoch"],
                 np.asarray(req["counts"], dtype=np.int64),
                 req["n_reports"],
                 req["claimed_loss"],
             )
 
+        return fold_counts
+
     async def _drain(self) -> None:
         assert self._queue is not None
         loop = asyncio.get_event_loop()
         while True:
-            outcome, channel = await self._queue.get()
+            items = [await self._queue.get()]
+            # Coalesce everything already admitted behind this batch:
+            # the whole burst folds with one lock acquisition and one
+            # executor hop, bounded by queue_capacity.  Each batch still
+            # folds atomically and in admission order inside.
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            folds = [self._make_fold(outcome) for outcome, _ in items]
             try:
-                # Folds run on the default executor so a large batch
+                # Folds run on the default executor so a large burst
                 # never stalls the reader side of the loop; the
-                # IngestHandle lock keeps each fold atomic with respect
+                # IngestHandle lock keeps the burst atomic with respect
                 # to snapshots served from the loop thread.
-                await loop.run_in_executor(None, self._fold, outcome)
-            except Exception as exc:  # service must survive a bad fold
-                self._emit(
-                    verdict="error",
-                    guard="internal",
-                    reason=f"fold failed: {type(exc).__name__}: {exc}",
-                    op=outcome.request.get("op", "unknown"),
-                    batch=_batch_size(outcome.request),
-                    epoch=outcome.request.get("epoch"),
-                    channel=channel,
+                errors = await loop.run_in_executor(
+                    None, self._handle.submit_many, folds
                 )
-            finally:
+            except Exception as exc:  # pragma: no cover - defensive
+                errors = [exc] * len(items)
+            for (outcome, channel), error in zip(items, errors):
+                if error is not None:  # service must survive a bad fold
+                    self._emit(
+                        verdict="error",
+                        guard="internal",
+                        reason=(
+                            f"fold failed: {type(error).__name__}: {error}"
+                        ),
+                        op=outcome.request.get("op", "unknown"),
+                        batch=_batch_size(outcome.request),
+                        epoch=outcome.request.get("epoch"),
+                        channel=channel,
+                    )
                 self._queue.task_done()
 
     # ------------------------------------------------------------------
@@ -279,38 +329,43 @@ class IngestionService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         channel = peer_label(writer.get_extra_info("peername"))
+        wire = "jsonl"  # every connection starts JSONL; hello may switch
         try:
             while True:
-                try:
-                    raw = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    # Oversized line: the stream cannot be resynced
-                    # reliably, so answer once and drop the connection.
-                    self._emit(
-                        verdict="blocked",
-                        guard="wire",
-                        reason="request line exceeds the stream limit",
-                        op="unknown",
-                        batch=0,
-                        channel=channel,
-                    )
-                    writer.write(
-                        encode(
-                            response(
-                                "blocked",
-                                guard="wire",
-                                reason="request line exceeds the stream limit",
-                            )
+                if wire == "jsonl":
+                    try:
+                        raw = await reader.readline()
+                    except (ValueError, asyncio.LimitOverrunError):
+                        # Oversized line: the stream cannot be resynced
+                        # reliably, so answer once and drop the connection.
+                        reason = "request line exceeds the stream limit"
+                        self._emit(
+                            verdict="blocked",
+                            guard="wire",
+                            reason=reason,
+                            op="unknown",
+                            batch=0,
+                            channel=channel,
                         )
+                        writer.write(
+                            encode_cached("blocked", guard="wire", reason=reason)
+                        )
+                        await writer.drain()
+                        break
+                    if not raw:
+                        break  # peer closed
+                    if not raw.strip():
+                        continue  # blank keep-alive line
+                    reply, keep_open, wire = await self._handle_line(
+                        raw, channel, wire
                     )
-                    await writer.drain()
-                    break
-                if not raw:
-                    break  # peer closed
-                if not raw.strip():
-                    continue  # blank keep-alive line
-                reply, keep_open = await self._handle_line(raw, channel)
-                writer.write(encode(reply))
+                else:
+                    reply, keep_open, wire = await self._handle_frame(
+                        reader, channel, wire
+                    )
+                    if reply is None:
+                        break  # clean close or mid-frame disconnect
+                writer.write(reply)
                 await writer.drain()
                 if not keep_open:
                     break
@@ -325,18 +380,95 @@ class IngestionService:
             except RuntimeError:
                 pass
 
-    async def _handle_line(self, raw: bytes, channel: str) -> Tuple[dict, bool]:
-        """Decide one request line; returns (response, keep_connection).
+    async def _handle_frame(
+        self, reader: asyncio.StreamReader, channel: str, wire: str
+    ) -> Tuple[Optional[bytes], bool, str]:
+        """Read + decide one binary frame; (reply, keep_open, wire).
 
-        The submission path is await-free from guard check through queue
-        put and state commit, so admission decisions never interleave
-        across connections mid-decision.
+        ``reply=None`` means the connection ended without a frame to
+        answer — a clean close between frames, or a mid-frame disconnect
+        (which is emitted as a wire block and **never** partially folds:
+        nothing reaches the guards until the whole payload is in).  A
+        malformed-but-complete frame answers ``blocked`` and keeps the
+        connection: the length prefix already resynced the stream.
         """
+        try:
+            prefix = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                self._emit(
+                    verdict="blocked",
+                    guard="wire",
+                    reason="connection closed mid-frame (length prefix)",
+                    op="unknown",
+                    batch=0,
+                    channel=channel,
+                )
+            return None, False, wire
+        (length,) = struct.unpack("<I", prefix)
+        if length > MAX_FRAME_BYTES:
+            # Refuse to even read the payload — the fence exists so a
+            # hostile prefix cannot balloon the reader — and drop the
+            # connection, since skipping the unread payload would mean
+            # consuming exactly the bytes we refused.
+            reason = f"frame payload of {length} bytes exceeds {MAX_FRAME_BYTES}"
+            self._emit(
+                verdict="blocked",
+                guard="wire",
+                reason=reason,
+                op="unknown",
+                batch=0,
+                channel=channel,
+            )
+            return (
+                encode_cached("blocked", guard="wire", reason=reason),
+                False,
+                wire,
+            )
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            self._emit(
+                verdict="blocked",
+                guard="wire",
+                reason="connection closed mid-frame",
+                op="unknown",
+                batch=0,
+                channel=channel,
+            )
+            return None, False, wire
         t0 = time.perf_counter()
+        try:
+            request = decode_binary_frame(payload)
+        except WireError as exc:
+            self._emit(
+                verdict="blocked",
+                guard="wire",
+                reason=str(exc),
+                op="unknown",
+                batch=0,
+                latency_us=(time.perf_counter() - t0) * 1e6,
+                channel=channel,
+            )
+            return (
+                encode_cached("blocked", guard="wire", reason=str(exc)),
+                True,
+                wire,
+            )
+        if is_columnar(request):
+            # The hot path: columnar admission, no per-report objects.
+            reply = self._decide_submission(
+                request, request["op"], channel, t0, columnar=True
+            )
+            return reply, True, wire
+        # OP_JSON escape frame: the ordinary op dispatch, same wire.
+        return await self._dispatch(request, channel, t0, wire)
 
-        def _us() -> float:
-            return (time.perf_counter() - t0) * 1e6
-
+    async def _handle_line(
+        self, raw: bytes, channel: str, wire: str
+    ) -> Tuple[bytes, bool, str]:
+        """Decide one JSONL request line; (reply, keep_open, wire)."""
+        t0 = time.perf_counter()
         try:
             request = decode_line(raw)
         except WireError as exc:
@@ -346,10 +478,28 @@ class IngestionService:
                 reason=str(exc),
                 op="unknown",
                 batch=0,
-                latency_us=_us(),
+                latency_us=(time.perf_counter() - t0) * 1e6,
                 channel=channel,
             )
-            return response("blocked", guard="wire", reason=str(exc)), True
+            return (
+                encode_cached("blocked", guard="wire", reason=str(exc)),
+                True,
+                wire,
+            )
+        return await self._dispatch(request, channel, t0, wire)
+
+    async def _dispatch(
+        self, request: dict, channel: str, t0: float, wire: str
+    ) -> Tuple[bytes, bool, str]:
+        """Route one decoded request; returns (reply, keep_open, wire).
+
+        The submission path is await-free from guard check through queue
+        put and state commit, so admission decisions never interleave
+        across connections mid-decision.
+        """
+
+        def _us() -> float:
+            return (time.perf_counter() - t0) * 1e6
 
         op = request["op"]
         if op == "ping":
@@ -357,7 +507,9 @@ class IngestionService:
                 verdict="admitted", guard="wire", reason="", op="ping",
                 batch=0, latency_us=_us(), channel=channel,
             )
-            return response("ok", pong=True), True
+            return encode_cached("ok", pong=True), True, wire
+        if op == "hello":
+            return self._negotiate(request, channel, _us, wire)
         if op == "snapshot":
             # On the executor like the folds: a snapshot waiting on the
             # IngestHandle lock behind a large fold must not stall the
@@ -369,13 +521,17 @@ class IngestionService:
                 verdict="admitted", guard="wire", reason="", op="snapshot",
                 batch=0, latency_us=_us(), channel=channel,
             )
-            return response("ok", snapshot=snap), True
+            return encode(response("ok", snapshot=snap)), True, wire
         if op == "metrics":
             self._emit(
                 verdict="admitted", guard="wire", reason="", op="metrics",
                 batch=0, latency_us=_us(), channel=channel,
             )
-            return response("ok", metrics=self.counters.ingest_summary()), True
+            return (
+                encode(response("ok", metrics=self.counters.ingest_summary())),
+                True,
+                wire,
+            )
         if op == "shutdown":
             if not self.config.allow_shutdown:
                 self._emit(
@@ -384,28 +540,81 @@ class IngestionService:
                     op="shutdown", batch=0, latency_us=_us(), channel=channel,
                 )
                 return (
-                    response(
+                    encode_cached(
                         "blocked",
                         guard="wire",
                         reason="shutdown disabled (allow_shutdown=False)",
                     ),
                     True,
+                    wire,
                 )
             self._emit(
                 verdict="admitted", guard="wire", reason="", op="shutdown",
                 batch=0, latency_us=_us(), channel=channel,
             )
             asyncio.ensure_future(self.stop(drain=True))
-            return response("ok", stopping=True), False
+            return encode_cached("ok", stopping=True), False, wire
         if op not in KNOWN_OPS:
             reason = f"unknown op {op!r}"
             self._emit(
                 verdict="blocked", guard="wire", reason=reason,
                 op="unknown", batch=0, latency_us=_us(), channel=channel,
             )
-            return response("blocked", guard="wire", reason=reason), True
+            return (
+                encode_cached("blocked", guard="wire", reason=reason),
+                True,
+                wire,
+            )
+        reply = self._decide_submission(request, op, channel, t0, columnar=False)
+        return reply, True, wire
 
-        # Submission path: guard chain, then the bounded queue.
+    def _negotiate(
+        self, request: dict, channel: str, _us: Callable[[], float], wire: str
+    ) -> Tuple[bytes, bool, str]:
+        """Handle the ``hello`` op: per-connection wire selection."""
+        requested = request.get("wire", "jsonl")
+        version = request.get("version", BINARY_WIRE_VERSION)
+        if requested == "binary" and version == BINARY_WIRE_VERSION:
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="hello",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            return (
+                encode_cached("ok", wire="binary", version=BINARY_WIRE_VERSION),
+                True,
+                "binary",
+            )
+        if requested == "jsonl":
+            self._emit(
+                verdict="admitted", guard="wire", reason="", op="hello",
+                batch=0, latency_us=_us(), channel=channel,
+            )
+            return encode_cached("ok", wire="jsonl", version=1), True, "jsonl"
+        reason = (
+            f"unsupported wire negotiation {requested!r} v{version!r} "
+            f"(serves jsonl v1, binary v{BINARY_WIRE_VERSION})"
+        )
+        self._emit(
+            verdict="blocked", guard="wire", reason=reason,
+            op="hello", batch=0, latency_us=_us(), channel=channel,
+        )
+        # The connection stays on its current wire — a failed
+        # negotiation must not leave the two ends disagreeing.
+        return encode_cached("blocked", guard="wire", reason=reason), True, wire
+
+    def _decide_submission(
+        self, request: dict, op: str, channel: str, t0: float, columnar: bool
+    ) -> bytes:
+        """Guard chain, then the bounded queue — shared by both wires.
+
+        ``columnar=True`` routes through the vectorized ``check_array``
+        guard path; verdicts, deltas, and commit effects are equivalent
+        to the scalar path by the guards' contract (property-tested).
+        """
+
+        def _us() -> float:
+            return (time.perf_counter() - t0) * 1e6
+
         if self._stopped:
             # stop() has begun: the queue is draining toward join() and
             # nothing may be enqueued behind it.  Terminal, not "busy" —
@@ -420,8 +629,12 @@ class IngestionService:
                 latency_us=_us(),
                 channel=channel,
             )
-            return response("blocked", guard="service", reason=reason), True
-        outcome = self.chain.check(request)
+            return encode_cached("blocked", guard="service", reason=reason)
+        outcome = (
+            self.chain.check_array(request)
+            if columnar
+            else self.chain.check(request)
+        )
         n = _batch_size(outcome.request if outcome.admitted else request)
         epoch = outcome.request.get("epoch") if outcome.admitted else None
         if not outcome.admitted:
@@ -434,9 +647,8 @@ class IngestionService:
                 latency_us=_us(),
                 channel=channel,
             )
-            return (
-                response("blocked", guard=outcome.guard, reason=outcome.reason),
-                True,
+            return encode_cached(
+                "blocked", guard=outcome.guard, reason=outcome.reason
             )
         assert self._queue is not None
         try:
@@ -452,13 +664,10 @@ class IngestionService:
                 latency_us=_us(),
                 channel=channel,
             )
-            return (
-                response(
-                    "busy",
-                    queue_depth=event.queue_depth,
-                    reason="aggregation queue full; retry",
-                ),
-                True,
+            return encode_cached(
+                "busy",
+                queue_depth=event.queue_depth,
+                reason="aggregation queue full; retry",
             )
         # The batch is queued — now (and only now) apply the guards'
         # state: rate counts and budget spend charge exactly what was
@@ -486,13 +695,39 @@ class IngestionService:
             reply["delta"] = list(outcome.delta)
         if outcome.warnings:
             reply["warnings"] = list(outcome.warnings)
-        return reply, True
+        return encode(reply)
+
+
+def _columnar_submit_fold(req: dict) -> Callable[[AggregationServer], None]:
+    """Whole-batch fold for a binary columnar submit.
+
+    The f8 values column is the read-only ``np.frombuffer`` view over
+    the received frame — it goes into ``submit_array(donate=True)``
+    without a copy (streaming folds consume it immediately; retain mode
+    copies because it outlives the frame).  The id list is the schema
+    guard's one-time decode; it rides the server's own per-report
+    disclosure loop, so the composition bound accumulates in exactly
+    the scalar path's order — bit-identical snapshots on either wire.
+    """
+
+    def fold(server: AggregationServer) -> None:
+        server.submit_array(
+            req["epoch"],
+            req["values"],
+            req["claimed_loss"],
+            device_ids=req["device_ids"],
+            donate=True,
+        )
+
+    return fold
 
 
 def _batch_size(request: dict) -> int:
     values = request.get("values")
     if isinstance(values, list):
         return len(values)
+    if isinstance(values, np.ndarray):
+        return int(values.size)
     n = request.get("n_reports")
     return n if isinstance(n, int) and not isinstance(n, bool) else 0
 

@@ -1,0 +1,265 @@
+"""Binary columnar wire (v2): negotiation, round-trips, and frame abuse.
+
+The binary wire is negotiated per connection and shares the admission
+path with JSONL, so two things must hold under hostility:
+
+* a malformed-but-complete frame is a *content* decision — ``blocked``
+  reply, connection stays usable;
+* a frame the server cannot finish reading (oversized length prefix,
+  mid-frame disconnect) closes the connection cleanly — and in every
+  case **nothing partially folds**: the aggregation state either
+  contains a whole batch or none of it.
+"""
+
+import json
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AggregationServer
+from repro.service import IngestClient, ServiceConfig
+from repro.service.client import run_load
+from repro.service.protocol import (
+    _HEADER,
+    _MAGIC,
+    DTYPE_F64,
+    MAX_FRAME_BYTES,
+    OP_SUBMIT,
+    WireError,
+    encode_binary_submit,
+    frame_prefix,
+)
+from repro.service.server import serve_in_thread
+
+
+@pytest.fixture
+def service():
+    aggregation = AggregationServer(streaming=True)
+    handle = serve_in_thread(aggregation, ServiceConfig(allow_shutdown=True))
+    try:
+        yield aggregation, handle
+    finally:
+        handle.stop()
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _read_reply(client):
+    line = client._reader.readline()
+    if not line:
+        return None  # connection closed by the server
+    return json.loads(line)
+
+
+def _submit_frame(epoch=0, ids=("a", "b"), values=(1.0, 2.0), loss=1.0):
+    return encode_binary_submit(epoch, list(ids), np.asarray(values, float), loss)
+
+
+class TestNegotiation:
+    def test_hello_switches_to_binary(self, service):
+        _, handle = service
+        with IngestClient(*handle.address) as client:
+            reply = client.request({"op": "hello", "wire": "binary", "version": 2})
+            assert reply == {"status": "ok", "wire": "binary", "version": 2}
+
+    def test_client_knob_negotiates(self, service):
+        _, handle = service
+        with IngestClient(*handle.address, wire="binary") as client:
+            assert client.wire == "binary"
+            assert client.ping() == {"status": "ok", "pong": True}
+
+    @pytest.mark.parametrize(
+        "req",
+        [
+            {"op": "hello", "wire": "msgpack", "version": 2},
+            {"op": "hello", "wire": "binary", "version": 3},
+        ],
+    )
+    def test_unsupported_negotiation_blocked_stays_jsonl(self, service, req):
+        _, handle = service
+        with IngestClient(*handle.address) as client:
+            reply = client.request(req)
+            assert reply["status"] == "blocked"
+            # The connection survives and still speaks JSONL.
+            assert client.ping() == {"status": "ok", "pong": True}
+
+    def test_bare_hello_reaffirms_jsonl(self, service):
+        _, handle = service
+        with IngestClient(*handle.address) as client:
+            reply = client.request({"op": "hello"})
+            assert reply == {"status": "ok", "wire": "jsonl", "version": 1}
+
+    def test_jsonl_clients_untouched(self, service):
+        """A client that never negotiates sees the v1 wire verbatim."""
+        _, handle = service
+        with IngestClient(*handle.address) as client:
+            reply = client.submit(0, ["a", "b"], [1.0, 2.0], 1.0)
+            assert reply["status"] == "admitted"
+            assert reply["n_reports"] == 2
+
+
+class TestBinaryRoundTrip:
+    def test_submit(self, service):
+        aggregation, handle = service
+        with IngestClient(*handle.address, wire="binary") as client:
+            reply = client.submit(0, ["a", "b", "c"], [1.0, 2.0, 3.0], 1.0)
+            assert reply["status"] == "admitted"
+            assert reply["n_reports"] == 3
+            metrics = client.metrics()["metrics"]
+        assert metrics["reports_admitted"] == 3
+        assert metrics["internal_errors"] == 0
+
+    def test_submit_counts(self, service):
+        _, handle = service
+        with IngestClient(*handle.address, wire="binary") as client:
+            reply = client.submit_counts(0, [3, 1, 4], 8, 1.0)
+            assert reply["status"] == "admitted"
+
+    def test_socket_snapshots_bitwise_identical_across_wires(self):
+        snapshots = {}
+        for wire in ("jsonl", "binary"):
+            aggregation = AggregationServer(streaming=True)
+            handle = serve_in_thread(aggregation, ServiceConfig())
+            try:
+                report = run_load(
+                    *handle.address, batches=6, batch_size=32, wire=wire
+                )
+            finally:
+                handle.stop()
+            assert report.n_blocked == 0
+            assert report.server_metrics["internal_errors"] == 0
+            snapshots[wire] = json.dumps(aggregation.snapshot(), sort_keys=True)
+        assert snapshots["jsonl"] == snapshots["binary"]
+
+    def test_wire_bytes_accounted(self, service):
+        _, handle = service
+        report = run_load(*handle.address, batches=4, batch_size=16, wire="binary")
+        assert report.wire == "binary"
+        assert report.wire_bytes_sent > 0
+        assert report.wire_bytes_per_report == pytest.approx(
+            report.wire_bytes_sent / report.reports_admitted
+        )
+
+
+class TestFrameAbuse:
+    """Each abuse case: BLOCK or clean close — never a partial fold."""
+
+    def _negotiated(self, handle):
+        return IngestClient(*handle.address, wire="binary")
+
+    def test_oversized_length_prefix_blocks_and_closes(self, service):
+        aggregation, handle = service
+        with self._negotiated(handle) as client:
+            client.send_raw(struct.pack("<I", MAX_FRAME_BYTES + 1))
+            reply = _read_reply(client)
+            assert reply["status"] == "blocked"
+            assert "exceeds" in reply["reason"]
+            # The server cannot resync past an unread payload: closed.
+            assert client._reader.readline() == b""
+        assert aggregation.snapshot()["epochs"] == {}
+
+    def test_truncated_frame_disconnect_never_folds(self, service):
+        aggregation, handle = service
+        client = self._negotiated(handle)
+        # Claim 64 payload bytes, deliver 10, vanish mid-frame.
+        client.send_raw(struct.pack("<I", 64) + b"\x00" * 10)
+        client.close()
+        # The server survives and nothing was folded.
+        with IngestClient(*handle.address) as probe:
+            assert probe.ping() == {"status": "ok", "pong": True}
+            assert probe.metrics()["metrics"]["reports_admitted"] == 0
+        assert aggregation.snapshot()["epochs"] == {}
+
+    def test_partial_length_prefix_disconnect(self, service):
+        aggregation, handle = service
+        client = self._negotiated(handle)
+        client.send_raw(b"\x01")  # one byte of a four-byte prefix
+        client.close()
+        with IngestClient(*handle.address) as probe:
+            assert probe.ping() == {"status": "ok", "pong": True}
+        assert aggregation.snapshot()["epochs"] == {}
+
+    def test_wrong_dtype_tag_blocked_connection_survives(self, service):
+        aggregation, handle = service
+        with self._negotiated(handle) as client:
+            good = _submit_frame()
+            header = bytearray(good[4:])
+            header[3] = 7  # dtype tag nobody speaks
+            payload = bytes(header)
+            client.send_raw(frame_prefix(payload) + payload)
+            reply = _read_reply(client)
+            assert reply["status"] == "blocked"
+            assert "dtype" in reply["reason"]
+            # Frame was fully consumed: the connection keeps working.
+            assert client.submit(0, ["a"], [1.0], 1.0)["status"] == "admitted"
+        assert wait_until(
+            lambda: aggregation.snapshot()["n_devices_tracked"] == 1
+        )
+
+    def test_bad_magic_blocked_connection_survives(self, service):
+        _, handle = service
+        with self._negotiated(handle) as client:
+            good = _submit_frame()
+            payload = b"XX" + good[6:]
+            client.send_raw(frame_prefix(payload) + payload)
+            reply = _read_reply(client)
+            assert reply["status"] == "blocked"
+            assert "magic" in reply["reason"]
+            assert client.ping() == {"status": "ok", "pong": True}
+
+    def test_short_payload_blocked(self, service):
+        _, handle = service
+        with self._negotiated(handle) as client:
+            payload = b"\x00" * (_HEADER.size - 4)
+            client.send_raw(frame_prefix(payload) + payload)
+            assert _read_reply(client)["status"] == "blocked"
+            assert client.ping() == {"status": "ok", "pong": True}
+
+    def test_body_length_mismatch_blocked(self, service):
+        aggregation, handle = service
+        with self._negotiated(handle) as client:
+            # Header says 4 reports; body carries 2 values and no ids.
+            header = _HEADER.pack(_MAGIC, OP_SUBMIT, DTYPE_F64, 4, 3, 0, 1.0)
+            payload = header + np.asarray([1.0, 2.0]).tobytes()
+            client.send_raw(frame_prefix(payload) + payload)
+            reply = _read_reply(client)
+            assert reply["status"] == "blocked"
+            assert client.ping() == {"status": "ok", "pong": True}
+        assert aggregation.snapshot()["epochs"] == {}
+
+    def test_good_batch_folds_whole_bad_tail_folds_nothing(self, service):
+        """A valid frame followed by a mid-frame disconnect: the valid
+        batch folds completely, the torn one not at all."""
+        aggregation, handle = service
+        client = self._negotiated(handle)
+        good = _submit_frame(ids=("a", "b"), values=(1.0, 2.0))
+        client.send_raw(good)
+        assert _read_reply(client)["status"] == "admitted"
+        torn = _submit_frame(ids=("c", "d"), values=(3.0, 4.0))
+        client.send_raw(torn[: len(torn) // 2])
+        client.close()
+        with IngestClient(*handle.address) as probe:
+            assert probe.ping() == {"status": "ok", "pong": True}
+            assert probe.metrics()["metrics"]["reports_admitted"] == 2
+        assert wait_until(
+            lambda: aggregation.snapshot()["n_devices_tracked"] == 2
+        )
+
+
+class TestClientNegotiationFailure:
+    def test_client_raises_when_server_refuses(self, service, monkeypatch):
+        _, handle = service
+        monkeypatch.setattr(
+            "repro.service.client.BINARY_WIRE_VERSION", 99, raising=True
+        )
+        with pytest.raises(WireError, match="negotiation failed"):
+            IngestClient(*handle.address, wire="binary")
